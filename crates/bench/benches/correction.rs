@@ -1,0 +1,72 @@
+//! Recovery-path latency: RAID-4 reconstruction, SDR, and cross-hash (Z)
+//! recovery on real caches (paper §III-D and §VII-B magnitudes).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sudoku_codes::LineData;
+use sudoku_core::{Scheme, SudokuCache, SudokuConfig};
+
+fn populated_cache(scheme: Scheme) -> SudokuCache {
+    let mut cache =
+        SudokuCache::new(SudokuConfig::small(scheme, 4096, 64)).expect("valid bench config");
+    for i in 0..4096u64 {
+        let mut d = LineData::zero();
+        d.set_bit((i as usize * 13) % 512, true);
+        cache.write(i, &d);
+    }
+    cache
+}
+
+fn bench_raid4(c: &mut Criterion) {
+    c.bench_function("raid4_repair_one_line_group64", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = populated_cache(Scheme::X);
+                for bit in [1, 2, 3, 4] {
+                    cache.inject_fault(10, bit);
+                }
+                cache
+            },
+            |mut cache| cache.scrub_lines(&[10]),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_sdr(c: &mut Criterion) {
+    c.bench_function("sdr_repair_two_double_fault_lines", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = populated_cache(Scheme::Y);
+                cache.inject_fault(0, 5);
+                cache.inject_fault(0, 6);
+                cache.inject_fault(1, 7);
+                cache.inject_fault(1, 8);
+                cache
+            },
+            |mut cache| cache.scrub_lines(&[0, 1]),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_crosshash(c: &mut Criterion) {
+    c.bench_function("sudoku_z_crosshash_two_triple_fault_lines", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = populated_cache(Scheme::Z);
+                for bit in [10, 20, 30] {
+                    cache.inject_fault(1, bit);
+                }
+                for bit in [11, 21, 31] {
+                    cache.inject_fault(3, bit);
+                }
+                cache
+            },
+            |mut cache| cache.scrub_lines(&[1, 3]),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(correction, bench_raid4, bench_sdr, bench_crosshash);
+criterion_main!(correction);

@@ -1,0 +1,51 @@
+//! Scrub-pass throughput: the whole-cache walk (paper §II-D) and the
+//! sparse full-scale interval used by the Monte-Carlo campaigns.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sudoku_core::Scheme;
+use sudoku_fault::ScrubSchedule;
+use sudoku_reliability::montecarlo::{run_interval, McConfig};
+
+fn bench_dense_scrub(c: &mut Criterion) {
+    use sudoku_codes::LineData;
+    use sudoku_core::{SudokuCache, SudokuConfig};
+    c.bench_function("dense_scrub_4096_lines_clean", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = SudokuCache::new(SudokuConfig::small(Scheme::Z, 4096, 64))
+                    .expect("valid config");
+                for i in 0..4096u64 {
+                    let mut d = LineData::zero();
+                    d.set_bit((i as usize * 7) % 512, true);
+                    cache.write(i, &d);
+                }
+                cache
+            },
+            |mut cache| cache.scrub(),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_sparse_interval(c: &mut Criterion) {
+    let cfg = McConfig {
+        scheme: Scheme::Z,
+        lines: 1 << 20,
+        group: 512,
+        ber: 5.3e-6,
+        trials: 1,
+        seed: 1,
+        threads: 1,
+        scrub: ScrubSchedule::paper_default(),
+    };
+    let mut seed = 0u64;
+    c.bench_function("sparse_full_scale_interval_64mb", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_interval(&cfg, seed)
+        })
+    });
+}
+
+criterion_group!(scrub, bench_dense_scrub, bench_sparse_interval);
+criterion_main!(scrub);

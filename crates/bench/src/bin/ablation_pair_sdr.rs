@@ -1,0 +1,48 @@
+//! Ablation of the pair-flip SDR extension (beyond the paper): how much of
+//! SuDoku-Z's advantage can a *single-hash* design recover by spending
+//! O(mismatch²) extra flip trials?
+
+use sudoku_bench::{header, sci, Args};
+use sudoku_core::Scheme;
+use sudoku_reliability::montecarlo::{run_group_campaign, GroupScenario};
+
+fn main() {
+    let args = Args::parse(4000, 0);
+    header("Ablation — pair-flip SDR extension vs the paper's design");
+    println!(
+        "{:<30} {:>12} {:>14} {:>12}",
+        "scenario", "Y (paper)", "Y + pair-SDR", "Z (paper)"
+    );
+    let cases: Vec<(&str, Vec<u32>)> = vec![
+        ("two lines × 2 faults", vec![2, 2]),
+        ("two lines × 3 faults", vec![3, 3]),
+        ("3-fault + 2-fault", vec![3, 2]),
+        ("three lines × 2 faults", vec![2, 2, 2]),
+        ("two lines × 4 faults", vec![4, 4]),
+    ];
+    for (label, counts) in cases {
+        let mut rates = Vec::new();
+        for (scheme, pair) in [(Scheme::Y, false), (Scheme::Y, true), (Scheme::Z, false)] {
+            let scenario = GroupScenario {
+                scheme,
+                group: 128,
+                fault_counts: counts.clone(),
+                pair_sdr: pair,
+            };
+            let s = run_group_campaign(&scenario, args.trials, args.seed, args.threads);
+            rates.push(s.success_rate());
+        }
+        println!(
+            "{label:<30} {:>12} {:>14} {:>12}",
+            sci(rates[0]),
+            sci(rates[1]),
+            sci(rates[2])
+        );
+    }
+    println!(
+        "\npair-SDR lifts the single-hash design to Z-like success on 3-fault\n\
+         pairs (two flips + ECC-1 reach t+2 faults) but still cannot fix\n\
+         ≥4-fault pairs or fully-overlapping patterns — the second hash\n\
+         remains the stronger and cheaper mechanism, as the paper chose."
+    );
+}

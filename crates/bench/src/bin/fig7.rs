@@ -1,0 +1,70 @@
+//! Figure 7: cache failure probability (DUE + SDC) over time for SuDoku-X,
+//! SuDoku-Y, SuDoku-Z and ECC-6, plus the MTTF ladder.
+
+use sudoku_bench::{header, ratio, sci};
+use sudoku_reliability::analytic::{
+    ecc_cache_fail, ecc_fit, failure_probability_by, sdc_fit, x_cache_fail, x_fit, x_mttf_seconds,
+    y_cache_fail, y_fit, y_mttf_hours, z_cache_fail, z_fit, z_fit_paper_style, Params,
+};
+
+fn main() {
+    header("Figure 7 — failure probability over time: X, Y, Z vs ECC-6");
+    let params = Params::paper_default();
+    let sdc = sdc_fit(&params);
+    let px = x_cache_fail(&params);
+    let py = y_cache_fail(&params);
+    let pz_paper_style = z_fit_paper_style(&params) / params.scrub.intervals_per_billion_hours();
+    let pe6 = ecc_cache_fail(&params, 6);
+
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "time", "SuDoku-X", "SuDoku-Y", "SuDoku-Z", "ECC-6"
+    );
+    let times: [(f64, &str); 8] = [
+        (1.0, "1 s"),
+        (10.0, "10 s"),
+        (60.0, "1 min"),
+        (3600.0, "1 h"),
+        (86_400.0, "1 day"),
+        (2_592_000.0, "30 days"),
+        (31_536_000.0, "1 year"),
+        (3.15e9, "100 years"),
+    ];
+    for (t, label) in times {
+        println!(
+            "{label:>12} {:>12} {:>12} {:>12} {:>12}",
+            sci(failure_probability_by(&params, px, t)),
+            sci(failure_probability_by(&params, py, t)),
+            sci(failure_probability_by(&params, pz_paper_style, t)),
+            sci(failure_probability_by(&params, pe6, t)),
+        );
+    }
+
+    println!("\nMTTF / FIT ladder (DUE + SDC):");
+    println!(
+        "  SuDoku-X: MTTF {:>10}   FIT {:>10}   (paper: 3.71 s)",
+        format!("{:.2} s", x_mttf_seconds(&params)),
+        sci(x_fit(&params) + sdc)
+    );
+    println!(
+        "  SuDoku-Y: MTTF {:>10}   FIT {:>10}   (paper: 3.49–3.9 h)",
+        format!("{:.1} h", y_mttf_hours(&params)),
+        sci(y_fit(&params) + sdc)
+    );
+    let zf = z_fit_paper_style(&params) + sdc;
+    println!(
+        "  SuDoku-Z: FIT {:>10} (paper-style model; paper: 1.05e-4)",
+        sci(zf)
+    );
+    println!(
+        "            FIT {:>10} (our leading-order model; cache_fail {:.2e})",
+        sci(z_fit(&params) + sdc),
+        z_cache_fail(&params)
+    );
+    let e6 = ecc_fit(&params, 6);
+    println!("  ECC-6:    FIT {:>10}   (paper: 0.092)", sci(e6));
+    println!(
+        "\nheadline: SuDoku-Z is {} as reliable as ECC-6 (paper: 874x)",
+        ratio(e6, zf)
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 8: execution time of SuDoku-Z normalized to an idealized
+//! error-free cache, per workload.
+
+use sudoku_bench::{header, Args};
+use sudoku_sim::{compare_workload, geo_mean, paper_workloads, RunnerConfig};
+
+fn main() {
+    let args = Args::parse(0, 100_000);
+    header("Figure 8 — execution time of SuDoku-Z normalized to ideal");
+    let cfg = RunnerConfig::paper_default(args.accesses, args.seed);
+    let mut ratios = Vec::new();
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "workload", "norm.time", "hit rate", "scrubstall", "syndrome", "PLT writes"
+    );
+    for w in paper_workloads(cfg.system.cores) {
+        let c = compare_workload(&cfg, &w);
+        let r = c.time_ratio();
+        ratios.push(r);
+        println!(
+            "{:<16} {:>10.5} {:>10.3} {:>10.1}us {:>10.1}us {:>12}",
+            c.name,
+            r,
+            c.ideal.metrics.hit_rate(),
+            c.sudoku.metrics.scrub_stall_ns / 1e3,
+            c.sudoku.metrics.syndrome_ns / 1e3,
+            c.sudoku.metrics.plt_writes,
+        );
+    }
+    let gm = geo_mean(ratios.iter().copied());
+    println!(
+        "\ngeometric-mean slowdown: {:.3}% (paper Figure 8: ~0.15% average)",
+        (gm - 1.0) * 100.0
+    );
+}

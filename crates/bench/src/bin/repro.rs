@@ -1,0 +1,62 @@
+//! Umbrella harness: regenerates every table and figure in sequence by
+//! spawning the individual experiment binaries (light default settings).
+//!
+//! `cargo run -p sudoku-bench --release --bin repro [-- --trials N --accesses N]`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "storage",
+    "latency",
+    "fig8",
+    "fig9",
+    "mttf",
+    "sdr_cases",
+    "table4_mc",
+    "wer",
+    "ablation_group",
+    "ablation_schemes",
+    "ablation_pair_sdr",
+    "ecc2_sdr",
+    "bursts",
+    "plt_traffic",
+    "fig8_cores",
+    "baselines_mc",
+];
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current exe path");
+    let bin_dir = me.parent().expect("bin dir").to_path_buf();
+    let mut failed = Vec::new();
+    for exp in EXPERIMENTS {
+        let path = bin_dir.join(exp);
+        let status = Command::new(&path).args(&passthrough).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("experiment {exp} failed: {other:?}");
+                failed.push(*exp);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!(
+            "\nall {} experiments regenerated successfully.",
+            EXPERIMENTS.len()
+        );
+    } else {
+        eprintln!("\nfailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

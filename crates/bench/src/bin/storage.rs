@@ -1,0 +1,32 @@
+//! Storage-overhead accounting (paper §VII-H): SuDoku vs ECC-6.
+
+use sudoku_bench::header;
+use sudoku_codes::{line_ecc, CRC_BITS, ECC_BITS};
+use sudoku_core::{Scheme, SudokuConfig};
+
+fn main() {
+    header("Storage overheads (paper §VII-H)");
+    println!("per 512-bit line:");
+    println!("  ECC-1 (Hamming SEC):  {ECC_BITS} bits");
+    println!("  CRC-31:               {CRC_BITS} bits");
+    for scheme in [Scheme::X, Scheme::Y, Scheme::Z] {
+        let cfg = SudokuConfig::paper_default(scheme);
+        println!(
+            "  {scheme}: total {:.1} bits/line ({} PLT(s), {} KB SRAM)",
+            cfg.storage_overhead_bits_per_line(),
+            if scheme.second_hash_enabled() { 2 } else { 1 },
+            cfg.plt_storage_bytes() / 1024,
+        );
+    }
+    let ecc6 = line_ecc(6).expect("ECC-6 exists");
+    println!("  ECC-6 (BCH t=6):      {} bits/line", ecc6.parity_bits());
+    let z = SudokuConfig::paper_default(Scheme::Z);
+    println!(
+        "\nSuDoku-Z at {:.0} bits/line is {:.0}% cheaper than ECC-6's {} bits/line\n\
+         (paper: 43 vs 60 bits → 30% less storage), plus the 256 KB PLT SRAM\n\
+         is 0.39% of the 64 MB cache.",
+        z.storage_overhead_bits_per_line(),
+        (1.0 - z.storage_overhead_bits_per_line() / ecc6.parity_bits() as f64) * 100.0,
+        ecc6.parity_bits(),
+    );
+}

@@ -1,0 +1,54 @@
+//! Table I: thermal stability (∆) vs bit error rate over a 20 ms window.
+
+use sudoku_bench::{header, sci};
+use sudoku_fault::ThermalModel;
+
+fn main() {
+    header("Table I — Thermal stability vs error rate (20 ms period)");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "Mean thermal stability (∆)", "60 (32nm)", "35 (22nm)"
+    );
+    let paper = [2.7e-12, 5.3e-6];
+    let ours: Vec<f64> = [60.0, 35.0]
+        .iter()
+        .map(|&d| ThermalModel::new(d, 0.10).ber(20e-3))
+        .collect();
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "BER, paper",
+        sci(paper[0]),
+        sci(paper[1])
+    );
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "BER, reproduced",
+        sci(ours[0]),
+        sci(ours[1])
+    );
+    println!();
+    for (d, sigma) in [(35.0, 0.0), (35.0, 0.10)] {
+        let m = ThermalModel::new(d, sigma);
+        println!(
+            "∆={d}, σ={:.0}%: mean cell MTTF = {}",
+            sigma * 100.0,
+            human_time(m.mean_cell_mttf_s())
+        );
+    }
+    let m = ThermalModel::paper_default();
+    let bits = 64u64 * 1024 * 1024 * 8;
+    println!(
+        "expected failing bits per 20 ms in a 64 MB cache: {:.0} (paper: 2880)",
+        m.expected_failures(bits, 20e-3)
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs > 86_400.0 {
+        format!("{:.1} days", secs / 86_400.0)
+    } else if secs > 3_600.0 {
+        format!("{:.1} hours", secs / 3_600.0)
+    } else {
+        format!("{secs:.1} s")
+    }
+}

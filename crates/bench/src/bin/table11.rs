@@ -1,0 +1,35 @@
+//! Table XI: CPPC, RAID-6, and 2DP vs SuDoku, all provisioned with
+//! SuDoku-equivalent resources (CRC-31 per line, 512-line groups).
+
+use sudoku_bench::{header, sci};
+use sudoku_reliability::analytic::{cppc_fit, raid6_fit, twodp_fit, z_fit_paper_style, Params};
+
+fn main() {
+    header("Table XI — CPPC / RAID-6 / 2DP vs SuDoku (FIT)");
+    let params = Params::paper_default();
+    let rows = [
+        ("CPPC + CRC-31", cppc_fit(&params), 1.69e14),
+        ("RAID-6 + CRC-31", raid6_fit(&params), 571e3),
+        ("2DP ECC-1 + CRC-31", twodp_fit(&params), 2.8e8),
+        ("SuDoku", z_fit_paper_style(&params), 1.05e-4),
+    ];
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "scheme", "FIT (ours)", "FIT (paper)"
+    );
+    for (name, ours, paper) in rows {
+        println!("{name:<22} {:>14} {:>14}", sci(ours), sci(paper));
+    }
+    let sudoku = z_fit_paper_style(&params);
+    let best_baseline = raid6_fit(&params).min(twodp_fit(&params));
+    println!(
+        "\nSuDoku is {:.1e}x as strong as the best parity baseline\n\
+         (paper claims \"at least 10^6 times\": both hold).",
+        best_baseline / sudoku
+    );
+    println!(
+        "notes: 2DP's vertical parity + ECC-1 is computationally SuDoku-Y on a\n\
+         single hash, so its model coincides with Y; RAID-6 differs from the\n\
+         paper's underived 5.7e5 — our model counts ≥3 multi-bit lines per group."
+    );
+}

@@ -1,0 +1,31 @@
+//! Table XII: SuDoku vs Hi-ECC (ECC-6 over 1-KB regions).
+
+use sudoku_bench::{header, sci};
+use sudoku_reliability::analytic::{hiecc_fit, z_fit_paper_style, Params};
+
+fn main() {
+    header("Table XII — SuDoku vs Hi-ECC");
+    let params = Params::paper_default();
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "scheme", "FIT (ours)", "FIT (paper)"
+    );
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "SuDoku",
+        sci(z_fit_paper_style(&params)),
+        sci(1.05e-4)
+    );
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "Hi-ECC",
+        sci(hiecc_fit(&params)),
+        sci(1.47)
+    );
+    println!(
+        "\nHi-ECC protects 16x more bits per codeword, so ≥7 faults per 1 KB\n\
+         region arrive often enough to miss the 1-FIT target; SuDoku holds it.\n\
+         (Our binomial model puts Hi-ECC higher than the paper's 1.47; both\n\
+         agree Hi-ECC fails the target while SuDoku exceeds it by >10^3.)"
+    );
+}

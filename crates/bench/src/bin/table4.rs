@@ -1,0 +1,32 @@
+//! Table IV: probability of SRAM cache failure at V_min < 500 mV
+//! (BER = 10⁻³): uniform ECC-7/8/9 vs SuDoku.
+
+use sudoku_bench::{header, sci};
+use sudoku_reliability::analytic::{sram_ecc_cache_failure, sram_sudoku_cache_failure, Params};
+
+fn main() {
+    header("Table IV — P(SRAM cache failure), BER = 1e-3 (Vmin < 500 mV)");
+    let params = Params::paper_default().with_ber(1e-3);
+    let paper = [(7u32, 0.11), (8, 0.0066), (9, 3.5e-4)];
+    println!("{:<10} {:>14} {:>14}", "scheme", "reproduced", "paper");
+    for (t, pv) in paper {
+        println!(
+            "ECC-{t:<6} {:>14} {:>14}",
+            sci(sram_ecc_cache_failure(&params, t)),
+            sci(pv)
+        );
+    }
+    println!(
+        "SuDoku     {:>14} {:>14}",
+        sci(sram_sudoku_cache_failure(&params)),
+        sci(3.8e-10)
+    );
+    println!(
+        "\nNote: the ECC rows reproduce the paper closely. The paper's SuDoku\n\
+         entry (3.8e-10) is not derivable from its stated transient-fault\n\
+         model — at BER 1e-3 ~10% of lines are multi-bit faulty and every\n\
+         RAID-Group carries dozens of them, so any parity-group scheme\n\
+         saturates. Our honestly computed value is reported instead; see\n\
+         EXPERIMENTS.md for the discussion."
+    );
+}

@@ -1,0 +1,70 @@
+//! Table IV, functionally: probability that a low-voltage SRAM cache with
+//! *persistent* stuck-at faults is unrecoverable under SuDoku, measured by
+//! building real `VminCache`s across random fault maps (paper §VI).
+//!
+//! The paper's analytic Table IV row for SuDoku is underived (see
+//! EXPERIMENTS.md); this experiment answers the question the table asks —
+//! "at which persistent-fault density does SuDoku keep an SRAM cache
+//! alive?" — with the implementation itself. Note that a stuck cell whose
+//! value agrees with the stored bit is harmless, so the *effective* fault
+//! rate is about half the stuck-cell rate.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sudoku_bench::{header, sci, Args};
+use sudoku_core::{Scheme, SudokuConfig, VminCache};
+use sudoku_fault::StuckBitMap;
+
+fn sweep(lines: u64, group: u32, trials: u64, seed: u64) {
+    println!(
+        "\n{} lines, groups of {group}, {trials} trials per point; P(unrecoverable):",
+        lines
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}",
+        "stuck BER", "SuDoku-X", "SuDoku-Y", "SuDoku-Z"
+    );
+    for ber in [3e-5f64, 1e-4, 3e-4, 1e-3] {
+        let mut row = Vec::new();
+        for scheme in [Scheme::X, Scheme::Y, Scheme::Z] {
+            let mut failures = 0u64;
+            for t in 0..trials {
+                let mut rng = StdRng::seed_from_u64(seed + t * 1000 + ber.to_bits() % 997);
+                let stuck = StuckBitMap::random(&mut rng, lines, ber);
+                let mut cache = VminCache::new(SudokuConfig::small(scheme, lines, group), stuck)
+                    .expect("valid configuration");
+                if !cache.is_recoverable() {
+                    failures += 1;
+                }
+            }
+            row.push(failures as f64 / trials as f64);
+        }
+        println!(
+            "{:<12} {:>14} {:>14} {:>14}",
+            sci(ber),
+            sci(row[0]),
+            sci(row[1]),
+            sci(row[2])
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse(20, 0);
+    header("Table IV (functional) — SuDoku on persistently faulty SRAM");
+    // Small groups: casualties per group stay within SDR's six-mismatch
+    // budget for much higher densities.
+    sweep(4096, 64, args.trials, args.seed);
+    // The paper's 512-line groups at minimum Z-capable scale: collision
+    // density per group is 8x higher, so the cliff arrives much earlier.
+    sweep(512 * 512, 512, (args.trials / 4).max(2), args.seed ^ 0xBEEF);
+    println!(
+        "\nreading: SuDoku-Z keeps an SRAM array recoverable at persistent\n\
+         densities ~10x beyond SuDoku-X, without testing or remapping. The\n\
+         survivable density scales inversely with the RAID-Group size — small\n\
+         groups are the knob for V_min operation (cf. the group-size ablation).\n\
+         At the paper's Table-IV point (1e-3, 512-line groups) every\n\
+         parity-group scheme saturates; §VII-G's ECC-2-per-line variant\n\
+         (Params::with_line_ecc) is the analytic answer there."
+    );
+}

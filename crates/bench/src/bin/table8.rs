@@ -1,0 +1,41 @@
+//! Table VIII: FIT rate vs scrub interval (10/20/40 ms) for ECC-5, ECC-6
+//! and SuDoku-Z. The per-interval BER comes from the thermal model.
+
+use sudoku_bench::{header, sci};
+use sudoku_fault::{ScrubSchedule, ThermalModel};
+use sudoku_reliability::analytic::{ecc_fit, z_fit_paper_style, Params};
+
+fn main() {
+    header("Table VIII — FIT vs scrub interval (default 20 ms)");
+    let thermal = ThermalModel::paper_default();
+    let paper: [(f64, f64, f64, f64, f64); 3] = [
+        (10e-3, 2.7e-6, 6.74, 1.66e-3, 5.49e-7),
+        (20e-3, 5.3e-6, 215.0, 0.092, 1.05e-4),
+        (40e-3, 1.09e-5, 6870.0, 6.76, 0.04),
+    ];
+    println!(
+        "{:<9} {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11}",
+        "interval", "BER", "paper", "ECC-5", "paper", "ECC-6", "paper", "SuDoku-Z", "paper"
+    );
+    for (interval, p_ber, p5, p6, pz) in paper {
+        let ber = thermal.ber(interval);
+        let params = Params {
+            ber,
+            scrub: ScrubSchedule::new(interval),
+            ..Params::paper_default()
+        };
+        println!(
+            "{:<9} {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11} | {:>11} {:>11}",
+            format!("{:.0} ms", interval * 1e3),
+            sci(ber),
+            sci(p_ber),
+            sci(ecc_fit(&params, 5)),
+            sci(p5),
+            sci(ecc_fit(&params, 6)),
+            sci(p6),
+            sci(z_fit_paper_style(&params)),
+            sci(pz),
+        );
+    }
+    println!("\nshape check: ECC-5 misses 1 FIT even at 10 ms; SuDoku-Z holds it even at 40 ms.");
+}

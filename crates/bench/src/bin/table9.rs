@@ -1,0 +1,27 @@
+//! Table IX: SuDoku-Z FIT sensitivity to cache size (32/64/128 MB).
+
+use sudoku_bench::{header, sci};
+use sudoku_reliability::analytic::{z_fit_paper_style, Params};
+
+fn main() {
+    header("Table IX — sensitivity to cache size");
+    let paper = [(32u64, 0.52e-4), (64, 1.05e-4), (128, 2.1e-4)];
+    println!("{:<10} {:>14} {:>14}", "cache", "FIT (ours)", "FIT (paper)");
+    let mut prev = None;
+    for (mb, pv) in paper {
+        let params = Params::paper_default().with_lines(mb * 1024 * 1024 / 64);
+        let fit = z_fit_paper_style(&params);
+        println!(
+            "{:<10} {:>14} {:>14}",
+            format!("{mb} MB"),
+            sci(fit),
+            sci(pv)
+        );
+        if let Some(p) = prev {
+            let r: f64 = fit / p;
+            assert!((r - 2.0f64).abs() < 0.05, "scaling must be linear, got {r}");
+        }
+        prev = Some(fit);
+    }
+    println!("\nscaling is linear in the number of lines, as the paper reports.");
+}

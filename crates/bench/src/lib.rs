@@ -1,0 +1,91 @@
+//! # sudoku-bench
+//!
+//! Experiment harness for the SuDoku reproduction: one binary per table and
+//! figure of the paper (run `cargo run -p sudoku-bench --bin repro` for all
+//! of them), plus Criterion benches for the codec and correction paths.
+//!
+//! Every binary prints the paper's reported value next to the reproduced
+//! one, and accepts `--seed N`, `--trials N`, `--threads N`,
+//! `--accesses N` where applicable.
+
+#![warn(missing_docs)]
+
+/// Formats a value in 3-significant-digit scientific notation, the way the
+/// paper's tables print probabilities and FIT rates.
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if x.is_infinite() {
+        return "inf".to_string();
+    }
+    if (0.01..10_000.0).contains(&x.abs()) {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Prints a boxed section header.
+pub fn header(title: &str) {
+    let bar = "=".repeat(title.len() + 4);
+    println!("\n{bar}\n| {title} |\n{bar}");
+}
+
+/// Simple `--flag value` argument extraction.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// RNG seed (`--seed`, default 42).
+    pub seed: u64,
+    /// Monte-Carlo trials (`--trials`).
+    pub trials: u64,
+    /// Worker threads (`--threads`, 0 = all cores).
+    pub threads: usize,
+    /// Simulated LLC accesses per core (`--accesses`).
+    pub accesses: u64,
+}
+
+impl Args {
+    /// Parses the process arguments with the given defaults.
+    pub fn parse(default_trials: u64, default_accesses: u64) -> Args {
+        let argv: Vec<String> = std::env::args().collect();
+        let get = |flag: &str| -> Option<u64> {
+            argv.iter()
+                .position(|a| a == flag)
+                .and_then(|i| argv.get(i + 1))
+                .and_then(|v| v.parse().ok())
+        };
+        Args {
+            seed: get("--seed").unwrap_or(42),
+            trials: get("--trials").unwrap_or(default_trials),
+            threads: get("--threads").unwrap_or(0) as usize,
+            accesses: get("--accesses").unwrap_or(default_accesses),
+        }
+    }
+}
+
+/// Ratio formatted as "N.NNx".
+pub fn ratio(a: f64, b: f64) -> String {
+    format!("{:.0}x", a / b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_formats_ranges() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(0.092), "0.092");
+        assert_eq!(sci(5.3e-6), "5.30e-6");
+        assert_eq!(sci(1.69e14), "1.69e14");
+        assert_eq!(sci(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn args_defaults() {
+        let a = Args::parse(100, 1000);
+        assert_eq!(a.trials, 100);
+        assert_eq!(a.accesses, 1000);
+    }
+}

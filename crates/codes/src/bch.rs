@@ -1,0 +1,531 @@
+//! Binary BCH codes — the multi-bit ECC baselines of the paper.
+//!
+//! The paper's reference solution is "ECC-6": a six-error-correcting code
+//! per 64-byte line costing 60 check bits and multi-cycle encode/decode
+//! (paper §I, §II-D, Table II). That is exactly a t=6 binary BCH code over
+//! GF(2¹⁰), shortened from n=1023 to 512 data bits. This module implements
+//! the full codec — generator-polynomial construction from cyclotomic
+//! cosets, systematic LFSR encoding, and syndrome / Berlekamp–Massey /
+//! Chien-search decoding — for any t, so that ECC-1 … ECC-6 (Table II) and
+//! Hi-ECC over 1-KB regions (Table XII, GF(2¹⁴)) can be exercised
+//! functionally, not just analytically.
+
+use crate::bits::BitBuf;
+use crate::gf::{GfError, GfTables};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors constructing a BCH code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BchError {
+    /// Field construction failed.
+    Field(GfError),
+    /// The requested payload does not fit: `data_bits > k = n - deg(g)`.
+    DataTooLong {
+        /// Requested payload size.
+        data_bits: usize,
+        /// Maximum payload the code supports.
+        max: usize,
+    },
+    /// The generator polynomial degree exceeds the 127-bit LFSR register.
+    GeneratorTooLarge(usize),
+    /// t must be at least 1.
+    ZeroCorrection,
+}
+
+impl fmt::Display for BchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BchError::Field(e) => write!(f, "field construction failed: {e}"),
+            BchError::DataTooLong { data_bits, max } => {
+                write!(f, "payload of {data_bits} bits exceeds code capacity {max}")
+            }
+            BchError::GeneratorTooLarge(d) => {
+                write!(f, "generator degree {d} exceeds the supported 127 bits")
+            }
+            BchError::ZeroCorrection => write!(f, "t must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for BchError {}
+
+impl From<GfError> for BchError {
+    fn from(e: GfError) -> Self {
+        BchError::Field(e)
+    }
+}
+
+/// Result of a BCH decode attempt.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BchOutcome {
+    /// All syndromes were zero.
+    Clean,
+    /// Errors located and flipped at these codeword positions
+    /// (positions < `parity_bits` are in the parity field).
+    /// With more than `t` true errors this may be a *miscorrection* — the
+    /// decoder cannot tell, exactly like real hardware.
+    Corrected(Vec<usize>),
+    /// The error locator was inconsistent: detected but uncorrectable.
+    Uncorrectable,
+}
+
+/// A shortened systematic binary BCH code.
+///
+/// Codeword layout: bit positions `0..parity_bits` hold the parity,
+/// positions `parity_bits..parity_bits+data_bits` hold the data; the
+/// remaining positions up to n = 2^m − 1 are implicitly zero (shortening).
+///
+/// # Examples
+///
+/// ```
+/// use sudoku_codes::{Bch, BchOutcome, BitBuf};
+///
+/// // The paper's ECC-6 baseline: t=6 over GF(2^10), 512 data bits, 60 parity.
+/// let code = Bch::new(10, 6, 512)?;
+/// assert_eq!(code.parity_bits(), 60);
+///
+/// let mut data = BitBuf::zeros(512);
+/// data.set(100, true);
+/// let mut parity = code.encode(&data);
+/// for i in [3, 80, 200, 310, 400, 501] {
+///     data.flip(i);
+/// }
+/// let outcome = code.decode(&mut data, &mut parity);
+/// assert!(matches!(outcome, BchOutcome::Corrected(ref v) if v.len() == 6));
+/// assert!(data.get(100) && data.count_ones() == 1);
+/// # Ok::<(), sudoku_codes::BchError>(())
+/// ```
+#[derive(Clone)]
+pub struct Bch {
+    gf: GfTables,
+    t: usize,
+    data_bits: usize,
+    parity_bits: usize,
+    /// Generator polynomial without its leading term, bit i = coeff of x^i.
+    gen_low: u128,
+}
+
+impl fmt::Debug for Bch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Bch(m={}, t={}, data={}, parity={})",
+            self.gf.degree(),
+            self.t,
+            self.data_bits,
+            self.parity_bits
+        )
+    }
+}
+
+impl Bch {
+    /// Constructs a t-error-correcting BCH code over GF(2^m) shortened to
+    /// `data_bits` payload bits.
+    ///
+    /// # Errors
+    ///
+    /// See [`BchError`].
+    pub fn new(m: u32, t: usize, data_bits: usize) -> Result<Self, BchError> {
+        if t == 0 {
+            return Err(BchError::ZeroCorrection);
+        }
+        let gf = GfTables::primitive(m)?;
+        let n = gf.order() as usize;
+
+        // Generator = product of the minimal polynomials of α^1 .. α^{2t},
+        // one factor per distinct cyclotomic coset.
+        let mut visited = vec![false; n + 1];
+        let mut gen: u128 = 1; // GF(2) polynomial, bit i = coeff of x^i
+        let mut gen_deg = 0usize;
+        for i in 1..=2 * t {
+            let i = i % n;
+            if i == 0 || visited[i] {
+                continue;
+            }
+            // Collect the coset {i, 2i, 4i, ...} mod n.
+            let mut coset = Vec::new();
+            let mut j = i;
+            loop {
+                visited[j] = true;
+                coset.push(j);
+                j = (j * 2) % n;
+                if j == i {
+                    break;
+                }
+            }
+            // Minimal polynomial: Π (x + α^j) with coefficients in GF(2^m);
+            // the product necessarily has coefficients in {0, 1}.
+            let mut coeffs: Vec<u16> = vec![1];
+            for &j in &coset {
+                let root = gf.alpha_pow(j as u64);
+                let mut next = vec![0u16; coeffs.len() + 1];
+                for (k, &c) in coeffs.iter().enumerate() {
+                    next[k + 1] ^= c;
+                    next[k] ^= gf.mul(c, root);
+                }
+                coeffs = next;
+            }
+            debug_assert!(coeffs.iter().all(|&c| c <= 1), "minimal poly not binary");
+            // Multiply the binary generator by this minimal polynomial.
+            let min_deg = coeffs.len() - 1;
+            if gen_deg + min_deg > 127 {
+                return Err(BchError::GeneratorTooLarge(gen_deg + min_deg));
+            }
+            let mut product: u128 = 0;
+            for (k, &c) in coeffs.iter().enumerate() {
+                if c == 1 {
+                    product ^= gen << k;
+                }
+            }
+            gen = product;
+            gen_deg += min_deg;
+        }
+
+        let k = n - gen_deg;
+        if data_bits > k {
+            return Err(BchError::DataTooLong { data_bits, max: k });
+        }
+        Ok(Bch {
+            gf,
+            t,
+            data_bits,
+            parity_bits: gen_deg,
+            gen_low: gen & !(1u128 << gen_deg),
+        })
+    }
+
+    /// Number of errors the code is guaranteed to correct.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Payload size in bits.
+    pub fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    /// Parity size in bits (the storage overhead per protected word).
+    pub fn parity_bits(&self) -> usize {
+        self.parity_bits
+    }
+
+    /// Total stored codeword length (parity + data).
+    pub fn total_bits(&self) -> usize {
+        self.parity_bits + self.data_bits
+    }
+
+    /// Systematic encode: returns the parity bits for `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.data_bits()`.
+    pub fn encode(&self, data: &BitBuf) -> BitBuf {
+        assert_eq!(data.len(), self.data_bits, "payload length must match");
+        let p = self.parity_bits;
+        let top = 1u128 << (p - 1);
+        let mask = if p == 128 {
+            u128::MAX
+        } else {
+            (1u128 << p) - 1
+        };
+        let mut reg: u128 = 0;
+        for i in (0..self.data_bits).rev() {
+            let fb = data.get(i) ^ (reg & top != 0);
+            reg = (reg << 1) & mask;
+            if fb {
+                reg ^= self.gen_low;
+            }
+        }
+        let mut parity = BitBuf::zeros(p);
+        for i in 0..p {
+            if (reg >> i) & 1 == 1 {
+                parity.set(i, true);
+            }
+        }
+        parity
+    }
+
+    /// Computes the 2t syndromes of the received word; `None` if all zero.
+    fn syndromes(&self, data: &BitBuf, parity: &BitBuf) -> Option<Vec<u16>> {
+        let mut positions: Vec<usize> = parity.ones();
+        positions.extend(data.ones().into_iter().map(|i| i + self.parity_bits));
+        let mut s = vec![0u16; 2 * self.t];
+        let mut any = false;
+        for (j, slot) in s.iter_mut().enumerate() {
+            let mut acc = 0u16;
+            for &pos in &positions {
+                acc ^= self.gf.alpha_pow((j as u64 + 1) * pos as u64);
+            }
+            if acc != 0 {
+                any = true;
+            }
+            *slot = acc;
+        }
+        if any {
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// Berlekamp–Massey: error-locator polynomial from syndromes.
+    fn berlekamp_massey(&self, s: &[u16]) -> Vec<u16> {
+        let gf = &self.gf;
+        let mut sigma: Vec<u16> = vec![1];
+        let mut prev: Vec<u16> = vec![1];
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut b = 1u16;
+        for n_iter in 0..s.len() {
+            // Discrepancy d = S_{n+1} + Σ_{i=1..L} σ_i · S_{n+1-i}.
+            let mut d = s[n_iter];
+            for i in 1..=l.min(sigma.len() - 1) {
+                if n_iter >= i {
+                    d ^= gf.mul(sigma[i], s[n_iter - i]);
+                }
+            }
+            if d == 0 {
+                m += 1;
+            } else if 2 * l <= n_iter {
+                let temp = sigma.clone();
+                let coef = gf.div(d, b);
+                let shift = m;
+                if sigma.len() < prev.len() + shift {
+                    sigma.resize(prev.len() + shift, 0);
+                }
+                for (i, &pc) in prev.iter().enumerate() {
+                    sigma[i + shift] ^= gf.mul(coef, pc);
+                }
+                l = n_iter + 1 - l;
+                prev = temp;
+                b = d;
+                m = 1;
+            } else {
+                let coef = gf.div(d, b);
+                let shift = m;
+                if sigma.len() < prev.len() + shift {
+                    sigma.resize(prev.len() + shift, 0);
+                }
+                for (i, &pc) in prev.iter().enumerate() {
+                    sigma[i + shift] ^= gf.mul(coef, pc);
+                }
+                m += 1;
+            }
+        }
+        while sigma.last() == Some(&0) {
+            sigma.pop();
+        }
+        sigma
+    }
+
+    /// Decodes in place, correcting up to `t` errors across `data` and
+    /// `parity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` or `parity` have the wrong length.
+    pub fn decode(&self, data: &mut BitBuf, parity: &mut BitBuf) -> BchOutcome {
+        assert_eq!(data.len(), self.data_bits, "payload length must match");
+        assert_eq!(parity.len(), self.parity_bits, "parity length must match");
+        let s = match self.syndromes(data, parity) {
+            None => return BchOutcome::Clean,
+            Some(s) => s,
+        };
+        let sigma = self.berlekamp_massey(&s);
+        let nu = sigma.len() - 1;
+        if nu == 0 || nu > self.t {
+            return BchOutcome::Uncorrectable;
+        }
+        // Chien search over the *stored* positions only; roots implied in
+        // the shortened (always-zero) region mean the locator is bogus.
+        let order = self.gf.order() as u64;
+        let mut error_positions = Vec::with_capacity(nu);
+        for pos in 0..self.total_bits() {
+            // σ(α^{-pos}) == 0 ⇔ α^{pos} is an error locator X_l.
+            let x = self.gf.alpha_pow(order - (pos as u64 % order));
+            let mut acc = 0u16;
+            // Horner evaluation.
+            for &c in sigma.iter().rev() {
+                acc = self.gf.mul(acc, x) ^ c;
+            }
+            if acc == 0 {
+                error_positions.push(pos);
+                if error_positions.len() > nu {
+                    break;
+                }
+            }
+        }
+        if error_positions.len() != nu {
+            return BchOutcome::Uncorrectable;
+        }
+        for &pos in &error_positions {
+            if pos < self.parity_bits {
+                parity.flip(pos);
+            } else {
+                data.flip(pos - self.parity_bits);
+            }
+        }
+        BchOutcome::Corrected(error_positions)
+    }
+}
+
+/// Convenience constructor for the paper's per-line ECC-k codes:
+/// t-error-correcting BCH over GF(2¹⁰) protecting one 512-bit cache line.
+///
+/// # Errors
+///
+/// Propagates [`BchError`] (only reachable for t large enough that the
+/// generator no longer fits, which does not happen for t ≤ 12).
+pub fn line_ecc(t: usize) -> Result<Bch, BchError> {
+    Bch::new(10, t, 512)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_data(len: usize, seed: u64) -> BitBuf {
+        let mut buf = BitBuf::zeros(len);
+        let mut x = seed | 1;
+        for i in 0..len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x & 3 == 0 {
+                buf.set(i, true);
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn ecc6_has_60_parity_bits() {
+        // Matches the paper's "60 bits per 64-byte line" for ECC-6.
+        let code = line_ecc(6).unwrap();
+        assert_eq!(code.parity_bits(), 60);
+        assert_eq!(code.data_bits(), 512);
+    }
+
+    #[test]
+    fn ecc1_through_ecc6_parity_sizes() {
+        // Each additional corrected error costs one degree-10 factor.
+        for t in 1..=6 {
+            let code = line_ecc(t).unwrap();
+            assert_eq!(code.parity_bits(), 10 * t, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = line_ecc(2).unwrap();
+        let data = pattern_data(512, 5);
+        let mut parity = code.encode(&data);
+        let mut received = data.clone();
+        assert_eq!(code.decode(&mut received, &mut parity), BchOutcome::Clean);
+        assert_eq!(received, data);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors_in_data() {
+        for t in 1..=6usize {
+            let code = line_ecc(t).unwrap();
+            let golden = pattern_data(512, t as u64);
+            let golden_parity = code.encode(&golden);
+            let mut data = golden.clone();
+            let mut parity = golden_parity.clone();
+            for e in 0..t {
+                data.flip(e * 83 + 7);
+            }
+            let outcome = code.decode(&mut data, &mut parity);
+            assert!(
+                matches!(outcome, BchOutcome::Corrected(ref v) if v.len() == t),
+                "t = {t}: {outcome:?}"
+            );
+            assert_eq!(data, golden, "t = {t}");
+            assert_eq!(parity, golden_parity, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn corrects_errors_spanning_parity_and_data() {
+        let code = line_ecc(3).unwrap();
+        let golden = pattern_data(512, 11);
+        let golden_parity = code.encode(&golden);
+        let mut data = golden.clone();
+        let mut parity = golden_parity.clone();
+        parity.flip(5);
+        parity.flip(29);
+        data.flip(444);
+        let outcome = code.decode(&mut data, &mut parity);
+        assert!(matches!(outcome, BchOutcome::Corrected(ref v) if v.len() == 3));
+        assert_eq!(data, golden);
+        assert_eq!(parity, golden_parity);
+    }
+
+    #[test]
+    fn more_than_t_errors_never_restore_wrong_data_silently_for_t_plus_one_detected_case() {
+        // With t+1 errors the decoder either reports Uncorrectable or
+        // miscorrects; both are allowed, but it must never return Clean.
+        let code = line_ecc(2).unwrap();
+        let golden = pattern_data(512, 21);
+        let golden_parity = code.encode(&golden);
+        for trial in 0..20u64 {
+            let mut data = golden.clone();
+            let mut parity = golden_parity.clone();
+            let base = (trial * 53) as usize % 400;
+            data.flip(base);
+            data.flip(base + 37);
+            data.flip(base + 91);
+            let outcome = code.decode(&mut data, &mut parity);
+            assert_ne!(outcome, BchOutcome::Clean, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn hi_ecc_field_gf14_works() {
+        // Hi-ECC: ECC-6 over a 1-KB (8192-bit) region needs GF(2^14).
+        let code = Bch::new(14, 6, 8192).unwrap();
+        assert_eq!(code.parity_bits(), 84);
+        let golden = pattern_data(8192, 3);
+        let golden_parity = code.encode(&golden);
+        let mut data = golden.clone();
+        let mut parity = golden_parity.clone();
+        for e in 0..6 {
+            data.flip(e * 1301 + 17);
+        }
+        let outcome = code.decode(&mut data, &mut parity);
+        assert!(matches!(outcome, BchOutcome::Corrected(ref v) if v.len() == 6));
+        assert_eq!(data, golden);
+        assert_eq!(parity, golden_parity);
+    }
+
+    #[test]
+    fn data_too_long_rejected() {
+        assert!(matches!(
+            Bch::new(10, 6, 1000),
+            Err(BchError::DataTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_t_rejected() {
+        assert!(matches!(
+            Bch::new(10, 0, 100),
+            Err(BchError::ZeroCorrection)
+        ));
+    }
+
+    #[test]
+    fn single_bit_in_parity_corrected() {
+        let code = line_ecc(1).unwrap();
+        let golden = pattern_data(512, 2);
+        let golden_parity = code.encode(&golden);
+        let mut data = golden.clone();
+        let mut parity = golden_parity.clone();
+        parity.flip(3);
+        let outcome = code.decode(&mut data, &mut parity);
+        assert_eq!(outcome, BchOutcome::Corrected(vec![3]));
+        assert_eq!(parity, golden_parity);
+    }
+}

@@ -1,0 +1,284 @@
+//! Generic cyclic-redundancy-check engine and the CRC-31 instance used by
+//! SuDoku.
+//!
+//! SuDoku provisions each cache line with a 31-bit CRC (paper §III-A) as a
+//! strong error *detection* code: it detects every error of weight ≤ 7 over
+//! a 543-bit payload, and misses heavier errors with probability ≈ 2⁻³¹.
+//! The engine here is fully linear (zero initial register, no final XOR), so
+//! `crc(a ⊕ b) = crc(a) ⊕ crc(b)` — the property that makes RAID-4 parity
+//! lines self-consistent (the XOR of valid codewords is a valid codeword).
+//!
+//! The computation is the reflected (LSB-first) form: message bits are
+//! consumed in ascending index order, matching the bit order of
+//! [`LineData`](crate::LineData) and [`BitBuf`](crate::BitBuf).
+
+use crate::bits::{BitBuf, LineData};
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Static description of a CRC: register width in bits and the generator
+/// polynomial in "normal" (non-reflected) notation without the implicit
+/// leading `x^width` term.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CrcSpec {
+    /// Register width in bits (1..=63).
+    pub width: u32,
+    /// Generator polynomial, normal form, excluding the `x^width` term.
+    pub poly: u64,
+}
+
+/// The 31-bit CRC used by SuDoku lines.
+///
+/// The paper cites Koopman's CRC polynomial zoo for a CRC-31 that detects up
+/// to seven errors (HD = 8) at cache-line lengths. We use the 31-bit
+/// truncation of the well-known 0x04C11DB7 generator (also used by
+/// CRC-31/PHILIPS); the analytic reliability model encodes the paper's
+/// guaranteed-detection property independently of the polynomial choice
+/// (see `sudoku-reliability`).
+pub const CRC31: CrcSpec = CrcSpec {
+    width: 31,
+    poly: 0x04C1_1DB7,
+};
+
+/// A table-driven CRC engine for a fixed [`CrcSpec`].
+///
+/// # Examples
+///
+/// ```
+/// use sudoku_codes::{crc31, LineData};
+///
+/// let engine = crc31();
+/// let mut line = LineData::zero();
+/// line.set_bit(17, true);
+/// let c = engine.checksum_line(&line);
+/// // CRC is linear: flipping the same bit again returns to the zero CRC.
+/// line.flip_bit(17);
+/// assert_eq!(engine.checksum_line(&line), 0);
+/// assert_ne!(c, 0);
+/// ```
+#[derive(Clone)]
+pub struct CrcEngine {
+    spec: CrcSpec,
+    /// Reflected polynomial (bit i of normal poly becomes bit width-1-i).
+    rpoly: u64,
+    mask: u64,
+    table: [u64; 256],
+}
+
+impl std::fmt::Debug for CrcEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrcEngine")
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+fn reflect(value: u64, bits: u32) -> u64 {
+    let mut out = 0u64;
+    for i in 0..bits {
+        if (value >> i) & 1 == 1 {
+            out |= 1 << (bits - 1 - i);
+        }
+    }
+    out
+}
+
+impl CrcEngine {
+    /// Builds an engine (precomputing the byte table) for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.width` is 0 or greater than 63, or if the polynomial
+    /// does not fit in `width` bits.
+    pub fn new(spec: CrcSpec) -> Self {
+        assert!(
+            spec.width >= 1 && spec.width <= 63,
+            "CRC width must be in 1..=63"
+        );
+        assert!(
+            spec.poly < (1u64 << spec.width),
+            "polynomial must fit in the register width"
+        );
+        let rpoly = reflect(spec.poly, spec.width);
+        let mask = (1u64 << spec.width) - 1;
+        let mut table = [0u64; 256];
+        for (b, entry) in table.iter_mut().enumerate() {
+            let mut reg = b as u64;
+            for _ in 0..8 {
+                reg = if reg & 1 == 1 {
+                    (reg >> 1) ^ rpoly
+                } else {
+                    reg >> 1
+                };
+            }
+            *entry = reg & mask;
+        }
+        CrcEngine {
+            spec,
+            rpoly,
+            mask,
+            table,
+        }
+    }
+
+    /// The spec this engine was built for.
+    pub fn spec(&self) -> CrcSpec {
+        self.spec
+    }
+
+    /// Checksum of a byte slice (bit 0 of byte 0 is consumed first).
+    pub fn checksum_bytes(&self, bytes: &[u8]) -> u64 {
+        let mut reg = 0u64;
+        for &b in bytes {
+            reg = (reg >> 8) ^ self.table[((reg ^ b as u64) & 0xff) as usize];
+        }
+        reg & self.mask
+    }
+
+    /// Checksum of a 512-bit cache line.
+    pub fn checksum_line(&self, line: &LineData) -> u64 {
+        self.checksum_bytes(&line.to_bytes())
+    }
+
+    /// Checksum of an arbitrary-length bit buffer.
+    ///
+    /// Whole bytes go through the table; trailing bits are processed
+    /// bit-serially, preserving ascending bit order.
+    pub fn checksum_bits(&self, buf: &BitBuf) -> u64 {
+        let mut reg = 0u64;
+        let full_bytes = buf.len() / 8;
+        for byte_idx in 0..full_bytes {
+            let mut b = 0u8;
+            for k in 0..8 {
+                if buf.get(byte_idx * 8 + k) {
+                    b |= 1 << k;
+                }
+            }
+            reg = (reg >> 8) ^ self.table[((reg ^ b as u64) & 0xff) as usize];
+        }
+        for i in full_bytes * 8..buf.len() {
+            let bit = buf.get(i) as u64;
+            reg = if (reg ^ bit) & 1 == 1 {
+                (reg >> 1) ^ self.rpoly
+            } else {
+                reg >> 1
+            };
+        }
+        reg & self.mask
+    }
+
+    /// Bit-serial reference implementation over a byte slice, used to verify
+    /// the table-driven path.
+    pub fn checksum_bytes_reference(&self, bytes: &[u8]) -> u64 {
+        let mut reg = 0u64;
+        for &byte in bytes {
+            for k in 0..8 {
+                let bit = ((byte >> k) & 1) as u64;
+                reg = if (reg ^ bit) & 1 == 1 {
+                    (reg >> 1) ^ self.rpoly
+                } else {
+                    reg >> 1
+                };
+            }
+        }
+        reg & self.mask
+    }
+}
+
+/// Shared CRC-31 engine instance (lazily constructed).
+///
+/// See [`CRC31`] for the polynomial choice.
+pub fn crc31() -> &'static CrcEngine {
+    static ENGINE: OnceLock<CrcEngine> = OnceLock::new();
+    ENGINE.get_or_init(|| CrcEngine::new(CRC31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_reference() {
+        let engine = CrcEngine::new(CRC31);
+        let data: Vec<u8> = (0..64u32).map(|i| (i * 97 + 13) as u8).collect();
+        assert_eq!(
+            engine.checksum_bytes(&data),
+            engine.checksum_bytes_reference(&data)
+        );
+    }
+
+    #[test]
+    fn checksum_bits_matches_bytes_for_whole_bytes() {
+        let engine = crc31();
+        let mut buf = BitBuf::zeros(512);
+        let mut line = LineData::zero();
+        for i in [0usize, 9, 100, 255, 511] {
+            buf.set(i, true);
+            line.set_bit(i, true);
+        }
+        assert_eq!(engine.checksum_bits(&buf), engine.checksum_line(&line));
+    }
+
+    #[test]
+    fn linearity_holds() {
+        let engine = crc31();
+        let mut a = LineData::zero();
+        let mut b = LineData::zero();
+        a.set_bit(3, true);
+        a.set_bit(77, true);
+        b.set_bit(77, true);
+        b.set_bit(400, true);
+        let ca = engine.checksum_line(&a);
+        let cb = engine.checksum_line(&b);
+        assert_eq!(engine.checksum_line(&a.xor(&b)), ca ^ cb);
+    }
+
+    #[test]
+    fn zero_message_has_zero_crc() {
+        assert_eq!(crc31().checksum_line(&LineData::zero()), 0);
+    }
+
+    #[test]
+    fn single_bit_errors_always_detected() {
+        let engine = crc31();
+        for i in 0..512 {
+            let mut line = LineData::zero();
+            line.set_bit(i, true);
+            assert_ne!(engine.checksum_line(&line), 0, "bit {i} undetected");
+        }
+    }
+
+    #[test]
+    fn trailing_bits_processed() {
+        let engine = crc31();
+        let mut a = BitBuf::zeros(543);
+        let mut b = BitBuf::zeros(543);
+        a.set(542, true);
+        assert_ne!(engine.checksum_bits(&a), engine.checksum_bits(&b));
+        b.set(542, true);
+        assert_eq!(engine.checksum_bits(&a), engine.checksum_bits(&b));
+    }
+
+    #[test]
+    fn width_mask_respected() {
+        let engine = crc31();
+        let data: Vec<u8> = (0..200u32).map(|i| (i * 31) as u8).collect();
+        let c = engine.checksum_bytes(&data);
+        assert!(c < (1 << 31));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn zero_width_rejected() {
+        CrcEngine::new(CrcSpec { width: 0, poly: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in the register")]
+    fn oversized_poly_rejected() {
+        CrcEngine::new(CrcSpec {
+            width: 8,
+            poly: 0x1FF,
+        });
+    }
+}

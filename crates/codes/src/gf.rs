@@ -1,0 +1,319 @@
+//! Arithmetic in the finite fields GF(2^m), the substrate for the BCH
+//! multi-bit ECC baselines (ECC-2 … ECC-6, Hi-ECC).
+//!
+//! The paper's strongest baseline is ECC-6 per 64-byte line (60 check bits,
+//! paper §II-D), which is a t=6 binary BCH code over GF(2¹⁰); the Hi-ECC
+//! baseline (§VIII-C) applies ECC-6 over 1-KB regions and therefore needs
+//! GF(2¹⁴). Elements are represented as integers in `0..2^m`, with
+//! multiplication via logarithm/antilogarithm tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors constructing a field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GfError {
+    /// The extension degree is outside the supported range (2..=16).
+    UnsupportedDegree(u32),
+    /// The supplied polynomial is not primitive over GF(2).
+    NotPrimitive(u32),
+}
+
+impl fmt::Display for GfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfError::UnsupportedDegree(m) => write!(f, "unsupported field degree {m}"),
+            GfError::NotPrimitive(p) => write!(f, "polynomial {p:#x} is not primitive"),
+        }
+    }
+}
+
+impl std::error::Error for GfError {}
+
+/// Log/antilog tables for GF(2^m).
+///
+/// # Examples
+///
+/// ```
+/// use sudoku_codes::GfTables;
+///
+/// let gf = GfTables::primitive(10).expect("GF(2^10) exists");
+/// let a = 0x155;
+/// let b = 0x2aa;
+/// // Multiplication distributes over field addition (XOR).
+/// assert_eq!(gf.mul(a, b ^ 1) ^ gf.mul(a, 1), gf.mul(a, b));
+/// assert_eq!(gf.mul(a, gf.inv(a)), 1);
+/// ```
+#[derive(Clone)]
+pub struct GfTables {
+    m: u32,
+    /// 2^m - 1, the multiplicative order.
+    order: u32,
+    poly: u32,
+    /// exp[i] = α^i for i in 0..2*order (doubled to skip a modulo).
+    exp: Vec<u16>,
+    /// log[a] = i such that α^i = a, for a in 1..2^m; log[0] unused.
+    log: Vec<u16>,
+}
+
+impl fmt::Debug for GfTables {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GfTables(m={}, poly={:#x})", self.m, self.poly)
+    }
+}
+
+impl GfTables {
+    /// Builds tables from an explicit primitive polynomial.
+    ///
+    /// The polynomial includes the leading term: e.g. GF(2¹⁰) with
+    /// x¹⁰ + x³ + 1 is `0b100_0000_1001` = 0x409.
+    ///
+    /// # Errors
+    ///
+    /// [`GfError::UnsupportedDegree`] if `m` is outside 2..=16;
+    /// [`GfError::NotPrimitive`] if the polynomial's root does not generate
+    /// the whole multiplicative group.
+    pub fn new(m: u32, poly: u32) -> Result<Self, GfError> {
+        if !(2..=16).contains(&m) {
+            return Err(GfError::UnsupportedDegree(m));
+        }
+        let size = 1u32 << m;
+        let order = size - 1;
+        let mut exp = vec![0u16; 2 * order as usize];
+        let mut log = vec![0u16; size as usize];
+        let mut x = 1u32;
+        for i in 0..order {
+            if x == 1 && i != 0 {
+                // α's order divides i < 2^m - 1: not primitive.
+                return Err(GfError::NotPrimitive(poly));
+            }
+            exp[i as usize] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & size != 0 {
+                x ^= poly;
+            }
+        }
+        if x != 1 {
+            return Err(GfError::NotPrimitive(poly));
+        }
+        for i in 0..order as usize {
+            exp[order as usize + i] = exp[i];
+        }
+        Ok(GfTables {
+            m,
+            order,
+            poly,
+            exp,
+            log,
+        })
+    }
+
+    /// Builds GF(2^m) using the lexicographically smallest primitive
+    /// polynomial of degree `m` (found by search, then validated).
+    ///
+    /// # Errors
+    ///
+    /// [`GfError::UnsupportedDegree`] if `m` is outside 2..=16.
+    pub fn primitive(m: u32) -> Result<Self, GfError> {
+        if !(2..=16).contains(&m) {
+            return Err(GfError::UnsupportedDegree(m));
+        }
+        let lead = 1u32 << m;
+        for low in 1..lead {
+            // Primitive polynomials have a non-zero constant term and odd
+            // weight is not required, but the constant term is.
+            if low & 1 == 0 {
+                continue;
+            }
+            if let Ok(tables) = GfTables::new(m, lead | low) {
+                return Ok(tables);
+            }
+        }
+        unreachable!("a primitive polynomial exists for every degree")
+    }
+
+    /// Field degree m.
+    pub fn degree(&self) -> u32 {
+        self.m
+    }
+
+    /// Multiplicative group order, 2^m − 1.
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// The primitive polynomial in use (including the leading term).
+    pub fn polynomial(&self) -> u32 {
+        self.poly
+    }
+
+    /// α^i for any exponent (reduced mod 2^m − 1).
+    #[inline]
+    pub fn alpha_pow(&self, i: u64) -> u16 {
+        self.exp[(i % self.order as u64) as usize]
+    }
+
+    /// Discrete log of a non-zero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[inline]
+    pub fn log(&self, a: u16) -> u32 {
+        assert!(a != 0, "zero has no discrete logarithm");
+        self.log[a as usize] as u32
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[inline]
+    pub fn inv(&self, a: u16) -> u16 {
+        assert!(a != 0, "zero is not invertible");
+        self.exp[(self.order - self.log[a as usize] as u32) as usize % self.order as usize]
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        assert!(b != 0, "division by zero");
+        if a == 0 {
+            return 0;
+        }
+        let la = self.log[a as usize] as u32;
+        let lb = self.log[b as usize] as u32;
+        self.exp[((la + self.order - lb) % self.order) as usize]
+    }
+
+    /// `a` raised to the integer power `k`.
+    #[inline]
+    pub fn pow(&self, a: u16, k: u64) -> u16 {
+        if a == 0 {
+            return if k == 0 { 1 } else { 0 };
+        }
+        let la = self.log[a as usize] as u64;
+        self.exp[((la * k) % self.order as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_primitive_poly_gf10_accepted() {
+        // x^10 + x^3 + 1 is a standard primitive polynomial for GF(2^10).
+        let gf = GfTables::new(10, 0x409).expect("0x409 is primitive");
+        assert_eq!(gf.order(), 1023);
+    }
+
+    #[test]
+    fn non_primitive_poly_rejected() {
+        // x^4 + 1 = (x+1)^4 is not even irreducible.
+        assert!(matches!(
+            GfTables::new(4, 0x11),
+            Err(GfError::NotPrimitive(0x11))
+        ));
+    }
+
+    #[test]
+    fn primitive_search_works_for_all_supported_degrees() {
+        for m in 2..=14 {
+            let gf = GfTables::primitive(m).expect("primitive poly exists");
+            assert_eq!(gf.order(), (1 << m) - 1);
+            // α generates the group: α^(order) == 1 and α^k != 1 for k < order
+            // (guaranteed by construction; spot check a few).
+            assert_eq!(gf.alpha_pow(gf.order() as u64), 1);
+            assert_ne!(gf.alpha_pow(1), 1);
+        }
+    }
+
+    #[test]
+    fn mul_inverse_identity() {
+        let gf = GfTables::primitive(8).unwrap();
+        for a in 1..=255u16 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn mul_commutative_and_associative_sample() {
+        let gf = GfTables::primitive(10).unwrap();
+        let xs = [1u16, 2, 3, 0x155, 0x2aa, 0x3ff, 513];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(gf.mul(a, b), gf.mul(b, a));
+                for &c in &xs {
+                    assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributes_over_xor() {
+        let gf = GfTables::primitive(10).unwrap();
+        for a in [3u16, 97, 1000] {
+            for b in [5u16, 200, 768] {
+                for c in [1u16, 511, 1023] {
+                    assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let gf = GfTables::primitive(10).unwrap();
+        let a = 0x155;
+        let mut acc = 1u16;
+        for k in 0..30u64 {
+            assert_eq!(gf.pow(a, k), acc);
+            acc = gf.mul(acc, a);
+        }
+    }
+
+    #[test]
+    fn div_is_mul_by_inverse() {
+        let gf = GfTables::primitive(9).unwrap();
+        for a in [0u16, 1, 100, 300] {
+            for b in [1u16, 7, 450] {
+                assert_eq!(gf.div(a, b), gf.mul(a, gf.inv(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_degree_rejected() {
+        assert!(matches!(
+            GfTables::primitive(1),
+            Err(GfError::UnsupportedDegree(1))
+        ));
+        assert!(matches!(
+            GfTables::primitive(17),
+            Err(GfError::UnsupportedDegree(17))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "not invertible")]
+    fn zero_inverse_panics() {
+        GfTables::primitive(4).unwrap().inv(0);
+    }
+}

@@ -1,0 +1,481 @@
+//! Single-error-correcting (SEC) Hamming code — the "ECC-1" of the paper.
+//!
+//! SuDoku equips every line with ECC-1 because at a BER of 5.3×10⁻⁶ the
+//! overwhelmingly common fault case is a single flipped bit (paper §II-E).
+//! For the 543-bit payload (512 data + 31 CRC) the code needs 10 check bits
+//! (2¹⁰ ≥ 543 + 10 + 1), which matches the paper's "10 bits per line"
+//! overhead, and encodes/decodes with trivial XOR trees (single-cycle in
+//! hardware).
+//!
+//! The implementation is positionally faithful: check bits sit at
+//! power-of-two codeword positions, so multi-bit errors can *miscorrect*
+//! (the syndrome points at an innocent bit) exactly as real Hamming hardware
+//! would. SuDoku detects those miscorrections with the per-line CRC
+//! (paper §III-E) — preserving this behaviour is essential for the SDC
+//! analysis of Table III.
+
+use crate::bits::BitBuf;
+use serde::{Deserialize, Serialize};
+
+/// Result of a Hamming decode attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HammingOutcome {
+    /// Zero syndrome: the codeword is consistent (no error, or an undetected
+    /// even-weight pattern aligned with the code space).
+    Clean,
+    /// The syndrome pointed at a payload bit, which was flipped. For a true
+    /// single-bit error this is a real correction; for multi-bit errors it
+    /// may be a miscorrection (caller must re-validate with the CRC).
+    CorrectedPayload(usize),
+    /// The syndrome pointed at one of the check bits; the payload is intact.
+    CorrectedCheck(u32),
+    /// The syndrome pointed outside the codeword: definitely a multi-bit
+    /// error, no correction applied.
+    Invalid,
+}
+
+/// A SEC Hamming code over a fixed payload length.
+///
+/// # Examples
+///
+/// ```
+/// use sudoku_codes::{BitBuf, HammingSec, HammingOutcome};
+///
+/// let code = HammingSec::new(543);
+/// assert_eq!(code.check_bits(), 10);
+/// let mut payload = BitBuf::zeros(543);
+/// payload.set(42, true);
+/// let check = code.encode(&payload);
+/// payload.flip(100); // inject a single-bit error
+/// let outcome = code.decode(&mut payload, check);
+/// assert_eq!(outcome, HammingOutcome::CorrectedPayload(100));
+/// assert!(payload.get(42) && !payload.get(100));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HammingSec {
+    payload_bits: usize,
+    check_bits: u32,
+    /// Total codeword length (payload + check bits).
+    n: usize,
+    /// 1-based codeword position of payload bit `i` (non-powers-of-two).
+    payload_pos: Vec<u32>,
+    /// Map from 1-based codeword position to payload index
+    /// (`u32::MAX` marks check-bit positions).
+    pos_to_payload: Vec<u32>,
+}
+
+impl HammingSec {
+    /// Builds the code for a payload of `payload_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload_bits` is 0 or would need more than 30 check bits.
+    pub fn new(payload_bits: usize) -> Self {
+        assert!(payload_bits > 0, "payload must be non-empty");
+        let mut r = 2u32;
+        while (1usize << r) < payload_bits + r as usize + 1 {
+            r += 1;
+            assert!(r <= 30, "payload too large for SEC Hamming");
+        }
+        let n = payload_bits + r as usize;
+        let mut payload_pos = Vec::with_capacity(payload_bits);
+        let mut pos_to_payload = vec![u32::MAX; n + 1];
+        let mut idx = 0u32;
+        for pos in 1..=n as u32 {
+            if pos.is_power_of_two() {
+                continue;
+            }
+            payload_pos.push(pos);
+            pos_to_payload[pos as usize] = idx;
+            idx += 1;
+        }
+        debug_assert_eq!(payload_pos.len(), payload_bits);
+        HammingSec {
+            payload_bits,
+            check_bits: r,
+            n,
+            payload_pos,
+            pos_to_payload,
+        }
+    }
+
+    /// Payload length in bits.
+    pub fn payload_bits(&self) -> usize {
+        self.payload_bits
+    }
+
+    /// Number of check bits (e.g. 10 for the 543-bit SuDoku payload).
+    pub fn check_bits(&self) -> u32 {
+        self.check_bits
+    }
+
+    /// Total codeword length in bits.
+    pub fn codeword_bits(&self) -> usize {
+        self.n
+    }
+
+    fn payload_signature(&self, payload: &BitBuf) -> u32 {
+        debug_assert_eq!(payload.len(), self.payload_bits);
+        let mut sig = 0u32;
+        for pos in payload.ones() {
+            sig ^= self.payload_pos[pos];
+        }
+        sig
+    }
+
+    /// Computes the check bits for `payload`.
+    ///
+    /// Check bit `j` is the parity of all payload positions whose 1-based
+    /// codeword index has bit `j` set — returned packed, bit `j` of the
+    /// result corresponding to the check bit at codeword position `2^j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload.len() != self.payload_bits()`.
+    pub fn encode(&self, payload: &BitBuf) -> u32 {
+        assert_eq!(
+            payload.len(),
+            self.payload_bits,
+            "payload length must match the code"
+        );
+        self.payload_signature(payload)
+    }
+
+    /// Computes the syndrome of a received (payload, check) pair without
+    /// modifying anything. Zero means consistent.
+    pub fn syndrome(&self, payload: &BitBuf, check: u32) -> u32 {
+        let mut s = self.payload_signature(payload);
+        for j in 0..self.check_bits {
+            if (check >> j) & 1 == 1 {
+                s ^= 1 << j;
+            }
+        }
+        s
+    }
+
+    /// Attempts single-error correction in place.
+    ///
+    /// On [`HammingOutcome::CorrectedPayload`] the payload bit has been
+    /// flipped; the caller is responsible for re-validating with a stronger
+    /// detection code (the per-line CRC in SuDoku), because a multi-bit
+    /// error can masquerade as a correctable single-bit error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload.len() != self.payload_bits()`.
+    pub fn decode(&self, payload: &mut BitBuf, check: u32) -> HammingOutcome {
+        assert_eq!(
+            payload.len(),
+            self.payload_bits,
+            "payload length must match the code"
+        );
+        let s = self.syndrome(payload, check);
+        if s == 0 {
+            return HammingOutcome::Clean;
+        }
+        let pos = s as usize;
+        if pos > self.n {
+            return HammingOutcome::Invalid;
+        }
+        if s.is_power_of_two() {
+            return HammingOutcome::CorrectedCheck(s.trailing_zeros());
+        }
+        let idx = self.pos_to_payload[pos] as usize;
+        payload.flip(idx);
+        HammingOutcome::CorrectedPayload(idx)
+    }
+}
+
+/// Result of a SEC-DED decode attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SecDedOutcome {
+    /// No error detected.
+    Clean,
+    /// A single error was corrected at this payload index (or in the check
+    /// bits, reported as `None`).
+    Corrected(Option<usize>),
+    /// A double error was *detected* — uncorrectable but never
+    /// miscorrected, the property plain SEC lacks.
+    DoubleDetected,
+    /// An error pattern beyond the code's guarantees (≥3 errors with odd
+    /// parity may land here or miscorrect, as in real hardware).
+    Invalid,
+}
+
+/// Extended Hamming (SEC-DED): [`HammingSec`] plus an overall parity bit.
+///
+/// Not used by SuDoku itself — the per-line CRC-31 already provides far
+/// stronger detection — but included for completeness of the code library
+/// and for the detection-strength ablations: SEC-DED is what conventional
+/// caches deploy, and its inability to *locate* double errors is exactly
+/// why SuDoku pairs SEC with CRC + parity groups instead.
+///
+/// # Examples
+///
+/// ```
+/// use sudoku_codes::{BitBuf, HammingSecDed, SecDedOutcome};
+///
+/// let code = HammingSecDed::new(64);
+/// let mut payload = BitBuf::zeros(64);
+/// payload.set(3, true);
+/// let check = code.encode(&payload);
+/// payload.flip(10);
+/// payload.flip(20);
+/// // A double error is detected, not miscorrected.
+/// assert_eq!(code.decode(&mut payload, check), SecDedOutcome::DoubleDetected);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HammingSecDed {
+    inner: HammingSec,
+}
+
+impl HammingSecDed {
+    /// Builds the extended code for a payload of `payload_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panics of [`HammingSec::new`].
+    pub fn new(payload_bits: usize) -> Self {
+        HammingSecDed {
+            inner: HammingSec::new(payload_bits),
+        }
+    }
+
+    /// Check bits including the overall parity bit.
+    pub fn check_bits(&self) -> u32 {
+        self.inner.check_bits() + 1
+    }
+
+    fn overall_parity(&self, payload: &BitBuf, check_no_p: u32) -> u32 {
+        (payload.count_ones() + check_no_p.count_ones()) & 1
+    }
+
+    /// Computes the check word: the SEC check bits with the overall parity
+    /// packed into the top bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload length does not match the code.
+    pub fn encode(&self, payload: &BitBuf) -> u32 {
+        let check = self.inner.encode(payload);
+        let p = self.overall_parity(payload, check);
+        check | (p << self.inner.check_bits())
+    }
+
+    /// Decodes in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload length does not match the code.
+    pub fn decode(&self, payload: &mut BitBuf, check: u32) -> SecDedOutcome {
+        let r = self.inner.check_bits();
+        let stored_p = (check >> r) & 1;
+        let check_no_p = check & ((1 << r) - 1);
+        let syndrome = self.inner.syndrome(payload, check_no_p);
+        let parity_mismatch = self.overall_parity(payload, check_no_p) != stored_p;
+        match (syndrome == 0, parity_mismatch) {
+            (true, false) => SecDedOutcome::Clean,
+            (true, true) => SecDedOutcome::Corrected(None), // overall parity bit itself
+            (false, false) => SecDedOutcome::DoubleDetected,
+            (false, true) => match self.inner.decode(payload, check_no_p) {
+                HammingOutcome::CorrectedPayload(idx) => SecDedOutcome::Corrected(Some(idx)),
+                HammingOutcome::CorrectedCheck(_) => SecDedOutcome::Corrected(None),
+                HammingOutcome::Clean | HammingOutcome::Invalid => SecDedOutcome::Invalid,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled_payload(len: usize, seed: u64) -> BitBuf {
+        let mut buf = BitBuf::zeros(len);
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for i in 0..len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x & 1 == 1 {
+                buf.set(i, true);
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn check_bit_count_matches_paper() {
+        // 543-bit payload (512 data + 31 CRC) needs exactly 10 check bits.
+        let code = HammingSec::new(543);
+        assert_eq!(code.check_bits(), 10);
+        assert_eq!(code.codeword_bits(), 553);
+    }
+
+    #[test]
+    fn clean_codeword_decodes_clean() {
+        let code = HammingSec::new(543);
+        let mut payload = filled_payload(543, 7);
+        let check = code.encode(&payload);
+        let before = payload.clone();
+        assert_eq!(code.decode(&mut payload, check), HammingOutcome::Clean);
+        assert_eq!(payload, before);
+    }
+
+    #[test]
+    fn corrects_every_single_payload_error() {
+        let code = HammingSec::new(64);
+        let golden = filled_payload(64, 42);
+        let check = code.encode(&golden);
+        for i in 0..64 {
+            let mut payload = golden.clone();
+            payload.flip(i);
+            let outcome = code.decode(&mut payload, check);
+            assert_eq!(outcome, HammingOutcome::CorrectedPayload(i));
+            assert_eq!(payload, golden);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_check_bit_error() {
+        let code = HammingSec::new(64);
+        let mut payload = filled_payload(64, 9);
+        let check = code.encode(&payload);
+        let before = payload.clone();
+        for j in 0..code.check_bits() {
+            let corrupted = check ^ (1 << j);
+            let outcome = code.decode(&mut payload, corrupted);
+            assert_eq!(outcome, HammingOutcome::CorrectedCheck(j));
+            assert_eq!(payload, before);
+        }
+    }
+
+    #[test]
+    fn double_errors_never_silently_pass() {
+        // A SEC code cannot *correct* double errors, but its syndrome is
+        // always non-zero for them (minimum distance 3).
+        let code = HammingSec::new(128);
+        let golden = filled_payload(128, 3);
+        let check = code.encode(&golden);
+        for a in (0..128).step_by(7) {
+            for b in (a + 1..128).step_by(11) {
+                let mut payload = golden.clone();
+                payload.flip(a);
+                payload.flip(b);
+                assert_ne!(code.syndrome(&payload, check), 0, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn double_errors_can_miscorrect() {
+        // Faithfulness check: there exists a double error that the decoder
+        // "fixes" by flipping a third, innocent bit. The CRC layer above is
+        // what catches these in SuDoku.
+        let code = HammingSec::new(543);
+        let golden = filled_payload(543, 1);
+        let check = code.encode(&golden);
+        let mut found_miscorrection = false;
+        'outer: for a in 0..40 {
+            for b in a + 1..40 {
+                let mut payload = golden.clone();
+                payload.flip(a);
+                payload.flip(b);
+                if let HammingOutcome::CorrectedPayload(idx) = code.decode(&mut payload, check) {
+                    if idx != a && idx != b {
+                        found_miscorrection = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found_miscorrection, "expected at least one miscorrection");
+    }
+
+    #[test]
+    fn syndrome_zero_iff_consistent() {
+        let code = HammingSec::new(100);
+        let payload = filled_payload(100, 77);
+        let check = code.encode(&payload);
+        assert_eq!(code.syndrome(&payload, check), 0);
+        assert_ne!(code.syndrome(&payload, check ^ 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn wrong_payload_length_panics() {
+        let code = HammingSec::new(100);
+        let payload = BitBuf::zeros(99);
+        code.encode(&payload);
+    }
+
+    #[test]
+    fn secded_corrects_singles_everywhere() {
+        let code = HammingSecDed::new(64);
+        let golden = filled_payload(64, 4);
+        let check = code.encode(&golden);
+        for i in 0..64 {
+            let mut payload = golden.clone();
+            payload.flip(i);
+            assert_eq!(
+                code.decode(&mut payload, check),
+                SecDedOutcome::Corrected(Some(i))
+            );
+            assert_eq!(payload, golden);
+        }
+    }
+
+    #[test]
+    fn secded_detects_every_double_without_miscorrection() {
+        let code = HammingSecDed::new(64);
+        let golden = filled_payload(64, 8);
+        let check = code.encode(&golden);
+        for a in 0..64 {
+            for b in (a + 1)..64 {
+                let mut payload = golden.clone();
+                payload.flip(a);
+                payload.flip(b);
+                let before = payload.clone();
+                assert_eq!(
+                    code.decode(&mut payload, check),
+                    SecDedOutcome::DoubleDetected,
+                    "({a},{b})"
+                );
+                assert_eq!(payload, before, "DED must not touch the payload");
+            }
+        }
+    }
+
+    #[test]
+    fn secded_check_bit_faults_handled() {
+        let code = HammingSecDed::new(64);
+        let golden = filled_payload(64, 12);
+        let check = code.encode(&golden);
+        for j in 0..code.check_bits() {
+            let mut payload = golden.clone();
+            let outcome = code.decode(&mut payload, check ^ (1 << j));
+            assert!(
+                matches!(outcome, SecDedOutcome::Corrected(None)),
+                "check bit {j}: {outcome:?}"
+            );
+            assert_eq!(payload, golden);
+        }
+    }
+
+    #[test]
+    fn secded_has_one_more_check_bit_than_sec() {
+        assert_eq!(HammingSecDed::new(543).check_bits(), 11);
+    }
+
+    #[test]
+    fn small_codes_have_classic_parameters() {
+        // (7,4) Hamming: 4 payload bits, 3 check bits.
+        let code = HammingSec::new(4);
+        assert_eq!(code.check_bits(), 3);
+        assert_eq!(code.codeword_bits(), 7);
+        // (15,11): 11 payload bits, 4 check bits.
+        let code = HammingSec::new(11);
+        assert_eq!(code.check_bits(), 4);
+        assert_eq!(code.codeword_bits(), 15);
+    }
+}

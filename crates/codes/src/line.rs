@@ -1,0 +1,457 @@
+//! The SuDoku per-line codec: a 512-bit data payload protected by CRC-31
+//! (detection) and ECC-1 (Hamming SEC correction).
+//!
+//! Per paper §III-E the CRC is computed over the data, and the ECC is
+//! computed over CRC *and* data, so that ECC-1 can repair a single fault in
+//! either field, and so that an ECC miscorrection is caught by the CRC
+//! recheck. The stored line is therefore 553 bits:
+//!
+//! ```text
+//! bit 0..512    data
+//! bit 512..543  CRC-31 (over data)
+//! bit 543..553  ECC-1 check bits (Hamming SEC over data‖CRC)
+//! ```
+//!
+//! Storage overhead: 41 bits per line, vs 60 for ECC-6 (paper §VII-H counts
+//! 43 with the amortized 2 bits of PLT parity storage).
+
+use crate::bits::{BitBuf, LineData, LINE_BITS};
+use crate::crc::{crc31, CrcEngine};
+use crate::hamming::{HammingOutcome, HammingSec};
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Data bits per line.
+pub const DATA_BITS: usize = LINE_BITS;
+/// CRC field width.
+pub const CRC_BITS: usize = 31;
+/// ECC-1 (Hamming SEC) check bits over the 543-bit payload.
+pub const ECC_BITS: usize = 10;
+/// Total stored bits per SuDoku line.
+pub const TOTAL_BITS: usize = DATA_BITS + CRC_BITS + ECC_BITS;
+
+/// A stored SuDoku cache line: data plus CRC-31 plus ECC-1 metadata.
+///
+/// All 553 stored bits are addressable (and fault-injectable) through
+/// [`ProtectedLine::bit`] / [`ProtectedLine::flip_bit`]; the XOR operations
+/// act on the full codeword, which is what the RAID-4 parity lines store.
+///
+/// # Examples
+///
+/// ```
+/// use sudoku_codes::{LineCodec, LineData};
+///
+/// let codec = LineCodec::shared();
+/// let mut data = LineData::zero();
+/// data.set_bit(9, true);
+/// let line = codec.encode(&data);
+/// assert!(codec.validate(&line));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ProtectedLine {
+    /// The 512 data bits.
+    pub data: LineData,
+    /// The 31 CRC bits (low 31 bits used).
+    pub crc: u32,
+    /// The 10 ECC-1 check bits (low 10 bits used).
+    pub ecc: u16,
+}
+
+impl ProtectedLine {
+    /// The all-zero codeword (valid: zero data has zero CRC and zero ECC).
+    pub fn zero() -> Self {
+        ProtectedLine::default()
+    }
+
+    /// Reads stored bit `i` (0..553, spanning data, CRC, ECC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 553`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        if i < DATA_BITS {
+            self.data.bit(i)
+        } else if i < DATA_BITS + CRC_BITS {
+            (self.crc >> (i - DATA_BITS)) & 1 == 1
+        } else if i < TOTAL_BITS {
+            (self.ecc >> (i - DATA_BITS - CRC_BITS)) & 1 == 1
+        } else {
+            panic!("stored-bit index {i} out of range");
+        }
+    }
+
+    /// Flips stored bit `i` (0..553).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 553`.
+    #[inline]
+    pub fn flip_bit(&mut self, i: usize) {
+        if i < DATA_BITS {
+            self.data.flip_bit(i);
+        } else if i < DATA_BITS + CRC_BITS {
+            self.crc ^= 1 << (i - DATA_BITS);
+        } else if i < TOTAL_BITS {
+            self.ecc ^= 1 << (i - DATA_BITS - CRC_BITS);
+        } else {
+            panic!("stored-bit index {i} out of range");
+        }
+    }
+
+    /// XORs another stored line into this one (all 553 bits).
+    ///
+    /// Because CRC and Hamming are linear, the XOR of valid codewords is a
+    /// valid codeword — the property RAID-4 parity lines rely on.
+    #[inline]
+    pub fn xor_assign(&mut self, other: &ProtectedLine) {
+        self.data.xor_assign(&other.data);
+        self.crc ^= other.crc;
+        self.ecc ^= other.ecc;
+    }
+
+    /// Returns the XOR of two stored lines.
+    #[inline]
+    pub fn xor(&self, other: &ProtectedLine) -> ProtectedLine {
+        let mut out = *self;
+        out.xor_assign(other);
+        out
+    }
+
+    /// Stored-bit positions at which two lines differ, ascending.
+    pub fn diff_positions(&self, other: &ProtectedLine) -> Vec<usize> {
+        let mut out = self.data.diff_positions(&other.data);
+        let mut crc_diff = self.crc ^ other.crc;
+        while crc_diff != 0 {
+            out.push(DATA_BITS + crc_diff.trailing_zeros() as usize);
+            crc_diff &= crc_diff - 1;
+        }
+        let mut ecc_diff = self.ecc ^ other.ecc;
+        while ecc_diff != 0 {
+            out.push(DATA_BITS + CRC_BITS + ecc_diff.trailing_zeros() as usize);
+            ecc_diff &= ecc_diff - 1;
+        }
+        out
+    }
+
+    /// Whether every stored bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.is_zero() && self.crc == 0 && self.ecc == 0
+    }
+
+    /// Number of set stored bits.
+    pub fn count_ones(&self) -> u32 {
+        self.data.count_ones() + self.crc.count_ones() + self.ecc.count_ones()
+    }
+}
+
+/// How a single-fault repair fixed a line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RepairKind {
+    /// A data or CRC bit at this stored-bit position was flipped back.
+    PayloadBit(usize),
+    /// The ECC field itself was faulty and was regenerated.
+    EccField,
+}
+
+/// Classification of a stored line by the read path (paper §III-B/C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadCheck {
+    /// CRC syndrome is zero: the line is served as-is.
+    Clean,
+    /// ECC-1 repaired a single fault and the CRC re-check passed.
+    Corrected {
+        /// The repaired stored line (write it back).
+        repaired: ProtectedLine,
+        /// What was repaired.
+        kind: RepairKind,
+    },
+    /// ECC-1 could not produce a CRC-consistent line: multi-bit error,
+    /// escalate to RAID-4 / SDR / skewed-hash recovery.
+    MultiBit,
+}
+
+/// The shared per-line encoder/decoder.
+///
+/// Construction precomputes the Hamming position tables; use
+/// [`LineCodec::shared`] to reuse a single instance process-wide.
+#[derive(Debug, Clone)]
+pub struct LineCodec {
+    crc: &'static CrcEngine,
+    hamming: HammingSec,
+}
+
+impl Default for LineCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LineCodec {
+    /// Builds a codec (CRC-31 + Hamming SEC over 543 bits).
+    pub fn new() -> Self {
+        LineCodec {
+            crc: crc31(),
+            hamming: HammingSec::new(DATA_BITS + CRC_BITS),
+        }
+    }
+
+    /// Process-wide shared codec instance.
+    pub fn shared() -> &'static LineCodec {
+        static CODEC: OnceLock<LineCodec> = OnceLock::new();
+        CODEC.get_or_init(LineCodec::new)
+    }
+
+    fn payload_of(data: &LineData, crc: u32) -> BitBuf {
+        let mut payload = BitBuf::zeros(DATA_BITS + CRC_BITS);
+        for i in 0..DATA_BITS {
+            if data.bit(i) {
+                payload.set(i, true);
+            }
+        }
+        for j in 0..CRC_BITS {
+            if (crc >> j) & 1 == 1 {
+                payload.set(DATA_BITS + j, true);
+            }
+        }
+        payload
+    }
+
+    fn payload_to_line(payload: &BitBuf) -> (LineData, u32) {
+        let mut data = LineData::zero();
+        for i in 0..DATA_BITS {
+            if payload.get(i) {
+                data.set_bit(i, true);
+            }
+        }
+        let mut crc = 0u32;
+        for j in 0..CRC_BITS {
+            if payload.get(DATA_BITS + j) {
+                crc |= 1 << j;
+            }
+        }
+        (data, crc)
+    }
+
+    /// Encodes a data payload into a stored line (CRC over data, then ECC
+    /// over data‖CRC, per paper §III-E).
+    pub fn encode(&self, data: &LineData) -> ProtectedLine {
+        let crc = self.crc.checksum_line(data) as u32;
+        let payload = Self::payload_of(data, crc);
+        let ecc = self.hamming.encode(&payload) as u16;
+        ProtectedLine {
+            data: *data,
+            crc,
+            ecc,
+        }
+    }
+
+    /// Whether the stored CRC matches the data (the one-cycle read check).
+    #[inline]
+    pub fn crc_ok(&self, line: &ProtectedLine) -> bool {
+        self.crc.checksum_line(&line.data) as u32 == line.crc
+    }
+
+    /// Full consistency: CRC matches *and* the ECC field is consistent.
+    /// Used by the scrubber (which repairs metadata too) and by tests.
+    pub fn validate(&self, line: &ProtectedLine) -> bool {
+        if !self.crc_ok(line) {
+            return false;
+        }
+        let payload = Self::payload_of(&line.data, line.crc);
+        self.hamming.syndrome(&payload, line.ecc as u32) == 0
+    }
+
+    /// The read-path check (paper §III-B/C): CRC syndrome, then ECC-1
+    /// repair attempt, then CRC re-check.
+    ///
+    /// Note: per the paper, a clean CRC short-circuits — a latent fault in
+    /// the ECC field is *not* noticed by reads (the scrub path,
+    /// [`LineCodec::scrub_check`], handles it).
+    pub fn read_check(&self, line: &ProtectedLine) -> ReadCheck {
+        if self.crc_ok(line) {
+            return ReadCheck::Clean;
+        }
+        self.try_ecc1_repair(line)
+    }
+
+    /// The scrub-path check: like [`LineCodec::read_check`], but a line
+    /// whose data+CRC are clean while the ECC field is inconsistent gets
+    /// its ECC field regenerated (the scrubber trusts CRC-validated data).
+    pub fn scrub_check(&self, line: &ProtectedLine) -> ReadCheck {
+        if self.crc_ok(line) {
+            let payload = Self::payload_of(&line.data, line.crc);
+            if self.hamming.syndrome(&payload, line.ecc as u32) == 0 {
+                return ReadCheck::Clean;
+            }
+            let repaired = ProtectedLine {
+                data: line.data,
+                crc: line.crc,
+                ecc: self.hamming.encode(&payload) as u16,
+            };
+            return ReadCheck::Corrected {
+                repaired,
+                kind: RepairKind::EccField,
+            };
+        }
+        self.try_ecc1_repair(line)
+    }
+
+    fn try_ecc1_repair(&self, line: &ProtectedLine) -> ReadCheck {
+        let mut payload = Self::payload_of(&line.data, line.crc);
+        match self.hamming.decode(&mut payload, line.ecc as u32) {
+            HammingOutcome::CorrectedPayload(idx) => {
+                let (data, crc) = Self::payload_to_line(&payload);
+                let candidate = ProtectedLine {
+                    data,
+                    crc,
+                    ecc: line.ecc,
+                };
+                if self.crc_ok(&candidate) {
+                    ReadCheck::Corrected {
+                        repaired: candidate,
+                        kind: RepairKind::PayloadBit(idx),
+                    }
+                } else {
+                    // ECC-1 miscorrected (the fault was multi-bit); the CRC
+                    // recheck caught it, exactly as §III-E intends.
+                    ReadCheck::MultiBit
+                }
+            }
+            // CRC says faulty but Hamming blames its own check bits or sees
+            // nothing/invalid: more than one fault. Escalate.
+            HammingOutcome::CorrectedCheck(_) | HammingOutcome::Clean | HammingOutcome::Invalid => {
+                ReadCheck::MultiBit
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(seed: u64) -> LineData {
+        let mut data = LineData::zero();
+        let mut x = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        for i in 0..DATA_BITS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x & 1 == 1 {
+                data.set_bit(i, true);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn total_bits_is_553() {
+        assert_eq!(TOTAL_BITS, 553);
+    }
+
+    #[test]
+    fn encode_validate_roundtrip() {
+        let codec = LineCodec::shared();
+        let line = codec.encode(&sample_data(1));
+        assert!(codec.validate(&line));
+        assert_eq!(codec.read_check(&line), ReadCheck::Clean);
+    }
+
+    #[test]
+    fn every_single_bit_fault_is_repaired() {
+        let codec = LineCodec::shared();
+        let golden = codec.encode(&sample_data(2));
+        for i in 0..TOTAL_BITS {
+            let mut line = golden;
+            line.flip_bit(i);
+            match codec.scrub_check(&line) {
+                ReadCheck::Clean => {
+                    // Only reachable for ECC-field faults on the read path;
+                    // the scrub path must not report Clean for any flip.
+                    panic!("bit {i}: scrub_check returned Clean on a faulty line");
+                }
+                ReadCheck::Corrected { repaired, .. } => {
+                    assert_eq!(repaired, golden, "bit {i} repaired incorrectly");
+                }
+                ReadCheck::MultiBit => panic!("bit {i}: single fault deemed multi-bit"),
+            }
+        }
+    }
+
+    #[test]
+    fn read_path_ignores_ecc_field_faults() {
+        // Per §III-B the read check is the CRC syndrome only.
+        let codec = LineCodec::shared();
+        let golden = codec.encode(&sample_data(3));
+        let mut line = golden;
+        line.flip_bit(TOTAL_BITS - 1); // an ECC-field bit
+        assert_eq!(codec.read_check(&line), ReadCheck::Clean);
+        // The scrubber regenerates it.
+        match codec.scrub_check(&line) {
+            ReadCheck::Corrected {
+                repaired,
+                kind: RepairKind::EccField,
+            } => assert_eq!(repaired, golden),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_faults_are_flagged_multibit() {
+        let codec = LineCodec::shared();
+        let golden = codec.encode(&sample_data(4));
+        for (a, b) in [(0usize, 1usize), (10, 300), (511, 512), (100, 542)] {
+            let mut line = golden;
+            line.flip_bit(a);
+            line.flip_bit(b);
+            assert_eq!(
+                codec.read_check(&line),
+                ReadCheck::MultiBit,
+                "faults at {a},{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_of_valid_codewords_is_valid() {
+        let codec = LineCodec::shared();
+        let a = codec.encode(&sample_data(5));
+        let b = codec.encode(&sample_data(6));
+        let c = a.xor(&b);
+        assert!(codec.validate(&c), "linearity violated");
+    }
+
+    #[test]
+    fn diff_positions_cover_all_fields() {
+        let golden = LineCodec::shared().encode(&sample_data(7));
+        let mut line = golden;
+        line.flip_bit(5);
+        line.flip_bit(520);
+        line.flip_bit(550);
+        assert_eq!(line.diff_positions(&golden), vec![5, 520, 550]);
+    }
+
+    #[test]
+    fn zero_line_is_valid() {
+        let codec = LineCodec::shared();
+        assert!(codec.validate(&ProtectedLine::zero()));
+    }
+
+    #[test]
+    fn bit_and_flip_agree() {
+        let mut line = ProtectedLine::zero();
+        for i in [0usize, 511, 512, 542, 543, 552] {
+            assert!(!line.bit(i));
+            line.flip_bit(i);
+            assert!(line.bit(i));
+        }
+        assert_eq!(line.count_ones(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bit_panics() {
+        ProtectedLine::zero().bit(TOTAL_BITS);
+    }
+}

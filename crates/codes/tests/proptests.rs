@@ -1,0 +1,185 @@
+//! Property-based tests for the code substrate.
+
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+use sudoku_codes::{
+    crc31, group_parity, line_ecc, reconstruct, BchOutcome, BitBuf, HammingOutcome, HammingSec,
+    LineCodec, LineData, ProtectedLine, ReadCheck, TOTAL_BITS,
+};
+
+fn arb_line_data() -> impl Strategy<Value = LineData> {
+    prop::array::uniform8(any::<u64>()).prop_map(LineData::from_words)
+}
+
+fn arb_bitbuf(len: usize) -> impl Strategy<Value = BitBuf> {
+    prop::collection::vec(any::<bool>(), len).prop_map(move |bits| {
+        let mut buf = BitBuf::zeros(len);
+        for (i, b) in bits.into_iter().enumerate() {
+            if b {
+                buf.set(i, true);
+            }
+        }
+        buf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CRC linearity: crc(a ^ b) == crc(a) ^ crc(b).
+    #[test]
+    fn crc_is_linear(a in arb_line_data(), b in arb_line_data()) {
+        let e = crc31();
+        prop_assert_eq!(
+            e.checksum_line(&a.xor(&b)),
+            e.checksum_line(&a) ^ e.checksum_line(&b)
+        );
+    }
+
+    /// Any 1..=3 bit error over a line is detected by CRC-31.
+    #[test]
+    fn crc_detects_small_errors(
+        data in arb_line_data(),
+        flips in btree_set(0usize..512, 1..=3)
+    ) {
+        let e = crc31();
+        let golden = e.checksum_line(&data);
+        let mut corrupted = data;
+        for f in flips {
+            corrupted.flip_bit(f);
+        }
+        prop_assert_ne!(e.checksum_line(&corrupted), golden);
+    }
+
+    /// Hamming corrects every single-bit payload error, for random payloads.
+    #[test]
+    fn hamming_corrects_single_errors(
+        payload in arb_bitbuf(543),
+        pos in 0usize..543
+    ) {
+        let code = HammingSec::new(543);
+        let check = code.encode(&payload);
+        let mut corrupted = payload.clone();
+        corrupted.flip(pos);
+        let outcome = code.decode(&mut corrupted, check);
+        prop_assert_eq!(outcome, HammingOutcome::CorrectedPayload(pos));
+        prop_assert_eq!(corrupted, payload);
+    }
+
+    /// Line codec: encode/validate roundtrip and single-fault repair at any
+    /// of the 553 stored positions.
+    #[test]
+    fn line_codec_repairs_any_single_fault(
+        data in arb_line_data(),
+        pos in 0usize..TOTAL_BITS
+    ) {
+        let codec = LineCodec::shared();
+        let golden = codec.encode(&data);
+        prop_assert!(codec.validate(&golden));
+        let mut line = golden;
+        line.flip_bit(pos);
+        match codec.scrub_check(&line) {
+            ReadCheck::Corrected { repaired, .. } => prop_assert_eq!(repaired, golden),
+            other => return Err(TestCaseError::fail(format!("pos {pos}: {other:?}"))),
+        }
+    }
+
+    /// Line codec flags any injected double fault as multi-bit (never a
+    /// silent wrong repair) — CRC-31 guarantees detection of ≤7 faults.
+    #[test]
+    fn line_codec_flags_double_faults(
+        data in arb_line_data(),
+        flips in btree_set(0usize..TOTAL_BITS, 2..=2)
+    ) {
+        let codec = LineCodec::shared();
+        let golden = codec.encode(&data);
+        let mut line = golden;
+        for &f in &flips {
+            line.flip_bit(f);
+        }
+        match codec.read_check(&line) {
+            ReadCheck::MultiBit => {}
+            ReadCheck::Clean => {
+                // Both flips were in the ECC field: invisible to the read
+                // path by design; the scrubber must still not mis-repair.
+                prop_assert!(flips.iter().all(|&f| f >= 543));
+            }
+            ReadCheck::Corrected { repaired, .. } => {
+                // A "repair" that does not restore golden would be an SDC;
+                // CRC-31 detects all ≤7-bit errors so this must be golden.
+                prop_assert_eq!(repaired, golden);
+            }
+        }
+    }
+
+    /// RAID-4: reconstruction recovers any erased member of a random group.
+    #[test]
+    fn raid4_reconstructs_any_member(
+        seeds in prop::collection::vec(any::<u64>(), 2..12),
+        victim_sel in any::<prop::sample::Index>()
+    ) {
+        let codec = LineCodec::shared();
+        let lines: Vec<ProtectedLine> = seeds
+            .iter()
+            .map(|&s| {
+                let mut d = LineData::zero();
+                let mut x = s | 1;
+                for i in 0..512 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    if x & 1 == 1 {
+                        d.set_bit(i, true);
+                    }
+                }
+                codec.encode(&d)
+            })
+            .collect();
+        let parity = group_parity(lines.iter());
+        let victim = victim_sel.index(lines.len());
+        let rebuilt = reconstruct(
+            &parity,
+            lines.iter().enumerate().filter(|(i, _)| *i != victim).map(|(_, l)| l),
+        );
+        prop_assert_eq!(rebuilt, lines[victim]);
+    }
+
+    /// BCH (t=3): corrects any ≤3 random errors across the codeword.
+    #[test]
+    fn bch_corrects_random_errors(
+        data in arb_bitbuf(512),
+        flips in btree_set(0usize..542, 1..=3)
+    ) {
+        let code = line_ecc(3).unwrap();
+        let golden_parity = code.encode(&data);
+        let mut rx_data = data.clone();
+        let mut rx_parity = golden_parity.clone();
+        for &f in &flips {
+            if f < 30 {
+                rx_parity.flip(f);
+            } else {
+                rx_data.flip(f - 30);
+            }
+        }
+        let outcome = code.decode(&mut rx_data, &mut rx_parity);
+        prop_assert!(matches!(outcome, BchOutcome::Corrected(_)));
+        prop_assert_eq!(rx_data, data);
+        prop_assert_eq!(rx_parity, golden_parity);
+    }
+
+    /// BCH never reports Clean when errors are present (any count 1..=8).
+    #[test]
+    fn bch_never_clean_with_errors(
+        data in arb_bitbuf(512),
+        flips in btree_set(0usize..512, 1..=8)
+    ) {
+        let code = line_ecc(2).unwrap();
+        let mut parity = code.encode(&data);
+        let mut rx = data.clone();
+        for &f in &flips {
+            rx.flip(f);
+        }
+        let outcome = code.decode(&mut rx, &mut parity);
+        prop_assert_ne!(outcome, BchOutcome::Clean);
+    }
+}

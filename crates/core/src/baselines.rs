@@ -1,0 +1,575 @@
+//! Functional implementations of the paper's comparison schemes.
+//!
+//! * [`EccOnlyCache`] — uniform per-line BCH ECC-t (the Table II ladder,
+//!   ECC-1 … ECC-6);
+//! * [`CppcCache`] — Correctable Parity Protected Cache \[17\]: per-line
+//!   detection plus a *single global* parity line (§VIII-A);
+//! * [`Raid6Cache`] — two parities (P = XOR, Q = Reed–Solomon weighted over
+//!   GF(2¹⁶)) per 512-line group, fixing up to two erased lines (§VIII-A);
+//! * [`HiEccCache`] — ECC-6 at 1-KB granularity (§VIII-C, Table XII).
+//!
+//! The paper's 2DP baseline (horizontal + vertical parity with per-line
+//! ECC-1) is computationally equivalent to SuDoku-Y restricted to a single
+//! hash: the vertical parity *is* the RAID-4 parity line, and using column
+//! mismatches to fix rows *is* SDR. Run `Scheme::Y` for it; Table XI's
+//! analytic model does the same.
+
+use crate::config::ConfigError;
+use std::sync::OnceLock;
+use sudoku_codes::{
+    Bch, BchOutcome, BitBuf, GfTables, LineCodec, LineData, ProtectedLine, ReadCheck,
+};
+
+/// Per-line repair outcome reported by baseline scrubs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineOutcome {
+    /// Nothing to do.
+    Clean,
+    /// Faults were (apparently) corrected. With more faults than the code
+    /// can handle this may silently be a miscorrection — harnesses compare
+    /// against golden data to count SDC.
+    Corrected,
+    /// Detected but uncorrectable.
+    Uncorrectable,
+}
+
+// ----------------------------------------------------------------------
+// ECC-t per line
+// ----------------------------------------------------------------------
+
+/// A cache protecting every 512-bit line with a t-error-correcting BCH code
+/// and nothing else — the uniform-ECC strawman of paper §II-D / Table II.
+#[derive(Debug)]
+pub struct EccOnlyCache {
+    code: Bch,
+    lines: Vec<(BitBuf, BitBuf)>,
+}
+
+impl EccOnlyCache {
+    /// `n_lines` zeroed lines protected with ECC-`t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BCH construction fails (it cannot for t ≤ 12).
+    pub fn new(t: usize, n_lines: u64) -> Self {
+        let code = sudoku_codes::line_ecc(t).expect("line ECC construction");
+        let parity = code.encode(&BitBuf::zeros(512));
+        let lines = vec![(BitBuf::zeros(512), parity); n_lines as usize];
+        EccOnlyCache { code, lines }
+    }
+
+    /// Number of lines.
+    pub fn n_lines(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Total stored bits per line (data + parity).
+    pub fn stored_bits_per_line(&self) -> usize {
+        self.code.total_bits()
+    }
+
+    /// Writes fresh data into a line.
+    pub fn write(&mut self, idx: u64, data: &BitBuf) {
+        assert_eq!(data.len(), 512);
+        let parity = self.code.encode(data);
+        self.lines[idx as usize] = (data.clone(), parity);
+    }
+
+    /// Reads the stored (possibly faulty) data of a line.
+    pub fn stored_data(&self, idx: u64) -> &BitBuf {
+        &self.lines[idx as usize].0
+    }
+
+    /// Flips a stored bit: positions `0..512` hit the data, positions
+    /// `512..` hit the parity field.
+    pub fn inject_fault(&mut self, idx: u64, bit: usize) {
+        let (data, parity) = &mut self.lines[idx as usize];
+        if bit < 512 {
+            data.flip(bit);
+        } else {
+            parity.flip(bit - 512);
+        }
+    }
+
+    /// Scrubs one line in place.
+    pub fn scrub_line(&mut self, idx: u64) -> BaselineOutcome {
+        let (data, parity) = &mut self.lines[idx as usize];
+        match self.code.decode(data, parity) {
+            BchOutcome::Clean => BaselineOutcome::Clean,
+            BchOutcome::Corrected(_) => BaselineOutcome::Corrected,
+            BchOutcome::Uncorrectable => BaselineOutcome::Uncorrectable,
+        }
+    }
+
+    /// Scrubs every line; returns the indices left uncorrectable.
+    pub fn scrub(&mut self) -> Vec<u64> {
+        (0..self.n_lines())
+            .filter(|&i| self.scrub_line(i) == BaselineOutcome::Uncorrectable)
+            .collect()
+    }
+}
+
+// ----------------------------------------------------------------------
+// CPPC
+// ----------------------------------------------------------------------
+
+/// CPPC \[17\] with SuDoku-equivalent resources: per-line ECC-1 + CRC-31 and
+/// one *global* parity line for the whole cache. It can reconstruct exactly
+/// one multi-bit-faulty line; two anywhere in the cache defeat it.
+#[derive(Debug)]
+pub struct CppcCache {
+    codec: &'static LineCodec,
+    lines: Vec<ProtectedLine>,
+    global_parity: ProtectedLine,
+}
+
+impl CppcCache {
+    /// `n_lines` zeroed lines.
+    pub fn new(n_lines: u64) -> Self {
+        CppcCache {
+            codec: LineCodec::shared(),
+            lines: vec![ProtectedLine::zero(); n_lines as usize],
+            global_parity: ProtectedLine::zero(),
+        }
+    }
+
+    /// Number of lines.
+    pub fn n_lines(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Writes data, maintaining the global parity.
+    pub fn write(&mut self, idx: u64, data: &LineData) {
+        let new = self.codec.encode(data);
+        let old = self.lines[idx as usize];
+        self.global_parity.xor_assign(&old);
+        self.global_parity.xor_assign(&new);
+        self.lines[idx as usize] = new;
+    }
+
+    /// The stored line.
+    pub fn stored_line(&self, idx: u64) -> ProtectedLine {
+        self.lines[idx as usize]
+    }
+
+    /// Flips a stored bit (transient fault; parity untouched).
+    pub fn inject_fault(&mut self, idx: u64, bit: usize) {
+        self.lines[idx as usize].flip_bit(bit);
+    }
+
+    /// Scrubs the cache: ECC-1 singles, then at most one global-parity
+    /// reconstruction. Returns the lines left uncorrectable.
+    pub fn scrub(&mut self) -> Vec<u64> {
+        let mut faulty = Vec::new();
+        for idx in 0..self.lines.len() {
+            let stored = self.lines[idx];
+            match self.codec.scrub_check(&stored) {
+                ReadCheck::Clean => {}
+                ReadCheck::Corrected { repaired, .. } => self.lines[idx] = repaired,
+                ReadCheck::MultiBit => faulty.push(idx as u64),
+            }
+        }
+        if faulty.len() == 1 {
+            let victim = faulty[0] as usize;
+            let mut candidate = self.global_parity;
+            for (i, line) in self.lines.iter().enumerate() {
+                if i != victim {
+                    candidate.xor_assign(line);
+                }
+            }
+            if self.codec.validate(&candidate) {
+                self.lines[victim] = candidate;
+                faulty.clear();
+            }
+        }
+        faulty
+    }
+}
+
+// ----------------------------------------------------------------------
+// RAID-6
+// ----------------------------------------------------------------------
+
+fn gf16() -> &'static GfTables {
+    static GF: OnceLock<GfTables> = OnceLock::new();
+    GF.get_or_init(|| GfTables::primitive(16).expect("GF(2^16) exists"))
+}
+
+/// Symbols per stored line for the RAID-6 Q parity: 553 bits packed into
+/// 35 16-bit symbols (70 bytes).
+const Q_SYMBOLS: usize = 35;
+
+fn line_symbols(line: &ProtectedLine) -> [u16; Q_SYMBOLS] {
+    let mut bytes = [0u8; 70];
+    bytes[..64].copy_from_slice(&line.data.to_bytes());
+    bytes[64..68].copy_from_slice(&line.crc.to_le_bytes());
+    bytes[68..70].copy_from_slice(&line.ecc.to_le_bytes());
+    let mut symbols = [0u16; Q_SYMBOLS];
+    for (i, chunk) in bytes.chunks_exact(2).enumerate() {
+        symbols[i] = u16::from_le_bytes([chunk[0], chunk[1]]);
+    }
+    symbols
+}
+
+fn symbols_to_line(symbols: &[u16; Q_SYMBOLS]) -> ProtectedLine {
+    let mut bytes = [0u8; 70];
+    for (i, s) in symbols.iter().enumerate() {
+        bytes[i * 2..i * 2 + 2].copy_from_slice(&s.to_le_bytes());
+    }
+    let data = LineData::from_bytes(&bytes[..64]);
+    let crc = u32::from_le_bytes(bytes[64..68].try_into().expect("4 bytes"));
+    let ecc = u16::from_le_bytes(bytes[68..70].try_into().expect("2 bytes"));
+    ProtectedLine { data, crc, ecc }
+}
+
+/// RAID-6 over groups of lines: P = XOR parity, Q = Σ α^i·Lᵢ over GF(2¹⁶)
+/// symbol-wise, plus the per-line ECC-1 + CRC-31. Repairs up to two
+/// multi-bit-faulty lines per group (as CRC-identified erasures); three or
+/// more defeat it — no SDR, exactly the paper's point in §VIII-A.
+#[derive(Debug)]
+pub struct Raid6Cache {
+    codec: &'static LineCodec,
+    group_lines: u32,
+    lines: Vec<ProtectedLine>,
+    p: Vec<ProtectedLine>,
+    q: Vec<[u16; Q_SYMBOLS]>,
+}
+
+impl Raid6Cache {
+    /// `n_lines` zeroed lines in groups of `group_lines`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] mirrors the SuDoku group-shape rules.
+    pub fn new(n_lines: u64, group_lines: u32) -> Result<Self, ConfigError> {
+        if group_lines < 2 || !group_lines.is_power_of_two() {
+            return Err(ConfigError::BadGroupSize(group_lines));
+        }
+        if n_lines == 0 || n_lines % group_lines as u64 != 0 {
+            return Err(ConfigError::LinesNotMultipleOfGroup {
+                lines: n_lines,
+                group: group_lines,
+            });
+        }
+        let n_groups = (n_lines / group_lines as u64) as usize;
+        Ok(Raid6Cache {
+            codec: LineCodec::shared(),
+            group_lines,
+            lines: vec![ProtectedLine::zero(); n_lines as usize],
+            p: vec![ProtectedLine::zero(); n_groups],
+            q: vec![[0u16; Q_SYMBOLS]; n_groups],
+        })
+    }
+
+    /// Number of lines.
+    pub fn n_lines(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    fn group_of(&self, idx: u64) -> usize {
+        (idx / self.group_lines as u64) as usize
+    }
+
+    fn offset_in_group(&self, idx: u64) -> u32 {
+        (idx % self.group_lines as u64) as u32
+    }
+
+    /// Writes data, maintaining P and Q.
+    pub fn write(&mut self, idx: u64, data: &LineData) {
+        let gf = gf16();
+        let new = self.codec.encode(data);
+        let old = self.lines[idx as usize];
+        let g = self.group_of(idx);
+        let coeff = gf.alpha_pow(self.offset_in_group(idx) as u64);
+        self.p[g].xor_assign(&old);
+        self.p[g].xor_assign(&new);
+        let old_sym = line_symbols(&old);
+        let new_sym = line_symbols(&new);
+        for k in 0..Q_SYMBOLS {
+            self.q[g][k] ^= gf.mul(coeff, old_sym[k] ^ new_sym[k]);
+        }
+        self.lines[idx as usize] = new;
+    }
+
+    /// The stored line.
+    pub fn stored_line(&self, idx: u64) -> ProtectedLine {
+        self.lines[idx as usize]
+    }
+
+    /// Flips a stored bit (transient fault).
+    pub fn inject_fault(&mut self, idx: u64, bit: usize) {
+        self.lines[idx as usize].flip_bit(bit);
+    }
+
+    /// Scrubs the cache; returns the lines left uncorrectable.
+    pub fn scrub(&mut self) -> Vec<u64> {
+        let mut unresolved = Vec::new();
+        let n_groups = self.p.len();
+        for g in 0..n_groups {
+            unresolved.extend(self.scrub_group(g));
+        }
+        unresolved
+    }
+
+    fn scrub_group(&mut self, g: usize) -> Vec<u64> {
+        let gf = gf16();
+        let base = g as u64 * self.group_lines as u64;
+        let mut faulty: Vec<u64> = Vec::new();
+        for off in 0..self.group_lines as u64 {
+            let idx = base + off;
+            let stored = self.lines[idx as usize];
+            match self.codec.scrub_check(&stored) {
+                ReadCheck::Clean => {}
+                ReadCheck::Corrected { repaired, .. } => self.lines[idx as usize] = repaired,
+                ReadCheck::MultiBit => faulty.push(idx),
+            }
+        }
+        match faulty.len() {
+            0 => Vec::new(),
+            1 => {
+                // One erasure: plain P reconstruction.
+                let victim = faulty[0];
+                let mut cand = self.p[g];
+                for off in 0..self.group_lines as u64 {
+                    let idx = base + off;
+                    if idx != victim {
+                        cand.xor_assign(&self.lines[idx as usize]);
+                    }
+                }
+                if self.codec.validate(&cand) {
+                    self.lines[victim as usize] = cand;
+                    Vec::new()
+                } else {
+                    faulty
+                }
+            }
+            2 => {
+                // Two erasures i < j: solve the 2×2 system per symbol.
+                let (vi, vj) = (faulty[0], faulty[1]);
+                let (oi, oj) = (self.offset_in_group(vi), self.offset_in_group(vj));
+                let ai = gf.alpha_pow(oi as u64);
+                let aj = gf.alpha_pow(oj as u64);
+                let denom = ai ^ aj; // non-zero because oi != oj < 2^16 - 1
+                let mut p_prime = self.p[g];
+                let mut q_prime = self.q[g];
+                for off in 0..self.group_lines as u64 {
+                    let idx = base + off;
+                    if idx == vi || idx == vj {
+                        continue;
+                    }
+                    let line = &self.lines[idx as usize];
+                    p_prime.xor_assign(line);
+                    let sym = line_symbols(line);
+                    let coeff = gf.alpha_pow(off);
+                    for k in 0..Q_SYMBOLS {
+                        q_prime[k] ^= gf.mul(coeff, sym[k]);
+                    }
+                }
+                // p' = Li ^ Lj ; q' = ai·Li ^ aj·Lj
+                // => Lj = (q' ^ ai·p') / (ai ^ aj); Li = p' ^ Lj.
+                let p_sym = line_symbols(&p_prime);
+                let mut lj = [0u16; Q_SYMBOLS];
+                for k in 0..Q_SYMBOLS {
+                    lj[k] = gf.div(q_prime[k] ^ gf.mul(ai, p_sym[k]), denom);
+                }
+                let line_j = symbols_to_line(&lj);
+                let line_i = p_prime.xor(&line_j);
+                if self.codec.validate(&line_i) && self.codec.validate(&line_j) {
+                    self.lines[vi as usize] = line_i;
+                    self.lines[vj as usize] = line_j;
+                    Vec::new()
+                } else {
+                    faulty
+                }
+            }
+            _ => faulty,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Hi-ECC
+// ----------------------------------------------------------------------
+
+/// Hi-ECC \[71\]: ECC-6 provisioned over 1-KB (8192-bit) regions instead of
+/// per 64-byte line, shrinking the overhead to ~1% but protecting 16× more
+/// bits per codeword (paper §VIII-C, Table XII).
+#[derive(Debug)]
+pub struct HiEccCache {
+    code: Bch,
+    regions: Vec<(BitBuf, BitBuf)>,
+}
+
+/// Data bits per Hi-ECC region (1 KB).
+pub const HI_ECC_REGION_BITS: usize = 8192;
+
+impl HiEccCache {
+    /// `n_regions` zeroed 1-KB regions, each under one t=6 BCH code over
+    /// GF(2¹⁴).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BCH construction fails (it cannot for these
+    /// parameters).
+    pub fn new(n_regions: u64) -> Self {
+        let code = Bch::new(14, 6, HI_ECC_REGION_BITS).expect("Hi-ECC BCH construction");
+        let parity = code.encode(&BitBuf::zeros(HI_ECC_REGION_BITS));
+        HiEccCache {
+            regions: vec![(BitBuf::zeros(HI_ECC_REGION_BITS), parity); n_regions as usize],
+            code,
+        }
+    }
+
+    /// Number of regions.
+    pub fn n_regions(&self) -> u64 {
+        self.regions.len() as u64
+    }
+
+    /// Parity overhead in bits per region.
+    pub fn parity_bits(&self) -> usize {
+        self.code.parity_bits()
+    }
+
+    /// Flips a stored bit of a region (data `0..8192`, parity beyond).
+    pub fn inject_fault(&mut self, region: u64, bit: usize) {
+        let (data, parity) = &mut self.regions[region as usize];
+        if bit < HI_ECC_REGION_BITS {
+            data.flip(bit);
+        } else {
+            parity.flip(bit - HI_ECC_REGION_BITS);
+        }
+    }
+
+    /// Scrubs one region.
+    pub fn scrub_region(&mut self, region: u64) -> BaselineOutcome {
+        let (data, parity) = &mut self.regions[region as usize];
+        match self.code.decode(data, parity) {
+            BchOutcome::Clean => BaselineOutcome::Clean,
+            BchOutcome::Corrected(_) => BaselineOutcome::Corrected,
+            BchOutcome::Uncorrectable => BaselineOutcome::Uncorrectable,
+        }
+    }
+
+    /// The stored data of a region.
+    pub fn stored_data(&self, region: u64) -> &BitBuf {
+        &self.regions[region as usize].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecc_only_corrects_up_to_t() {
+        let mut cache = EccOnlyCache::new(3, 4);
+        let mut d = BitBuf::zeros(512);
+        d.set(100, true);
+        cache.write(1, &d);
+        for bit in [5, 200, 400] {
+            cache.inject_fault(1, bit);
+        }
+        assert_eq!(cache.scrub_line(1), BaselineOutcome::Corrected);
+        assert_eq!(cache.stored_data(1), &d);
+    }
+
+    #[test]
+    fn ecc_only_fails_beyond_t() {
+        let mut cache = EccOnlyCache::new(2, 2);
+        for bit in [5, 100, 200] {
+            cache.inject_fault(0, bit);
+        }
+        // Either detected-uncorrectable or a miscorrection; with 3 > t = 2
+        // faults it must not return to the golden state claiming Clean.
+        let outcome = cache.scrub_line(0);
+        assert_ne!(outcome, BaselineOutcome::Clean);
+    }
+
+    #[test]
+    fn cppc_repairs_one_multibit_line_globally() {
+        let mut cache = CppcCache::new(64);
+        let mut d = LineData::zero();
+        d.set_bit(44, true);
+        cache.write(10, &d);
+        for bit in [1, 2, 3] {
+            cache.inject_fault(10, bit);
+        }
+        assert!(cache.scrub().is_empty());
+        assert_eq!(cache.stored_line(10).data, d);
+    }
+
+    #[test]
+    fn cppc_fails_on_two_multibit_lines_anywhere() {
+        let mut cache = CppcCache::new(64);
+        for bit in [1, 2] {
+            cache.inject_fault(10, bit);
+        }
+        for bit in [3, 4] {
+            cache.inject_fault(50, bit); // different "group" — CPPC has none
+        }
+        let unresolved = cache.scrub();
+        assert_eq!(unresolved, vec![10, 50]);
+    }
+
+    #[test]
+    fn raid6_repairs_two_multibit_lines_in_one_group() {
+        let mut cache = Raid6Cache::new(64, 16).unwrap();
+        let mut d = LineData::zero();
+        d.set_bit(7, true);
+        cache.write(1, &d);
+        cache.write(2, &d);
+        for bit in [1, 2] {
+            cache.inject_fault(1, bit);
+        }
+        for bit in [1, 2] {
+            cache.inject_fault(2, bit); // fully overlapping — SDR-proof!
+        }
+        assert!(cache.scrub().is_empty());
+        assert_eq!(cache.stored_line(1).data, d);
+        assert_eq!(cache.stored_line(2).data, d);
+    }
+
+    #[test]
+    fn raid6_fails_on_three_multibit_lines() {
+        let mut cache = Raid6Cache::new(64, 16).unwrap();
+        for line in [0u64, 1, 2] {
+            cache.inject_fault(line, 1);
+            cache.inject_fault(line, 2);
+        }
+        assert_eq!(cache.scrub(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn raid6_single_bit_faults_fixed_locally() {
+        let mut cache = Raid6Cache::new(32, 16).unwrap();
+        cache.inject_fault(5, 99);
+        assert!(cache.scrub().is_empty());
+        assert!(cache.stored_line(5).is_zero());
+    }
+
+    #[test]
+    fn hi_ecc_corrects_six_faults_per_region() {
+        let mut cache = HiEccCache::new(2);
+        for bit in [10, 2000, 4000, 6000, 8000, 8200] {
+            cache.inject_fault(0, bit);
+        }
+        assert_eq!(cache.scrub_region(0), BaselineOutcome::Corrected);
+        assert!(cache.stored_data(0).is_zero());
+    }
+
+    #[test]
+    fn hi_ecc_fails_on_seven_faults() {
+        let mut cache = HiEccCache::new(1);
+        for k in 0..7 {
+            cache.inject_fault(0, 500 + k * 911);
+        }
+        assert_ne!(cache.scrub_region(0), BaselineOutcome::Clean);
+    }
+
+    #[test]
+    fn hi_ecc_overhead_is_under_one_percent_excluding_detection() {
+        let cache = HiEccCache::new(1);
+        let overhead = cache.parity_bits() as f64 / HI_ECC_REGION_BITS as f64;
+        assert!(overhead < 0.011, "{overhead}");
+    }
+}

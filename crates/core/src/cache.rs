@@ -1,0 +1,978 @@
+//! The SuDoku cache: storage, read/write paths, and the X/Y/Z correction
+//! engines.
+//!
+//! The recovery ladder (paper §III–§V):
+//!
+//! 1. **ECC-1** fixes single-bit faults per line (the common case);
+//! 2. **RAID-4** reconstructs one multi-bit-faulty line per group from the
+//!    group parity (SuDoku-X);
+//! 3. **SDR** (Sequential Data Resurrection) resurrects multiple faulty
+//!    lines in a group by flipping parity-mismatch positions one at a time
+//!    and re-validating with ECC-1 + CRC (SuDoku-Y);
+//! 4. **Skewed-hash recovery** retries lines that remain uncorrectable
+//!    under Hash-1 in their Hash-2 groups, iterating to a fixpoint — each
+//!    line repaired in one dimension can unlock its group in the other
+//!    (SuDoku-Z).
+
+use crate::config::{ConfigError, Scheme, SudokuConfig};
+use crate::hashing::{HashDim, SkewedHashes};
+use crate::plt::ParityTable;
+use crate::stats::{CacheStats, EventLog, RepairEvent, RepairMechanism, ScrubReport};
+use crate::store::{DenseStore, LineStore, SparseStore};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use sudoku_codes::{LineCodec, LineData, ProtectedLine, ReadCheck, RepairKind};
+
+/// Error returned when a read hits a detectably uncorrectable line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UncorrectableError {
+    /// The line that could not be repaired.
+    pub line: u64,
+}
+
+impl fmt::Display for UncorrectableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {} is detectably uncorrectable", self.line)
+    }
+}
+
+impl std::error::Error for UncorrectableError {}
+
+/// A SuDoku-protected cache over a pluggable line store.
+///
+/// # Examples
+///
+/// ```
+/// use sudoku_core::{Scheme, SudokuCache, SudokuConfig};
+/// use sudoku_codes::LineData;
+///
+/// let config = SudokuConfig::small(Scheme::Z, 256, 16);
+/// let mut cache = SudokuCache::new(config)?;
+/// let mut data = LineData::zero();
+/// data.set_bit(5, true);
+/// cache.write(7, &data);
+///
+/// // Inject a burst of transient faults into line 7 and recover via RAID-4.
+/// for bit in [1, 2, 3, 4, 5, 6] {
+///     cache.inject_fault(7, bit);
+/// }
+/// assert_eq!(cache.read(7)?, data);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SudokuCache<S = DenseStore> {
+    config: SudokuConfig,
+    hashes: SkewedHashes,
+    store: S,
+    plt1: ParityTable,
+    plt2: Option<ParityTable>,
+    codec: &'static LineCodec,
+    stats: CacheStats,
+    events: EventLog,
+}
+
+impl SudokuCache<DenseStore> {
+    /// A fully materialized cache, all lines zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from validation.
+    pub fn new(config: SudokuConfig) -> Result<Self, ConfigError> {
+        let store = DenseStore::new(config.geometry.lines());
+        Self::with_store(config, store)
+    }
+}
+
+impl SudokuCache<SparseStore> {
+    /// A sparse cache (unwritten lines hold the zero codeword) — the
+    /// backing used by full-scale Monte-Carlo campaigns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from validation.
+    pub fn new_sparse(config: SudokuConfig) -> Result<Self, ConfigError> {
+        let store = SparseStore::new(config.geometry.lines());
+        Self::with_store(config, store)
+    }
+}
+
+impl<S: LineStore> SudokuCache<S> {
+    /// Wraps an existing store (its lines must currently be consistent with
+    /// zero parities, i.e. all-zero).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`]; also fails if the store size disagrees
+    /// with the geometry.
+    pub fn with_store(config: SudokuConfig, store: S) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let hashes = SkewedHashes::from_config(&config)?;
+        assert_eq!(
+            store.n_lines(),
+            config.geometry.lines(),
+            "store size must match the configured geometry"
+        );
+        let n_groups = config.n_groups();
+        let plt2 = config
+            .scheme
+            .second_hash_enabled()
+            .then(|| ParityTable::new(n_groups));
+        Ok(SudokuCache {
+            config,
+            hashes,
+            store,
+            plt1: ParityTable::new(n_groups),
+            plt2,
+            codec: LineCodec::shared(),
+            stats: CacheStats::default(),
+            events: EventLog::with_capacity(4096),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SudokuConfig {
+        &self.config
+    }
+
+    /// The group hashes in use.
+    pub fn hashes(&self) -> &SkewedHashes {
+        &self.hashes
+    }
+
+    /// Accumulated event counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The bounded repair-event log (most recent 4096 events).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Clears the repair-event log.
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+    }
+
+    /// The underlying line store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Total parity-table write traffic (both PLTs).
+    pub fn plt_write_count(&self) -> u64 {
+        self.plt1.write_count() + self.plt2.as_ref().map_or(0, ParityTable::write_count)
+    }
+
+    /// The stored (possibly faulty) line at `idx`.
+    pub fn stored_line(&self, idx: u64) -> ProtectedLine {
+        self.store.line(idx)
+    }
+
+    /// Whether the stored line at `idx` is a fully consistent codeword.
+    pub fn is_line_valid(&self, idx: u64) -> bool {
+        self.codec.validate(&self.store.line(idx))
+    }
+
+    /// Flips one stored bit — a transient fault. Parities are deliberately
+    /// *not* updated; that asymmetry is what lets recovery localize faults.
+    pub fn inject_fault(&mut self, idx: u64, bit: usize) {
+        self.store.flip_bit(idx, bit);
+    }
+
+    fn plt(&self, dim: HashDim) -> &ParityTable {
+        match dim {
+            HashDim::H1 => &self.plt1,
+            HashDim::H2 => self.plt2.as_ref().expect("Hash-2 PLT enabled"),
+        }
+    }
+
+    fn dims(&self) -> &'static [HashDim] {
+        if self.config.scheme.second_hash_enabled() {
+            &[HashDim::H1, HashDim::H2]
+        } else {
+            &[HashDim::H1]
+        }
+    }
+
+    /// Writes `data` to line `idx`, updating every enabled PLT (the two
+    /// read-modify-writes of paper §III-B).
+    ///
+    /// If the stored old value is faulty it is repaired (locally or via
+    /// group recovery) before the parity delta is computed, so that faults
+    /// never leak into the parity tables.
+    pub fn write(&mut self, idx: u64, data: &LineData) {
+        self.stats.writes += 1;
+        let new = self.codec.encode(data);
+        let old = self.consistent_old_value(idx);
+        let g1 = self.hashes.group_of(HashDim::H1, idx);
+        self.plt1.apply_write(g1, &old, &new);
+        if let Some(plt2) = self.plt2.as_mut() {
+            let g2 = self.hashes.group_of(HashDim::H2, idx);
+            plt2.apply_write(g2, &old, &new);
+        }
+        self.store.set_line(idx, new);
+    }
+
+    /// Best-effort recovery of the as-written value of `idx` for the write
+    /// path's parity delta.
+    fn consistent_old_value(&mut self, idx: u64) -> ProtectedLine {
+        let stored = self.store.line(idx);
+        match self.codec.scrub_check(&stored) {
+            ReadCheck::Clean => return stored,
+            ReadCheck::Corrected { repaired, .. } => return repaired,
+            ReadCheck::MultiBit => {}
+        }
+        // Multi-bit old value: run group recovery, then fall back to the
+        // RAID-4 erasure estimate if the line is still bad.
+        let mut scratch = ScrubReport::default();
+        let recovered = self.group_recovery([idx].into_iter().collect(), &mut scratch);
+        if let Some(line) = recovered.get(&idx) {
+            return *line;
+        }
+        let stored = self.store.line(idx);
+        if self.codec.validate(&stored) {
+            return stored;
+        }
+        self.stats.due_lines += 1;
+        let g1 = self.hashes.group_of(HashDim::H1, idx);
+        let mut estimate = *self.plt1.parity(g1);
+        for m in self.hashes.members(HashDim::H1, g1) {
+            if m != idx {
+                estimate.xor_assign(&self.store.line(m));
+            }
+        }
+        estimate
+    }
+
+    /// Reads line `idx`, repairing on demand (paper §III-B/C).
+    ///
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] if every recovery level fails — a DUE.
+    pub fn read(&mut self, idx: u64) -> Result<LineData, UncorrectableError> {
+        self.stats.reads += 1;
+        let stored = self.store.line(idx);
+        match self.codec.read_check(&stored) {
+            ReadCheck::Clean => Ok(stored.data),
+            ReadCheck::Corrected { repaired, kind } => {
+                self.count_repair(idx, kind);
+                self.store.set_line(idx, repaired);
+                Ok(repaired.data)
+            }
+            ReadCheck::MultiBit => {
+                self.stats.multibit_detections += 1;
+                let mut scratch = ScrubReport::default();
+                let recovered = self.group_recovery([idx].into_iter().collect(), &mut scratch);
+                if let Some(line) = recovered.get(&idx) {
+                    return Ok(line.data);
+                }
+                // The line may have been healed as a side effect (or the
+                // fault was in metadata only); give the local path one more
+                // chance before declaring a DUE.
+                let stored = self.store.line(idx);
+                match self.codec.scrub_check(&stored) {
+                    ReadCheck::Clean => Ok(stored.data),
+                    ReadCheck::Corrected { repaired, kind } => {
+                        self.count_repair(idx, kind);
+                        self.store.set_line(idx, repaired);
+                        Ok(repaired.data)
+                    }
+                    ReadCheck::MultiBit => {
+                        self.stats.due_lines += 1;
+                        self.events.push(RepairEvent {
+                            line: idx,
+                            mechanism: RepairMechanism::Due,
+                            dim: None,
+                        });
+                        Err(UncorrectableError { line: idx })
+                    }
+                }
+            }
+        }
+    }
+
+    fn count_repair(&mut self, line: u64, kind: RepairKind) {
+        let mechanism = match kind {
+            RepairKind::PayloadBit(_) => {
+                self.stats.ecc1_repairs += 1;
+                RepairMechanism::Ecc1
+            }
+            RepairKind::EccField => {
+                self.stats.meta_repairs += 1;
+                RepairMechanism::EccField
+            }
+        };
+        self.events.push(RepairEvent {
+            line,
+            mechanism,
+            dim: None,
+        });
+    }
+
+    /// Scrubs the entire cache (paper §II-D): every line is checked and
+    /// repaired; group recovery handles multi-bit casualties.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let n = self.store.n_lines();
+        self.scrub_lines_impl((0..n).collect())
+    }
+
+    /// Scrubs only the listed lines plus whatever group recovery pulls in.
+    ///
+    /// Semantically identical to [`SudokuCache::scrub`] whenever `hints`
+    /// covers every faulty line — the fast path for sparse Monte-Carlo
+    /// campaigns that know exactly where they injected faults.
+    pub fn scrub_lines(&mut self, hints: &[u64]) -> ScrubReport {
+        let set: BTreeSet<u64> = hints.iter().copied().collect();
+        self.scrub_lines_impl(set)
+    }
+
+    fn scrub_lines_impl(&mut self, lines: BTreeSet<u64>) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let mut multibit: BTreeSet<u64> = BTreeSet::new();
+        for idx in lines {
+            report.lines_checked += 1;
+            self.stats.lines_scrubbed += 1;
+            let stored = self.store.line(idx);
+            match self.codec.scrub_check(&stored) {
+                ReadCheck::Clean => {}
+                ReadCheck::Corrected { repaired, kind } => {
+                    match kind {
+                        RepairKind::PayloadBit(_) => report.ecc1_repairs += 1,
+                        RepairKind::EccField => report.meta_repairs += 1,
+                    }
+                    self.count_repair(idx, kind);
+                    self.store.set_line(idx, repaired);
+                }
+                ReadCheck::MultiBit => {
+                    self.stats.multibit_detections += 1;
+                    multibit.insert(idx);
+                }
+            }
+        }
+        report.multibit_lines = multibit.len() as u64;
+        self.group_recovery(multibit, &mut report);
+        self.stats.due_lines += report.unresolved.len() as u64;
+        for &line in &report.unresolved {
+            self.events.push(RepairEvent {
+                line,
+                mechanism: RepairMechanism::Due,
+                dim: None,
+            });
+        }
+        report
+    }
+
+    /// Drives the X/Y/Z recovery ladder to a fixpoint over a set of
+    /// multi-bit-faulty lines.
+    ///
+    /// Returns the recovered value of every multi-bit casualty that was
+    /// reconstructed. (For transient faults the store holds the same value
+    /// after write-back; for *persistent* faults — stuck cells that corrupt
+    /// every write-back — the returned map is the only place the recovered
+    /// data exists, exactly like the controller's correction buffer in
+    /// hardware.)
+    fn group_recovery(
+        &mut self,
+        mut faulty: BTreeSet<u64>,
+        report: &mut ScrubReport,
+    ) -> BTreeMap<u64, ProtectedLine> {
+        let mut recovered: BTreeMap<u64, ProtectedLine> = BTreeMap::new();
+        loop {
+            if faulty.is_empty() {
+                break;
+            }
+            let before = faulty.len();
+            for &dim in self.dims() {
+                if faulty.is_empty() {
+                    break;
+                }
+                let groups: BTreeSet<u64> = faulty
+                    .iter()
+                    .map(|&l| self.hashes.group_of(dim, l))
+                    .collect();
+                for group in groups {
+                    self.repair_group(dim, group, report, &mut recovered);
+                }
+                faulty.retain(|&l| {
+                    !recovered.contains_key(&l)
+                        && matches!(
+                            self.codec.scrub_check(&self.store.line(l)),
+                            ReadCheck::MultiBit
+                        )
+                });
+            }
+            if faulty.len() >= before {
+                break;
+            }
+        }
+        report.unresolved = faulty.into_iter().collect();
+        recovered
+    }
+
+    /// Repairs one RAID-Group: read every member into a corrected buffer
+    /// (fixing singles, paper §III-C.2), then RAID-4 or SDR over the
+    /// buffer.
+    fn repair_group(
+        &mut self,
+        dim: HashDim,
+        group: u64,
+        report: &mut ScrubReport,
+        recovered: &mut BTreeMap<u64, ProtectedLine>,
+    ) {
+        self.stats.group_scans += 1;
+        let members: Vec<u64> = self.hashes.members(dim, group).collect();
+        // Pass 1: the corrected view. Previously reconstructed values take
+        // precedence over the (possibly re-corrupted) stored copies.
+        let mut view: Vec<ProtectedLine> = Vec::with_capacity(members.len());
+        let mut faulty: Vec<usize> = Vec::new();
+        for (i, &m) in members.iter().enumerate() {
+            if let Some(&r) = recovered.get(&m) {
+                view.push(r);
+                continue;
+            }
+            if !self.store.is_materialized(m) {
+                view.push(ProtectedLine::zero()); // valid by construction
+                continue;
+            }
+            let raw = self.store.line(m);
+            match self.codec.scrub_check(&raw) {
+                ReadCheck::Clean => view.push(raw),
+                ReadCheck::Corrected { repaired, kind } => {
+                    self.count_repair(m, kind);
+                    self.store.set_line(m, repaired);
+                    view.push(repaired);
+                }
+                ReadCheck::MultiBit => {
+                    view.push(raw);
+                    faulty.push(i);
+                }
+            }
+        }
+        if faulty.is_empty() {
+            return;
+        }
+        // Pass 2: Sequential Data Resurrection while >= 2 lines are faulty.
+        if faulty.len() >= 2 && self.config.scheme.sdr_enabled() {
+            self.run_sdr(
+                dim,
+                group,
+                &members,
+                &mut view,
+                &mut faulty,
+                report,
+                recovered,
+            );
+        }
+        // Pass 3: a single remaining casualty falls to plain RAID-4.
+        if faulty.len() == 1 {
+            let vi = faulty[0];
+            if self.try_raid4(dim, group, vi, &members, &view, recovered) {
+                report.raid4_repairs += 1;
+                if dim == HashDim::H2 {
+                    report.hash2_repairs += 1;
+                    self.stats.hash2_repairs += 1;
+                }
+            }
+        }
+    }
+
+    /// RAID-4 reconstruction of the member at view index `vi` from the
+    /// group parity and the corrected view of the remaining members; the
+    /// candidate must re-validate (CRC + ECC).
+    fn try_raid4(
+        &mut self,
+        dim: HashDim,
+        group: u64,
+        vi: usize,
+        members: &[u64],
+        view: &[ProtectedLine],
+        recovered: &mut BTreeMap<u64, ProtectedLine>,
+    ) -> bool {
+        let mut candidate = *self.plt(dim).parity(group);
+        for (i, line) in view.iter().enumerate() {
+            if i != vi {
+                candidate.xor_assign(line);
+            }
+        }
+        if self.codec.validate(&candidate) {
+            self.store.set_line(members[vi], candidate);
+            recovered.insert(members[vi], candidate);
+            self.stats.raid4_repairs += 1;
+            self.events.push(RepairEvent {
+                line: members[vi],
+                mechanism: RepairMechanism::Raid4,
+                dim: Some(dim),
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Validates an SDR candidate: the flip must leave at most a single
+    /// ECC-1-correctable fault and pass the CRC re-check.
+    fn sdr_accept(&self, candidate: &ProtectedLine) -> Option<ProtectedLine> {
+        match self.codec.scrub_check(candidate) {
+            ReadCheck::Clean => Some(*candidate),
+            ReadCheck::Corrected { repaired, .. } => Some(repaired),
+            ReadCheck::MultiBit => None,
+        }
+    }
+
+    /// SDR (paper §IV): compute the parity-mismatch positions over the
+    /// corrected view, then for each faulty line sequentially flip a
+    /// mismatched bit, apply ECC-1, and accept if the CRC validates.
+    /// Repairing one line shrinks the mismatch set and may unlock the
+    /// others; a final survivor goes to RAID-4 in the caller.
+    #[allow(clippy::too_many_arguments)]
+    fn run_sdr(
+        &mut self,
+        dim: HashDim,
+        group: u64,
+        members: &[u64],
+        view: &mut [ProtectedLine],
+        faulty: &mut Vec<usize>,
+        report: &mut ScrubReport,
+        recovered: &mut BTreeMap<u64, ProtectedLine>,
+    ) {
+        loop {
+            if faulty.len() < 2 {
+                return;
+            }
+            let mut computed = ProtectedLine::zero();
+            for line in view.iter() {
+                computed.xor_assign(line);
+            }
+            let mismatches = computed.diff_positions(self.plt(dim).parity(group));
+            if mismatches.is_empty() || mismatches.len() > self.config.max_sdr_mismatches as usize {
+                // Fully overlapping faults (no mismatch) or too many
+                // candidates (paper SIV-C caps SDR at six positions).
+                return;
+            }
+            let mut fixed_victim: Option<(usize, ProtectedLine)> = None;
+            'victims: for &vi in faulty.iter() {
+                let stored = view[vi];
+                for &pos in &mismatches {
+                    self.stats.sdr_trials += 1;
+                    let mut candidate = stored;
+                    candidate.flip_bit(pos);
+                    if let Some(fixed) = self.sdr_accept(&candidate) {
+                        fixed_victim = Some((vi, fixed));
+                        break 'victims; // recompute mismatches
+                    }
+                }
+                if self.config.sdr_pair_trials {
+                    // Extension: a line with t+2 faults needs *two* known
+                    // positions flipped before ECC-t can finish the job.
+                    for a in 0..mismatches.len() {
+                        for b in a + 1..mismatches.len() {
+                            self.stats.sdr_trials += 1;
+                            let mut candidate = stored;
+                            candidate.flip_bit(mismatches[a]);
+                            candidate.flip_bit(mismatches[b]);
+                            if let Some(fixed) = self.sdr_accept(&candidate) {
+                                fixed_victim = Some((vi, fixed));
+                                break 'victims;
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((vi, fixed)) = fixed_victim else {
+                return;
+            };
+            self.store.set_line(members[vi], fixed);
+            recovered.insert(members[vi], fixed);
+            view[vi] = fixed;
+            faulty.retain(|&f| f != vi);
+            self.stats.sdr_repairs += 1;
+            self.events.push(RepairEvent {
+                line: members[vi],
+                mechanism: RepairMechanism::Sdr,
+                dim: Some(dim),
+            });
+            report.sdr_repairs += 1;
+            if dim == HashDim::H2 {
+                report.hash2_repairs += 1;
+                self.stats.hash2_repairs += 1;
+            }
+        }
+    }
+}
+
+impl<S: LineStore> fmt::Debug for SudokuCache<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SudokuCache")
+            .field("scheme", &self.config.scheme)
+            .field("lines", &self.config.geometry.lines())
+            .field("group_lines", &self.config.group_lines)
+            .finish()
+    }
+}
+
+/// Convenience: is this scheme/line-count combination usable?
+pub fn scheme_supported(scheme: Scheme, lines: u64, group: u32) -> bool {
+    SudokuConfig::small(scheme, lines, group).validate().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_with(bits: &[usize]) -> LineData {
+        let mut d = LineData::zero();
+        for &b in bits {
+            d.set_bit(b, true);
+        }
+        d
+    }
+
+    fn small_cache(scheme: Scheme) -> SudokuCache<DenseStore> {
+        // 256 lines, groups of 16: satisfies the Z divisibility rule.
+        SudokuCache::new(SudokuConfig::small(scheme, 256, 16)).unwrap()
+    }
+
+    fn populate(cache: &mut SudokuCache<DenseStore>) -> Vec<LineData> {
+        let n = cache.config().geometry.lines();
+        let mut golden = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let d = data_with(&[(i as usize * 37) % 512, (i as usize * 151 + 3) % 512]);
+            cache.write(i, &d);
+            golden.push(d);
+        }
+        golden
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut cache = small_cache(Scheme::Z);
+        let golden = populate(&mut cache);
+        for (i, d) in golden.iter().enumerate() {
+            assert_eq!(cache.read(i as u64).unwrap(), *d);
+        }
+    }
+
+    #[test]
+    fn single_bit_fault_repaired_on_read() {
+        let mut cache = small_cache(Scheme::X);
+        let golden = populate(&mut cache);
+        cache.inject_fault(10, 77);
+        assert_eq!(cache.read(10).unwrap(), golden[10]);
+        assert_eq!(cache.stats().ecc1_repairs, 1);
+        assert!(cache.is_line_valid(10));
+    }
+
+    #[test]
+    fn multibit_fault_repaired_by_raid4() {
+        let mut cache = small_cache(Scheme::X);
+        let golden = populate(&mut cache);
+        for bit in [3, 88, 200, 452] {
+            cache.inject_fault(33, bit);
+        }
+        assert_eq!(cache.read(33).unwrap(), golden[33]);
+        assert_eq!(cache.stats().raid4_repairs, 1);
+    }
+
+    #[test]
+    fn sudoku_x_fails_on_two_multibit_lines_in_one_group() {
+        let mut cache = small_cache(Scheme::X);
+        let _ = populate(&mut cache);
+        // Lines 0 and 1 share a Hash-1 group (group of 16 consecutive).
+        cache.inject_fault(0, 5);
+        cache.inject_fault(0, 6);
+        cache.inject_fault(1, 7);
+        cache.inject_fault(1, 8);
+        let report = cache.scrub();
+        assert_eq!(report.unresolved.len(), 2, "{report:?}");
+    }
+
+    #[test]
+    fn sudoku_y_sdr_repairs_two_double_fault_lines() {
+        // Paper Figure 3(a): non-overlapping faults — SDR fixes one line,
+        // RAID-4 fixes the other.
+        let mut cache = small_cache(Scheme::Y);
+        let golden = populate(&mut cache);
+        cache.inject_fault(0, 5);
+        cache.inject_fault(0, 6);
+        cache.inject_fault(1, 7);
+        cache.inject_fault(1, 8);
+        let report = cache.scrub();
+        assert!(report.fully_repaired(), "{report:?}");
+        assert!(report.sdr_repairs >= 1);
+        assert_eq!(cache.read(0).unwrap(), golden[0]);
+        assert_eq!(cache.read(1).unwrap(), golden[1]);
+    }
+
+    #[test]
+    fn sudoku_y_sdr_one_overlapping_fault() {
+        // Paper Figure 3(b): one shared fault position still repairs.
+        let mut cache = small_cache(Scheme::Y);
+        let golden = populate(&mut cache);
+        cache.inject_fault(2, 100);
+        cache.inject_fault(2, 200);
+        cache.inject_fault(3, 100); // overlap at 100
+        cache.inject_fault(3, 300);
+        let report = cache.scrub();
+        assert!(report.fully_repaired(), "{report:?}");
+        assert_eq!(cache.read(2).unwrap(), golden[2]);
+        assert_eq!(cache.read(3).unwrap(), golden[3]);
+    }
+
+    #[test]
+    fn sudoku_y_fails_on_fully_overlapping_faults() {
+        // Paper Figure 3(c): both fault positions shared — no mismatches,
+        // SDR cannot act, Y reports DUE.
+        let mut cache = small_cache(Scheme::Y);
+        let _ = populate(&mut cache);
+        cache.inject_fault(4, 100);
+        cache.inject_fault(4, 200);
+        cache.inject_fault(5, 100);
+        cache.inject_fault(5, 200);
+        let report = cache.scrub();
+        assert_eq!(report.unresolved, vec![4, 5]);
+    }
+
+    #[test]
+    fn sudoku_z_recovers_fully_overlapping_faults_via_hash2() {
+        // The same pattern Y cannot fix: under Hash-2 the two lines land in
+        // different groups and each is the lone casualty there.
+        let mut cache = small_cache(Scheme::Z);
+        let golden = populate(&mut cache);
+        cache.inject_fault(4, 100);
+        cache.inject_fault(4, 200);
+        cache.inject_fault(5, 100);
+        cache.inject_fault(5, 200);
+        let report = cache.scrub();
+        assert!(report.fully_repaired(), "{report:?}");
+        assert!(report.hash2_repairs >= 1, "{report:?}");
+        assert_eq!(cache.read(4).unwrap(), golden[4]);
+        assert_eq!(cache.read(5).unwrap(), golden[5]);
+    }
+
+    #[test]
+    fn sudoku_z_figure6_scenario() {
+        // Paper Figure 6: two lines with three faults each in one Hash-1
+        // group; correction succeeds through Hash-2.
+        let mut cache = small_cache(Scheme::Z);
+        let golden = populate(&mut cache);
+        for bit in [10, 20, 30] {
+            cache.inject_fault(1, bit); // "line B"
+        }
+        for bit in [11, 21, 31] {
+            cache.inject_fault(3, bit); // "line D"
+        }
+        let report = cache.scrub();
+        assert!(report.fully_repaired(), "{report:?}");
+        assert_eq!(cache.read(1).unwrap(), golden[1]);
+        assert_eq!(cache.read(3).unwrap(), golden[3]);
+    }
+
+    #[test]
+    fn three_faulty_lines_two_bits_each_repaired_by_y() {
+        // Paper §IV-C: three two-bit-faulty lines → six mismatches; SDR
+        // still succeeds (99.9% of the time; this pattern has no overlaps).
+        let mut cache = small_cache(Scheme::Y);
+        let golden = populate(&mut cache);
+        cache.inject_fault(16, 1);
+        cache.inject_fault(16, 2);
+        cache.inject_fault(17, 3);
+        cache.inject_fault(17, 4);
+        cache.inject_fault(18, 5);
+        cache.inject_fault(18, 6);
+        let report = cache.scrub();
+        assert!(report.fully_repaired(), "{report:?}");
+        for idx in [16u64, 17, 18] {
+            assert_eq!(cache.read(idx).unwrap(), golden[idx as usize]);
+        }
+    }
+
+    #[test]
+    fn pair_sdr_extension_rescues_two_triple_fault_lines_without_hash2() {
+        // The pattern that defeats the paper's single-flip SDR under Y
+        // (two 3-fault lines) but needs no second hash with pair trials.
+        let build = |pair: bool| {
+            let mut config = SudokuConfig::small(Scheme::Y, 256, 16);
+            config.sdr_pair_trials = pair;
+            let mut cache = SudokuCache::new(config).unwrap();
+            let golden = populate(&mut cache);
+            for bit in [10, 20, 30] {
+                cache.inject_fault(1, bit);
+            }
+            for bit in [11, 21, 31] {
+                cache.inject_fault(3, bit);
+            }
+            (cache, golden)
+        };
+        let (mut plain, _) = build(false);
+        assert_eq!(plain.scrub().unresolved.len(), 2, "paper design fails");
+        let (mut paired, golden) = build(true);
+        let report = paired.scrub();
+        assert!(report.fully_repaired(), "{report:?}");
+        assert_eq!(paired.read(1).unwrap(), golden[1]);
+        assert_eq!(paired.read(3).unwrap(), golden[3]);
+    }
+
+    #[test]
+    fn pair_sdr_does_not_regress_standard_cases() {
+        let mut config = SudokuConfig::small(Scheme::Y, 256, 16);
+        config.sdr_pair_trials = true;
+        let mut cache = SudokuCache::new(config).unwrap();
+        let golden = populate(&mut cache);
+        cache.inject_fault(0, 5);
+        cache.inject_fault(0, 6);
+        cache.inject_fault(1, 7);
+        cache.inject_fault(1, 8);
+        let report = cache.scrub();
+        assert!(report.fully_repaired(), "{report:?}");
+        assert_eq!(cache.read(0).unwrap(), golden[0]);
+        assert_eq!(cache.read(1).unwrap(), golden[1]);
+    }
+
+    #[test]
+    fn sdr_respects_mismatch_cap() {
+        // Four faulty lines × 2 bits = 8 mismatches > 6: SDR must not even
+        // try (paper §IV-C), so Y leaves all four unresolved.
+        let mut cache = small_cache(Scheme::Y);
+        let _ = populate(&mut cache);
+        for (line, base) in [(16u64, 1usize), (17, 3), (18, 5), (19, 7)] {
+            cache.inject_fault(line, base);
+            cache.inject_fault(line, base + 100);
+        }
+        let report = cache.scrub();
+        assert_eq!(report.unresolved.len(), 4, "{report:?}");
+        assert_eq!(report.sdr_repairs, 0);
+    }
+
+    #[test]
+    fn write_to_faulty_line_keeps_parity_consistent() {
+        let mut cache = small_cache(Scheme::Z);
+        let golden = populate(&mut cache);
+        // Corrupt line 8, then overwrite it logically.
+        cache.inject_fault(8, 50);
+        cache.inject_fault(8, 51);
+        let new = data_with(&[9, 19, 29]);
+        cache.write(8, &new);
+        assert_eq!(cache.read(8).unwrap(), new);
+        // Parity must still protect the *other* lines of the group.
+        for bit in [101, 202, 303] {
+            cache.inject_fault(9, bit);
+        }
+        assert_eq!(cache.read(9).unwrap(), golden[9]);
+    }
+
+    #[test]
+    fn scrub_with_hints_equals_full_scrub() {
+        let build = || {
+            let mut c = small_cache(Scheme::Z);
+            populate(&mut c);
+            c.inject_fault(0, 1);
+            c.inject_fault(0, 2);
+            c.inject_fault(40, 7);
+            c
+        };
+        let mut full = build();
+        let mut hinted = build();
+        let r1 = full.scrub();
+        let r2 = hinted.scrub_lines(&[0, 40]);
+        assert_eq!(r1.unresolved, r2.unresolved);
+        assert_eq!(r1.sdr_repairs, r2.sdr_repairs);
+        for i in 0..256 {
+            assert_eq!(full.stored_line(i), hinted.stored_line(i), "line {i}");
+        }
+    }
+
+    #[test]
+    fn uncorrectable_read_returns_error() {
+        let mut cache = small_cache(Scheme::X);
+        let _ = populate(&mut cache);
+        // Two multibit lines in one group defeat SuDoku-X.
+        cache.inject_fault(0, 5);
+        cache.inject_fault(0, 6);
+        cache.inject_fault(1, 7);
+        cache.inject_fault(1, 8);
+        assert_eq!(cache.read(0), Err(UncorrectableError { line: 0 }));
+        assert!(cache.stats().due_lines >= 1);
+    }
+
+    #[test]
+    fn plt_write_traffic_counts_both_tables() {
+        let mut cache = small_cache(Scheme::Z);
+        let _ = populate(&mut cache);
+        // 256 writes × 2 PLTs.
+        assert_eq!(cache.plt_write_count(), 512);
+    }
+
+    #[test]
+    fn faults_in_metadata_region_are_recoverable_too() {
+        let mut cache = small_cache(Scheme::Y);
+        let golden = populate(&mut cache);
+        // Multi-bit faults spanning CRC and ECC fields of two grouped lines.
+        cache.inject_fault(0, 515);
+        cache.inject_fault(0, 545);
+        cache.inject_fault(1, 520);
+        cache.inject_fault(1, 549);
+        let report = cache.scrub();
+        assert!(report.fully_repaired(), "{report:?}");
+        assert_eq!(cache.read(0).unwrap(), golden[0]);
+        assert_eq!(cache.read(1).unwrap(), golden[1]);
+    }
+
+    #[test]
+    fn event_log_records_the_ladder() {
+        use crate::stats::RepairMechanism;
+        let mut cache = small_cache(Scheme::Z);
+        let golden = populate(&mut cache);
+        cache.inject_fault(7, 100); // single
+        let _ = cache.read(7);
+        for bit in [1, 2, 3] {
+            cache.inject_fault(20, bit); // RAID-4
+        }
+        let _ = cache.read(20);
+        cache.inject_fault(32, 11);
+        cache.inject_fault(32, 22);
+        cache.inject_fault(33, 33);
+        cache.inject_fault(33, 44);
+        cache.scrub_lines(&[32, 33]); // SDR + RAID-4
+        let mechanisms: Vec<RepairMechanism> = cache.events().iter().map(|e| e.mechanism).collect();
+        assert!(mechanisms.contains(&RepairMechanism::Ecc1));
+        assert!(mechanisms.contains(&RepairMechanism::Raid4));
+        assert!(mechanisms.contains(&RepairMechanism::Sdr));
+        assert!(!mechanisms.contains(&RepairMechanism::Due));
+        assert_eq!(cache.read(32).unwrap(), golden[32]);
+        cache.clear_events();
+        assert!(cache.events().is_empty());
+    }
+
+    #[test]
+    fn event_log_records_due_with_line() {
+        use crate::stats::RepairMechanism;
+        let mut cache = small_cache(Scheme::X);
+        let _ = populate(&mut cache);
+        cache.inject_fault(0, 1);
+        cache.inject_fault(0, 2);
+        cache.inject_fault(1, 3);
+        cache.inject_fault(1, 4);
+        cache.scrub();
+        let dues: Vec<u64> = cache
+            .events()
+            .iter()
+            .filter(|e| e.mechanism == RepairMechanism::Due)
+            .map(|e| e.line)
+            .collect();
+        assert_eq!(dues, vec![0, 1]);
+    }
+
+    #[test]
+    fn sparse_cache_behaves_like_dense_for_zero_data() {
+        let config = SudokuConfig::small(Scheme::Z, 256, 16);
+        let mut cache = SudokuCache::new_sparse(config).unwrap();
+        cache.inject_fault(7, 1);
+        cache.inject_fault(7, 2);
+        cache.inject_fault(8, 3);
+        cache.inject_fault(8, 4);
+        let report = cache.scrub_lines(&[7, 8]);
+        assert!(report.fully_repaired(), "{report:?}");
+        assert!(cache.is_line_valid(7) && cache.is_line_valid(8));
+        assert_eq!(cache.store().materialized(), 0, "faults fully reverted");
+    }
+}

@@ -1,0 +1,116 @@
+//! The Parity Line Table (paper §III-A, Figure 1).
+//!
+//! One parity line per RAID-Group, holding the XOR of all member lines'
+//! full stored codewords. The PLT lives in SRAM next to the STTRAM array,
+//! so — unlike the data lines — it does not suffer retention failures; it
+//! is updated on every logical write (read-modify-write of the parity,
+//! §III-B) and *not* on fault flips, which is precisely why a parity
+//! mismatch localizes faults.
+
+use serde::{Deserialize, Serialize};
+use sudoku_codes::ProtectedLine;
+
+/// A table of RAID-4 parity lines, one per group.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParityTable {
+    parities: Vec<ProtectedLine>,
+    writes: u64,
+}
+
+impl ParityTable {
+    /// A table for `n_groups` groups, all parities zero (consistent with an
+    /// all-zero cache, since the zero codeword is valid).
+    pub fn new(n_groups: u64) -> Self {
+        ParityTable {
+            parities: vec![ProtectedLine::zero(); n_groups as usize],
+            writes: 0,
+        }
+    }
+
+    /// Number of groups covered.
+    pub fn n_groups(&self) -> u64 {
+        self.parities.len() as u64
+    }
+
+    /// The stored parity line of `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    #[inline]
+    pub fn parity(&self, group: u64) -> &ProtectedLine {
+        &self.parities[group as usize]
+    }
+
+    /// Applies a logical write: the member line changed from `old` to
+    /// `new`, so XOR the difference into the group parity (the
+    /// read-modify-write of §III-B).
+    pub fn apply_write(&mut self, group: u64, old: &ProtectedLine, new: &ProtectedLine) {
+        let p = &mut self.parities[group as usize];
+        p.xor_assign(old);
+        p.xor_assign(new);
+        self.writes += 1;
+    }
+
+    /// Overwrites a group's parity (used when (re)initializing a cache).
+    pub fn set_parity(&mut self, group: u64, parity: ProtectedLine) {
+        self.parities[group as usize] = parity;
+    }
+
+    /// Number of parity updates performed (PLT write traffic, §VII-I).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudoku_codes::{group_parity, LineCodec, LineData};
+
+    #[test]
+    fn new_table_is_zero() {
+        let t = ParityTable::new(4);
+        assert_eq!(t.n_groups(), 4);
+        for g in 0..4 {
+            assert!(t.parity(g).is_zero());
+        }
+    }
+
+    #[test]
+    fn apply_write_tracks_group_parity() {
+        let codec = LineCodec::shared();
+        let mut t = ParityTable::new(1);
+        let mut members = vec![codec.encode(&LineData::zero()); 4];
+        // Write new data into members 1 and 3.
+        for (i, bit) in [(1usize, 10usize), (3, 200)] {
+            let mut d = LineData::zero();
+            d.set_bit(bit, true);
+            let new = codec.encode(&d);
+            t.apply_write(0, &members[i], &new);
+            members[i] = new;
+        }
+        assert_eq!(*t.parity(0), group_parity(members.iter()));
+        assert_eq!(t.write_count(), 2);
+    }
+
+    #[test]
+    fn writes_commute_and_cancel() {
+        let codec = LineCodec::shared();
+        let mut t = ParityTable::new(1);
+        let zero = codec.encode(&LineData::zero());
+        let mut d = LineData::zero();
+        d.set_bit(77, true);
+        let val = codec.encode(&d);
+        t.apply_write(0, &zero, &val);
+        t.apply_write(0, &val, &zero);
+        assert!(t.parity(0).is_zero());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_group_panics() {
+        let t = ParityTable::new(2);
+        t.parity(2);
+    }
+}

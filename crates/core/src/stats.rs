@@ -1,0 +1,258 @@
+//! Event counters and latency accounting (paper §VII-B).
+
+use serde::{Deserialize, Serialize};
+
+/// STTRAM read latency, 9 ns (Table VI).
+pub const STT_READ_NS: f64 = 9.0;
+/// STTRAM write latency, 18 ns (Table VI).
+pub const STT_WRITE_NS: f64 = 18.0;
+/// One 3.2 GHz core cycle, ≈0.3125 ns — the CRC/ECC syndrome check adds one.
+pub const SYNDROME_CHECK_NS: f64 = 1.0 / 3.2;
+
+/// Counters accumulated by a SuDoku cache across its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Logical reads served.
+    pub reads: u64,
+    /// Logical writes served.
+    pub writes: u64,
+    /// Lines examined by scrub passes.
+    pub lines_scrubbed: u64,
+    /// Single-bit repairs performed by per-line ECC-1.
+    pub ecc1_repairs: u64,
+    /// ECC-metadata regenerations (fault in the ECC field itself).
+    pub meta_repairs: u64,
+    /// Lines flagged multi-bit by CRC.
+    pub multibit_detections: u64,
+    /// Lines reconstructed by plain RAID-4 (paper §III-C.2).
+    pub raid4_repairs: u64,
+    /// Lines resurrected by SDR bit-flip trials (paper §IV).
+    pub sdr_repairs: u64,
+    /// Individual SDR flip-and-check trials attempted.
+    pub sdr_trials: u64,
+    /// Lines repaired only thanks to the Hash-2 dimension (paper §V).
+    pub hash2_repairs: u64,
+    /// Lines left detectably uncorrectable (DUE).
+    pub due_lines: u64,
+    /// Whole-group reads performed during recovery.
+    pub group_scans: u64,
+}
+
+impl CacheStats {
+    /// Total lines repaired by any mechanism.
+    pub fn total_repairs(&self) -> u64 {
+        self.ecc1_repairs + self.meta_repairs + self.raid4_repairs + self.sdr_repairs
+    }
+
+    /// Estimated time spent in recovery, in nanoseconds, using the paper's
+    /// §VII-B accounting: a group scan costs `group_lines` STTRAM reads,
+    /// each SDR trial a handful of cycles, each repair one write-back.
+    pub fn recovery_time_ns(&self, group_lines: u32) -> f64 {
+        let scan = self.group_scans as f64 * group_lines as f64 * STT_READ_NS;
+        let trials = self.sdr_trials as f64 * 4.0 * SYNDROME_CHECK_NS;
+        let writebacks = self.total_repairs() as f64 * STT_WRITE_NS;
+        scan + trials + writebacks
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.lines_scrubbed += other.lines_scrubbed;
+        self.ecc1_repairs += other.ecc1_repairs;
+        self.meta_repairs += other.meta_repairs;
+        self.multibit_detections += other.multibit_detections;
+        self.raid4_repairs += other.raid4_repairs;
+        self.sdr_repairs += other.sdr_repairs;
+        self.sdr_trials += other.sdr_trials;
+        self.hash2_repairs += other.hash2_repairs;
+        self.due_lines += other.due_lines;
+        self.group_scans += other.group_scans;
+    }
+}
+
+/// Which mechanism repaired (or failed to repair) a line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RepairMechanism {
+    /// Per-line ECC-1 fixed a payload bit.
+    Ecc1,
+    /// The ECC metadata field was regenerated.
+    EccField,
+    /// RAID-4 reconstruction from the group parity.
+    Raid4,
+    /// Sequential Data Resurrection.
+    Sdr,
+    /// Left detectably uncorrectable.
+    Due,
+}
+
+/// One entry of the cache's repair-event log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairEvent {
+    /// The affected line.
+    pub line: u64,
+    /// What happened.
+    pub mechanism: RepairMechanism,
+    /// Which hash dimension's group performed it (None for per-line
+    /// repairs and DUEs).
+    pub dim: Option<crate::hashing::HashDim>,
+}
+
+/// A bounded repair-event log: the most recent `capacity` events are kept
+/// (older ones are dropped), so long campaigns never grow unbounded.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    events: std::collections::VecDeque<RepairEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A log keeping at most `capacity` recent events (0 disables logging).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            events: std::collections::VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub fn push(&mut self, event: RepairEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &RepairEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (or suppressed) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears the retained events (the dropped counter survives).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+/// Outcome of one scrub pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Lines examined.
+    pub lines_checked: u64,
+    /// Per-line single-bit repairs (ECC-1).
+    pub ecc1_repairs: u64,
+    /// ECC-field regenerations.
+    pub meta_repairs: u64,
+    /// Lines that needed group-level recovery.
+    pub multibit_lines: u64,
+    /// Lines fixed by plain RAID-4 reconstruction.
+    pub raid4_repairs: u64,
+    /// Lines fixed by SDR.
+    pub sdr_repairs: u64,
+    /// Lines fixed only via the Hash-2 dimension.
+    pub hash2_repairs: u64,
+    /// Lines left uncorrectable (their indices) — a detectable
+    /// uncorrectable error (DUE) if non-empty.
+    pub unresolved: Vec<u64>,
+}
+
+impl ScrubReport {
+    /// Whether the scrub repaired everything it detected.
+    pub fn fully_repaired(&self) -> bool {
+        self.unresolved.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_time_matches_paper_magnitudes() {
+        // One RAID-4 repair over a 512-line group ≈ 4.6 µs of reads
+        // (paper §III-D: "approximately 4 µs per repair").
+        let stats = CacheStats {
+            group_scans: 1,
+            raid4_repairs: 1,
+            ..CacheStats::default()
+        };
+        let t = stats.recovery_time_ns(512);
+        assert!((4000.0..5000.0).contains(&t), "{t} ns");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats {
+            reads: 1,
+            sdr_trials: 5,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            reads: 2,
+            due_lines: 1,
+            ..CacheStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.sdr_trials, 5);
+        assert_eq!(a.due_lines, 1);
+    }
+
+    #[test]
+    fn empty_report_is_fully_repaired() {
+        assert!(ScrubReport::default().fully_repaired());
+    }
+
+    #[test]
+    fn event_log_bounded_and_fifo() {
+        let mut log = EventLog::with_capacity(3);
+        for line in 0..5u64 {
+            log.push(RepairEvent {
+                line,
+                mechanism: RepairMechanism::Ecc1,
+                dim: None,
+            });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let lines: Vec<u64> = log.iter().map(|e| e.line).collect();
+        assert_eq!(lines, vec![2, 3, 4]);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_log_suppresses_everything() {
+        let mut log = EventLog::with_capacity(0);
+        log.push(RepairEvent {
+            line: 9,
+            mechanism: RepairMechanism::Due,
+            dim: None,
+        });
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Line storage backends.
+//!
+//! The SuDoku machinery is generic over where the stored lines live:
+//!
+//! * [`DenseStore`] materializes every line — the natural choice for
+//!   functional tests, examples, and small caches;
+//! * [`SparseStore`] materializes only lines that differ from the all-zero
+//!   codeword. Because the fault process is independent of data values and
+//!   every code in the stack is linear, reliability campaigns can WLOG use
+//!   zero data everywhere — a full-size 64 MB cache interval then touches
+//!   only the ~1700 faulty lines, keeping Monte-Carlo at paper scale cheap.
+
+use std::collections::HashMap;
+use sudoku_codes::ProtectedLine;
+
+/// Abstract access to the stored (possibly faulty) lines of a cache.
+///
+/// Lines are `Copy` 70-byte values; `line` returns by value.
+pub trait LineStore {
+    /// Number of lines.
+    fn n_lines(&self) -> u64;
+
+    /// Reads the stored line at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    fn line(&self, idx: u64) -> ProtectedLine;
+
+    /// Overwrites the stored line at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    fn set_line(&mut self, idx: u64, line: ProtectedLine);
+
+    /// Flips one stored bit in place (fault injection — no parity update).
+    fn flip_bit(&mut self, idx: u64, bit: usize) {
+        let mut l = self.line(idx);
+        l.flip_bit(bit);
+        self.set_line(idx, l);
+    }
+
+    /// Whether the line at `idx` might differ from the all-zero codeword.
+    ///
+    /// Sparse stores return `false` for untouched lines, letting group
+    /// scans skip work that cannot change anything (the zero codeword is
+    /// valid and XOR-neutral). Dense stores conservatively return `true`.
+    fn is_materialized(&self, _idx: u64) -> bool {
+        true
+    }
+}
+
+/// Fully materialized storage.
+#[derive(Clone, Debug)]
+pub struct DenseStore {
+    lines: Vec<ProtectedLine>,
+}
+
+impl DenseStore {
+    /// `n_lines` lines, all initialized to the (valid) zero codeword.
+    pub fn new(n_lines: u64) -> Self {
+        DenseStore {
+            lines: vec![ProtectedLine::zero(); n_lines as usize],
+        }
+    }
+
+    /// Direct slice access (tests).
+    pub fn as_slice(&self) -> &[ProtectedLine] {
+        &self.lines
+    }
+}
+
+impl LineStore for DenseStore {
+    fn n_lines(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    fn line(&self, idx: u64) -> ProtectedLine {
+        self.lines[idx as usize]
+    }
+
+    fn set_line(&mut self, idx: u64, line: ProtectedLine) {
+        self.lines[idx as usize] = line;
+    }
+}
+
+/// Sparse storage: unmaterialized lines read as the zero codeword.
+#[derive(Clone, Debug)]
+pub struct SparseStore {
+    n_lines: u64,
+    touched: HashMap<u64, ProtectedLine>,
+}
+
+impl SparseStore {
+    /// A sparse store over `n_lines` logical lines.
+    pub fn new(n_lines: u64) -> Self {
+        SparseStore {
+            n_lines,
+            touched: HashMap::new(),
+        }
+    }
+
+    /// Number of materialized (non-default) entries.
+    pub fn materialized(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Iterates over materialized `(index, line)` pairs in arbitrary order.
+    pub fn iter_touched(&self) -> impl Iterator<Item = (u64, &ProtectedLine)> {
+        self.touched.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Drops entries that have returned to the zero codeword (keeps
+    /// long-running campaigns compact).
+    pub fn compact(&mut self) {
+        self.touched.retain(|_, l| !l.is_zero());
+    }
+
+    /// Resets every line to the zero codeword.
+    pub fn clear(&mut self) {
+        self.touched.clear();
+    }
+}
+
+impl LineStore for SparseStore {
+    fn n_lines(&self) -> u64 {
+        self.n_lines
+    }
+
+    fn line(&self, idx: u64) -> ProtectedLine {
+        assert!(idx < self.n_lines, "line {idx} out of range");
+        self.touched.get(&idx).copied().unwrap_or_default()
+    }
+
+    fn set_line(&mut self, idx: u64, line: ProtectedLine) {
+        assert!(idx < self.n_lines, "line {idx} out of range");
+        if line.is_zero() {
+            self.touched.remove(&idx);
+        } else {
+            self.touched.insert(idx, line);
+        }
+    }
+
+    fn is_materialized(&self, idx: u64) -> bool {
+        self.touched.contains_key(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudoku_codes::{LineCodec, LineData};
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut s = DenseStore::new(8);
+        let codec = LineCodec::shared();
+        let mut d = LineData::zero();
+        d.set_bit(1, true);
+        let line = codec.encode(&d);
+        s.set_line(3, line);
+        assert_eq!(s.line(3), line);
+        assert!(s.line(0).is_zero());
+    }
+
+    #[test]
+    fn sparse_default_is_zero_codeword() {
+        let s = SparseStore::new(1 << 20);
+        assert!(s.line(12345).is_zero());
+        assert_eq!(s.materialized(), 0);
+    }
+
+    #[test]
+    fn sparse_set_and_revert() {
+        let mut s = SparseStore::new(100);
+        let mut l = ProtectedLine::zero();
+        l.flip_bit(7);
+        s.set_line(42, l);
+        assert_eq!(s.materialized(), 1);
+        assert_eq!(s.line(42), l);
+        s.set_line(42, ProtectedLine::zero());
+        assert_eq!(s.materialized(), 0);
+    }
+
+    #[test]
+    fn flip_bit_default_impl_works_on_sparse() {
+        let mut s = SparseStore::new(10);
+        s.flip_bit(5, 100);
+        assert!(s.line(5).bit(100));
+        s.flip_bit(5, 100);
+        assert_eq!(s.materialized(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sparse_out_of_range_panics() {
+        SparseStore::new(10).line(10);
+    }
+}

@@ -1,0 +1,157 @@
+//! Permanent (stuck-at) fault support.
+//!
+//! The paper notes (§I, §VI) that while SuDoku targets transient faults, it
+//! also tolerates permanent faults — e.g. SRAM cells that persistently fail
+//! below V_min — without the boot-time testing prior schemes require. A
+//! [`StuckBitMap`] models such cells: after every write, the stuck bits
+//! reassert their stuck value.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use sudoku_codes::{ProtectedLine, TOTAL_BITS};
+
+/// A stuck-at fault: the bit always reads back `stuck_value`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StuckBit {
+    /// Stored-bit position within the line (0..553).
+    pub bit: u16,
+    /// The value the cell is stuck at.
+    pub stuck_value: bool,
+}
+
+/// Map from line index to that line's stuck bits.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StuckBitMap {
+    faults: BTreeMap<u64, Vec<StuckBit>>,
+}
+
+impl StuckBitMap {
+    /// An empty map (no permanent faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates a map where each stored bit of each of `n_lines` lines is
+    /// permanently faulty with probability `ber`, stuck at a random value.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, n_lines: u64, ber: f64) -> Self {
+        let mut faults: BTreeMap<u64, Vec<StuckBit>> = BTreeMap::new();
+        let p_line = -((TOTAL_BITS as f64) * (-ber).ln_1p()).exp_m1();
+        let n_faulty = crate::injector::sample_binomial(rng, n_lines, p_line);
+        for line in crate::injector::choose_distinct(rng, n_lines, n_faulty) {
+            let k = crate::injector::sample_binomial_at_least_one(rng, TOTAL_BITS as u64, ber);
+            let bits = crate::injector::choose_distinct(rng, TOTAL_BITS as u64, k);
+            faults.insert(
+                line,
+                bits.into_iter()
+                    .map(|b| StuckBit {
+                        bit: b as u16,
+                        stuck_value: rng.gen(),
+                    })
+                    .collect(),
+            );
+        }
+        StuckBitMap { faults }
+    }
+
+    /// Adds a stuck bit to a line.
+    pub fn insert(&mut self, line: u64, bit: u16, stuck_value: bool) {
+        assert!((bit as usize) < TOTAL_BITS, "bit index out of range");
+        self.faults
+            .entry(line)
+            .or_default()
+            .push(StuckBit { bit, stuck_value });
+    }
+
+    /// Number of lines with at least one stuck bit.
+    pub fn faulty_lines(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Total number of stuck bits.
+    pub fn total_stuck_bits(&self) -> usize {
+        self.faults.values().map(Vec::len).sum()
+    }
+
+    /// The stuck bits of `line`, if any.
+    pub fn stuck_bits(&self, line: u64) -> Option<&[StuckBit]> {
+        self.faults.get(&line).map(Vec::as_slice)
+    }
+
+    /// Reasserts the stuck values onto a stored line (call after every
+    /// write to that line). Returns how many bits actually changed.
+    pub fn apply(&self, line: u64, stored: &mut ProtectedLine) -> usize {
+        let Some(bits) = self.faults.get(&line) else {
+            return 0;
+        };
+        let mut changed = 0;
+        for sb in bits {
+            if stored.bit(sb.bit as usize) != sb.stuck_value {
+                stored.flip_bit(sb.bit as usize);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Iterates over `(line, stuck bits)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[StuckBit])> {
+        self.faults.iter().map(|(l, v)| (*l, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sudoku_codes::{LineCodec, LineData};
+
+    #[test]
+    fn empty_map_changes_nothing() {
+        let map = StuckBitMap::new();
+        let mut line = LineCodec::shared().encode(&LineData::zero());
+        let golden = line;
+        assert_eq!(map.apply(0, &mut line), 0);
+        assert_eq!(line, golden);
+    }
+
+    #[test]
+    fn stuck_bit_reasserts_after_write() {
+        let mut map = StuckBitMap::new();
+        map.insert(7, 100, true);
+        let codec = LineCodec::shared();
+        let mut line = codec.encode(&LineData::zero()); // bit 100 is 0
+        assert_eq!(map.apply(7, &mut line), 1);
+        assert!(line.bit(100));
+        // Re-applying is idempotent.
+        assert_eq!(map.apply(7, &mut line), 0);
+    }
+
+    #[test]
+    fn stuck_value_false_clears_set_bit() {
+        let mut map = StuckBitMap::new();
+        map.insert(0, 5, false);
+        let codec = LineCodec::shared();
+        let mut data = LineData::zero();
+        data.set_bit(5, true);
+        let mut line = codec.encode(&data);
+        assert_eq!(map.apply(0, &mut line), 1);
+        assert!(!line.bit(5));
+    }
+
+    #[test]
+    fn random_map_density_matches_ber() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let map = StuckBitMap::random(&mut rng, 10_000, 1e-3);
+        // Expected stuck bits: 10_000 × 553 × 1e-3 ≈ 5530.
+        let total = map.total_stuck_bits() as f64;
+        assert!((4800.0..6300.0).contains(&total), "{total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bit_rejected() {
+        StuckBitMap::new().insert(0, 600, true);
+    }
+}

@@ -1,0 +1,158 @@
+//! Scrub scheduling and bandwidth accounting (paper §II-D, §VII-E).
+//!
+//! STTRAM cannot be refreshed like DRAM: a thermally flipped cell holds the
+//! *wrong* value, so each line must be read, ECC-checked/corrected, and
+//! written back — a scrub. The scrub interval bounds how many faults can
+//! accumulate per line and therefore sets the BER every correction scheme
+//! must survive.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in one hour.
+pub const SECONDS_PER_HOUR: f64 = 3600.0;
+/// Hours in the FIT reference period (10⁹ device-hours).
+pub const FIT_HOURS: f64 = 1e9;
+
+/// A periodic scrub schedule.
+///
+/// # Examples
+///
+/// ```
+/// use sudoku_fault::ScrubSchedule;
+///
+/// let scrub = ScrubSchedule::new(20e-3);
+/// assert_eq!(scrub.intervals_per_hour(), 180_000.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScrubSchedule {
+    interval_s: f64,
+}
+
+impl ScrubSchedule {
+    /// A schedule scrubbing the whole cache every `interval_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s <= 0`.
+    pub fn new(interval_s: f64) -> Self {
+        assert!(interval_s > 0.0, "scrub interval must be positive");
+        ScrubSchedule { interval_s }
+    }
+
+    /// The paper's default 20 ms schedule.
+    pub fn paper_default() -> Self {
+        ScrubSchedule::new(20e-3)
+    }
+
+    /// Scrub interval in seconds.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
+    }
+
+    /// Number of scrub intervals per hour.
+    pub fn intervals_per_hour(&self) -> f64 {
+        SECONDS_PER_HOUR / self.interval_s
+    }
+
+    /// Number of scrub intervals in the FIT reference period (10⁹ h).
+    pub fn intervals_per_billion_hours(&self) -> f64 {
+        self.intervals_per_hour() * FIT_HOURS
+    }
+
+    /// Converts a per-interval failure probability into a FIT rate
+    /// (expected failures per 10⁹ hours). Uses the exact hazard-rate form
+    /// `−ln(1−p)` so it stays meaningful when `p` is not small.
+    pub fn fit_rate(&self, p_fail_per_interval: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p_fail_per_interval),
+            "probability out of range"
+        );
+        if p_fail_per_interval >= 1.0 {
+            return f64::INFINITY;
+        }
+        let hazard_per_interval = -(-p_fail_per_interval).ln_1p();
+        hazard_per_interval * self.intervals_per_billion_hours()
+    }
+
+    /// Linearized FIT: `p × intervals-per-10⁹h`, the form the paper's
+    /// tables use. Identical to [`ScrubSchedule::fit_rate`] for small `p`;
+    /// for `p` near 1 it caps at one failure per interval instead of
+    /// diverging (Table XI's CPPC row is in this regime).
+    pub fn fit_rate_linear(&self, p_fail_per_interval: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p_fail_per_interval),
+            "probability out of range"
+        );
+        p_fail_per_interval * self.intervals_per_billion_hours()
+    }
+
+    /// Mean time to failure in hours implied by a per-interval failure
+    /// probability.
+    pub fn mttf_hours(&self, p_fail_per_interval: f64) -> f64 {
+        let fit = self.fit_rate(p_fail_per_interval);
+        FIT_HOURS / fit
+    }
+
+    /// Fraction of time the cache is busy scrubbing, given a line count and
+    /// the per-line scrub cost, assuming `banks` lines can be scrubbed in
+    /// parallel (paper footnote 1 argues this stays at a few percent).
+    pub fn bandwidth_fraction(&self, lines: u64, per_line_s: f64, banks: u32) -> f64 {
+        assert!(banks >= 1, "at least one bank required");
+        let serial = lines as f64 * per_line_s / banks as f64;
+        serial / self.interval_s
+    }
+}
+
+impl Default for ScrubSchedule {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_20ms() {
+        assert_eq!(ScrubSchedule::default().interval_s(), 20e-3);
+    }
+
+    #[test]
+    fn fit_of_small_probability_is_linear() {
+        let s = ScrubSchedule::paper_default();
+        let p = 1e-12;
+        let fit = s.fit_rate(p);
+        let expect = p * 180_000.0 * 1e9;
+        assert!((fit / expect - 1.0).abs() < 1e-9, "{fit} vs {expect}");
+    }
+
+    #[test]
+    fn fit_of_certain_failure_is_infinite() {
+        assert!(ScrubSchedule::paper_default().fit_rate(1.0).is_infinite());
+    }
+
+    #[test]
+    fn mttf_roundtrip_matches_paper_sudoku_x() {
+        // Paper §III-F: an uncorrectable line every 3.71 s at 20 ms interval
+        // corresponds to p_fail ≈ 0.02/3.71 per interval.
+        let s = ScrubSchedule::paper_default();
+        let p = 0.02 / 3.71;
+        let mttf_s = s.mttf_hours(p) * 3600.0;
+        assert!((3.4..4.1).contains(&mttf_s), "{mttf_s}");
+    }
+
+    #[test]
+    fn bandwidth_64mb_with_banking_is_a_few_percent() {
+        // 2^20 lines, 9 ns per line read, 32 banks, 20 ms interval.
+        let s = ScrubSchedule::paper_default();
+        let frac = s.bandwidth_fraction(1 << 20, 9e-9, 32);
+        assert!((0.005..0.05).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interval_rejected() {
+        ScrubSchedule::new(0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sudoku-reliability
+//!
+//! Reliability evaluation for the SuDoku STTRAM reproduction (DSN 2019):
+//!
+//! * [`analytic`] — binomial-tail FIT/MTTF models for the uniform-ECC
+//!   ladder (Table II), SuDoku-X/Y/Z (Figure 7) and the related-work
+//!   baselines (Tables XI/XII), all computed in log space;
+//! * [`montecarlo`] — fault-injection campaigns that drive the *actual*
+//!   `sudoku-core` correction engines, cross-validating the analytic models
+//!   and reproducing the SDR case statistics of paper §IV;
+//! * [`math`] — the underlying log-gamma/binomial machinery.
+//!
+//! # Example: Table II in four lines
+//!
+//! ```
+//! use sudoku_reliability::analytic::{ecc_fit, Params};
+//!
+//! let params = Params::paper_default();
+//! let fit6 = ecc_fit(&params, 6);
+//! assert!(fit6 < 1.0, "ECC-6 meets the 1-FIT target: {fit6}");
+//! assert!(ecc_fit(&params, 5) > 1.0, "ECC-5 does not");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analytic;
+pub mod ecc2;
+pub mod math;
+pub mod montecarlo;

@@ -1,0 +1,216 @@
+//! Log-space probability helpers.
+//!
+//! The paper's reliability figures span ~30 orders of magnitude (line
+//! failure probabilities of 10⁻²² up to FIT rates of 10¹⁴), so every
+//! binomial quantity here is computed through log-gamma.
+
+/// Natural log of the gamma function (Lanczos approximation, |err| < 1e-13
+/// for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    // Lanczos g = 7, n = 9 coefficients.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// ln C(n, k).
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "k must not exceed n");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Binomial pmf P(X = k) for X ~ Binomial(n, p), exact in log space.
+pub fn binom_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln_p = p.ln();
+    let ln_q = (-p).ln_1p();
+    (ln_choose(n, k) + k as f64 * ln_p + (n - k) as f64 * ln_q).exp()
+}
+
+/// Upper tail P(X ≥ k) for X ~ Binomial(n, p).
+///
+/// For the far upper tail (k > n·p, the regime every reliability number
+/// here lives in) the series Σ_{j≥k} pmf(j) converges geometrically and is
+/// summed directly; otherwise the complement is used.
+pub fn binom_sf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    let mean = n as f64 * p;
+    if (k as f64) > mean {
+        // Sum upward until terms vanish.
+        let mut total = 0.0f64;
+        let mut j = k;
+        let mut term = binom_pmf(n, j, p);
+        loop {
+            total += term;
+            if j == n {
+                break;
+            }
+            // pmf(j+1)/pmf(j) = (n-j)/(j+1) * p/q
+            let ratio = (n - j) as f64 / (j + 1) as f64 * p / (1.0 - p);
+            term *= ratio;
+            j += 1;
+            if term < total * 1e-18 || term < 1e-300 {
+                break;
+            }
+        }
+        total.min(1.0)
+    } else {
+        // Lower regime: 1 − P(X ≤ k−1) summed from 0.
+        let mut below = 0.0f64;
+        for j in 0..k {
+            below += binom_pmf(n, j, p);
+        }
+        (1.0 - below).clamp(0.0, 1.0)
+    }
+}
+
+/// 1 − (1 − p)^n without cancellation: the probability that at least one of
+/// `n` independent events (each probability `p`) occurs.
+pub fn p_any(n: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if p == 0.0 || n == 0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    (-((n as f64) * (-p).ln_1p()).exp_m1()).clamp(0.0, 1.0)
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(low, high)` at the given normal quantile `z` (1.96 ≈ 95 %).
+pub fn wilson_ci(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "trials must be positive");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let n = trials as f64;
+    let phat = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (phat + z2 / (2.0 * n)) / denom;
+    let margin = z * ((phat * (1.0 - phat) + z2 / (4.0 * n)) / n).sqrt() / denom;
+    ((center - margin).max(0.0), (center + margin).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for (n, fact) in [(1u64, 1f64), (2, 1.0), (5, 24.0), (10, 362880.0)] {
+            let err = (ln_gamma(n as f64) - fact.ln()).abs();
+            assert!(err < 1e-10, "n = {n}, err = {err}");
+        }
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(52, 5) - 2_598_960f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one_small() {
+        let (n, p) = (20u64, 0.3);
+        let total: f64 = (0..=n).map(|k| binom_pmf(n, k, p)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "{total}");
+    }
+
+    #[test]
+    fn sf_matches_direct_sum_small() {
+        let (n, p) = (30u64, 0.1);
+        for k in 0..=n {
+            let direct: f64 = (k..=n).map(|j| binom_pmf(n, j, p)).sum();
+            let sf = binom_sf(n, k, p);
+            assert!((sf - direct).abs() < 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn sf_deep_tail_is_finite_and_positive() {
+        // P(≥7 faults in 553 bits at p = 5.3e-6) — the ECC-6 line-failure
+        // probability of Table II, ~4e-22.
+        let sf = binom_sf(553, 7, 5.3e-6);
+        assert!(sf > 1e-23 && sf < 1e-20, "{sf}");
+    }
+
+    #[test]
+    fn sf_matches_paper_table2_ecc1() {
+        // Paper: P(≥2 faults) ≈ 3.9e-6 over a 522-bit ECC-1 line.
+        let sf = binom_sf(522, 2, 5.3e-6);
+        assert!((3.0e-6..5.0e-6).contains(&sf), "{sf}");
+    }
+
+    #[test]
+    fn p_any_tiny_p_linearizes() {
+        let p = 1e-15;
+        let n = 1u64 << 20;
+        let got = p_any(n, p);
+        let expect = n as f64 * p;
+        assert!((got / expect - 1.0).abs() < 1e-6, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn p_any_saturates() {
+        assert!((p_any(1_000_000, 0.01) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_contains_truth_for_fair_coin() {
+        let (lo, hi) = wilson_ci(480, 1000, 1.96);
+        assert!(lo < 0.5 && 0.5 < hi, "({lo}, {hi})");
+        assert!(lo > 0.44 && hi < 0.52);
+    }
+
+    #[test]
+    fn wilson_zero_successes() {
+        let (lo, hi) = wilson_ci(0, 100, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.06);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive argument")]
+    fn ln_gamma_rejects_non_positive() {
+        ln_gamma(0.0);
+    }
+}

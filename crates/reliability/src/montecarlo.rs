@@ -1,0 +1,610 @@
+//! Monte-Carlo fault-injection campaigns driving the *real* SuDoku engines.
+//!
+//! The analytic models in [`crate::analytic`] enumerate failure conditions
+//! by hand; the campaigns here validate them behaviourally: every trial
+//! injects a statistically exact per-interval fault pattern into a (sparse,
+//! full-size) cache and runs the actual scrubber from `sudoku-core`. Because
+//! data values are irrelevant to the fault process and all codes are linear,
+//! trials use the all-zero golden state WLOG — any line that ends an
+//! interval non-zero yet CRC-valid is a silent data corruption.
+//!
+//! Two campaign shapes:
+//!
+//! * [`run_interval_campaign`] — unconditional intervals at a given BER;
+//!   estimates the per-interval DUE probability (and hence MTTF/FIT) of
+//!   SuDoku-X at full scale, exactly the quantity of paper §III-F;
+//! * [`run_group_campaign`] — conditional trials that *place* a chosen
+//!   fault pattern (e.g. two lines × two faults) in one RAID-Group and
+//!   measure the engine's repair success, reproducing the SDR case
+//!   percentages of paper §IV-B/C and feeding the rare-event estimates of
+//!   SuDoku-Y/Z.
+
+use crate::math::wilson_ci;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sudoku_codes::TOTAL_BITS;
+use sudoku_core::{CacheGeometry, Scheme, SudokuCache, SudokuConfig};
+use sudoku_fault::{choose_distinct, FaultInjector, ScrubSchedule};
+
+/// Configuration of an unconditional interval campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct McConfig {
+    /// SuDoku variant under test.
+    pub scheme: Scheme,
+    /// Cache size in lines.
+    pub lines: u64,
+    /// RAID-Group size in lines.
+    pub group: u32,
+    /// Per-interval bit error rate.
+    pub ber: f64,
+    /// Number of independent intervals to simulate.
+    pub trials: u64,
+    /// Base RNG seed (trial i uses `seed + i`).
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Scrub schedule, for FIT/MTTF conversion of the measured rate.
+    pub scrub: ScrubSchedule,
+}
+
+impl McConfig {
+    /// Paper-scale defaults: 64 MB cache, 512-line groups, BER 5.3×10⁻⁶.
+    pub fn paper_default(scheme: Scheme, trials: u64, seed: u64) -> Self {
+        McConfig {
+            scheme,
+            lines: 1 << 20,
+            group: 512,
+            ber: 5.3e-6,
+            trials,
+            seed,
+            threads: 0,
+            scrub: ScrubSchedule::paper_default(),
+        }
+    }
+
+    fn sudoku_config(&self) -> SudokuConfig {
+        SudokuConfig {
+            geometry: CacheGeometry::with_lines(self.lines),
+            scheme: self.scheme,
+            group_lines: self.group,
+            max_sdr_mismatches: 6,
+            sdr_pair_trials: false,
+            scrub: self.scrub,
+        }
+    }
+}
+
+/// Outcome of one simulated interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalOutcome {
+    /// Faulty lines injected.
+    pub faulty_lines: u32,
+    /// Faulty bits injected.
+    pub faulty_bits: u32,
+    /// Lines that needed group recovery.
+    pub multibit_lines: u32,
+    /// Lines repaired by plain RAID-4.
+    pub raid4_repairs: u32,
+    /// Lines repaired by SDR.
+    pub sdr_repairs: u32,
+    /// Lines repaired via Hash-2.
+    pub hash2_repairs: u32,
+    /// Detectably uncorrectable lines at interval end.
+    pub due_lines: u32,
+    /// Silently corrupted lines at interval end.
+    pub sdc_lines: u32,
+}
+
+/// Aggregate of an interval campaign.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Intervals simulated.
+    pub trials: u64,
+    /// Intervals with ≥ 1 DUE line.
+    pub due_intervals: u64,
+    /// Intervals with ≥ 1 SDC line.
+    pub sdc_intervals: u64,
+    /// Total faulty bits injected.
+    pub faulty_bits: u64,
+    /// Total multi-bit lines observed.
+    pub multibit_lines: u64,
+    /// Total RAID-4 repairs.
+    pub raid4_repairs: u64,
+    /// Total SDR repairs.
+    pub sdr_repairs: u64,
+    /// Total Hash-2 repairs.
+    pub hash2_repairs: u64,
+}
+
+impl CampaignSummary {
+    /// Estimated per-interval DUE probability.
+    pub fn due_rate(&self) -> f64 {
+        self.due_intervals as f64 / self.trials as f64
+    }
+
+    /// 95 % Wilson interval on the per-interval DUE probability.
+    pub fn due_rate_ci(&self) -> (f64, f64) {
+        wilson_ci(self.due_intervals, self.trials, 1.96)
+    }
+
+    /// Measured MTTF in seconds for a given scrub schedule (∞ if no DUE
+    /// was observed).
+    pub fn mttf_seconds(&self, scrub: &ScrubSchedule) -> f64 {
+        let rate = self.due_rate();
+        if rate == 0.0 {
+            f64::INFINITY
+        } else {
+            scrub.interval_s() / rate
+        }
+    }
+
+    /// Measured FIT for a given scrub schedule.
+    pub fn fit(&self, scrub: &ScrubSchedule) -> f64 {
+        scrub.fit_rate_linear(self.due_rate())
+    }
+}
+
+/// Simulates one scrub interval; deterministic in `(cfg, trial_seed)`.
+pub fn run_interval(cfg: &McConfig, trial_seed: u64) -> IntervalOutcome {
+    let mut cache =
+        SudokuCache::new_sparse(cfg.sudoku_config()).expect("valid Monte-Carlo configuration");
+    let mut injector = FaultInjector::new(cfg.ber, trial_seed);
+    let plan = injector.cache_plan(cfg.lines);
+    let mut hints = Vec::with_capacity(plan.len());
+    let mut faulty_bits = 0u32;
+    for lf in &plan {
+        let positions = choose_distinct(injector.rng(), TOTAL_BITS as u64, lf.faults as u64);
+        for pos in positions {
+            cache.inject_fault(lf.line, pos as usize);
+        }
+        faulty_bits += lf.faults;
+        hints.push(lf.line);
+    }
+    let report = cache.scrub_lines(&hints);
+    let mut sdc_lines = 0u32;
+    for (idx, line) in cache.store().iter_touched() {
+        if !line.is_zero() && !report.unresolved.contains(&idx) {
+            sdc_lines += 1;
+        }
+    }
+    IntervalOutcome {
+        faulty_lines: plan.len() as u32,
+        faulty_bits,
+        multibit_lines: report.multibit_lines as u32,
+        raid4_repairs: report.raid4_repairs as u32,
+        sdr_repairs: report.sdr_repairs as u32,
+        hash2_repairs: report.hash2_repairs as u32,
+        due_lines: report.unresolved.len() as u32,
+        sdc_lines,
+    }
+}
+
+fn worker_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Runs `cfg.trials` independent intervals, sharded across threads.
+pub fn run_interval_campaign(cfg: &McConfig) -> CampaignSummary {
+    let threads = worker_threads(cfg.threads).min(cfg.trials.max(1) as usize);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let results: Vec<CampaignSummary> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move |_| {
+                    let mut local = CampaignSummary::default();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= cfg.trials {
+                            break;
+                        }
+                        let o = run_interval(cfg, cfg.seed.wrapping_add(i));
+                        local.trials += 1;
+                        local.due_intervals += (o.due_lines > 0) as u64;
+                        local.sdc_intervals += (o.sdc_lines > 0) as u64;
+                        local.faulty_bits += o.faulty_bits as u64;
+                        local.multibit_lines += o.multibit_lines as u64;
+                        local.raid4_repairs += o.raid4_repairs as u64;
+                        local.sdr_repairs += o.sdr_repairs as u64;
+                        local.hash2_repairs += o.hash2_repairs as u64;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    })
+    .expect("campaign scope");
+    let mut total = CampaignSummary::default();
+    for r in results {
+        total.trials += r.trials;
+        total.due_intervals += r.due_intervals;
+        total.sdc_intervals += r.sdc_intervals;
+        total.faulty_bits += r.faulty_bits;
+        total.multibit_lines += r.multibit_lines;
+        total.raid4_repairs += r.raid4_repairs;
+        total.sdr_repairs += r.sdr_repairs;
+        total.hash2_repairs += r.hash2_repairs;
+    }
+    total
+}
+
+/// Outcome of a lifetime run: consecutive intervals simulated until the
+/// first DUE or the cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifetimeOutcome {
+    /// Intervals survived before the failure (== `cap` if none occurred).
+    pub intervals_survived: u64,
+    /// Whether a DUE terminated the run.
+    pub failed: bool,
+}
+
+/// Simulates consecutive scrub intervals on one cache until the first DUE
+/// or `max_intervals`. Successful scrubs restore the pristine state, so
+/// the time-to-first-failure is geometric in the per-interval DUE
+/// probability — this run measures it directly rather than assuming it.
+pub fn run_lifetime(cfg: &McConfig, max_intervals: u64, seed: u64) -> LifetimeOutcome {
+    let mut cache =
+        SudokuCache::new_sparse(cfg.sudoku_config()).expect("valid Monte-Carlo configuration");
+    let mut injector = FaultInjector::new(cfg.ber, seed);
+    for interval in 0..max_intervals {
+        let plan = injector.cache_plan(cfg.lines);
+        let mut hints = Vec::with_capacity(plan.len());
+        for lf in &plan {
+            for pos in choose_distinct(injector.rng(), TOTAL_BITS as u64, lf.faults as u64) {
+                cache.inject_fault(lf.line, pos as usize);
+            }
+            hints.push(lf.line);
+        }
+        let report = cache.scrub_lines(&hints);
+        if !report.fully_repaired() {
+            return LifetimeOutcome {
+                intervals_survived: interval,
+                failed: true,
+            };
+        }
+    }
+    LifetimeOutcome {
+        intervals_survived: max_intervals,
+        failed: false,
+    }
+}
+
+/// Runs `runs` independent lifetimes and reports the censored-mean MTTF.
+pub fn run_lifetime_campaign(
+    cfg: &McConfig,
+    runs: u64,
+    max_intervals: u64,
+    seed: u64,
+) -> (f64, u64) {
+    let mut total_intervals = 0u64;
+    let mut failures = 0u64;
+    for r in 0..runs {
+        let o = run_lifetime(
+            cfg,
+            max_intervals,
+            seed.wrapping_add(r.wrapping_mul(0x9E37)),
+        );
+        // The failing interval itself counts toward the lifetime (a run
+        // that dies immediately lived one interval, not zero).
+        total_intervals += o.intervals_survived + o.failed as u64;
+        failures += o.failed as u64;
+    }
+    let mttf_s = if failures == 0 {
+        f64::INFINITY
+    } else {
+        total_intervals as f64 / failures as f64 * cfg.scrub.interval_s()
+    };
+    (mttf_s, failures)
+}
+
+/// A conditional scenario: `fault_counts[i]` faults are injected into the
+/// i-th of several distinct lines of one Hash-1 RAID-Group, at uniformly
+/// random distinct bit positions per line.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupScenario {
+    /// SuDoku variant under test.
+    pub scheme: Scheme,
+    /// RAID-Group size in lines.
+    pub group: u32,
+    /// Faults per affected line (length = number of faulty lines).
+    pub fault_counts: Vec<u32>,
+    /// Enable the pair-flip SDR extension (off = the paper's design).
+    pub pair_sdr: bool,
+}
+
+impl GroupScenario {
+    /// The canonical SuDoku-Y stress case: two lines, two faults each
+    /// (paper Figure 3).
+    pub fn two_by_two(scheme: Scheme, group: u32) -> Self {
+        GroupScenario {
+            scheme,
+            group,
+            fault_counts: vec![2, 2],
+            pair_sdr: false,
+        }
+    }
+
+    fn lines_needed(&self) -> u64 {
+        // group² lines give Hash-2 its disjointness guarantee.
+        self.group as u64 * self.group as u64
+    }
+
+    fn sudoku_config(&self) -> SudokuConfig {
+        SudokuConfig {
+            geometry: CacheGeometry::with_lines(self.lines_needed()),
+            scheme: self.scheme,
+            group_lines: self.group,
+            max_sdr_mismatches: 6,
+            sdr_pair_trials: self.pair_sdr,
+            scrub: ScrubSchedule::paper_default(),
+        }
+    }
+}
+
+/// Result of a conditional group campaign.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupCampaignSummary {
+    /// Trials run.
+    pub trials: u64,
+    /// Trials in which every injected line was restored to golden.
+    pub repaired: u64,
+    /// Trials ending with ≥1 DUE line.
+    pub due: u64,
+    /// Trials ending with ≥1 silently corrupted line.
+    pub sdc: u64,
+}
+
+impl GroupCampaignSummary {
+    /// Fraction of trials fully repaired.
+    pub fn success_rate(&self) -> f64 {
+        self.repaired as f64 / self.trials as f64
+    }
+
+    /// 95 % Wilson interval on the success rate.
+    pub fn success_ci(&self) -> (f64, f64) {
+        wilson_ci(self.repaired, self.trials, 1.96)
+    }
+
+    /// Fraction of trials with a DUE.
+    pub fn failure_rate(&self) -> f64 {
+        self.due as f64 / self.trials as f64
+    }
+}
+
+/// Runs one conditional group trial. Returns the outcome of the interval.
+pub fn run_group_trial(scenario: &GroupScenario, trial_seed: u64) -> IntervalOutcome {
+    let mut cache =
+        SudokuCache::new_sparse(scenario.sudoku_config()).expect("valid scenario configuration");
+    let mut rng = StdRng::seed_from_u64(trial_seed);
+    // Pick a random Hash-1 group and distinct victim offsets within it.
+    let n_groups = scenario.lines_needed() / scenario.group as u64;
+    let group = rng.gen_range(0..n_groups);
+    let offsets = choose_distinct(
+        &mut rng,
+        scenario.group as u64,
+        scenario.fault_counts.len() as u64,
+    );
+    let mut hints = Vec::new();
+    let mut faulty_bits = 0u32;
+    for (&off, &count) in offsets.iter().zip(scenario.fault_counts.iter()) {
+        let line = group * scenario.group as u64 + off;
+        for pos in choose_distinct(&mut rng, TOTAL_BITS as u64, count as u64) {
+            cache.inject_fault(line, pos as usize);
+        }
+        faulty_bits += count;
+        hints.push(line);
+    }
+    let report = cache.scrub_lines(&hints);
+    let mut sdc_lines = 0u32;
+    for (idx, line) in cache.store().iter_touched() {
+        if !line.is_zero() && !report.unresolved.contains(&idx) {
+            sdc_lines += 1;
+        }
+    }
+    IntervalOutcome {
+        faulty_lines: scenario.fault_counts.len() as u32,
+        faulty_bits,
+        multibit_lines: report.multibit_lines as u32,
+        raid4_repairs: report.raid4_repairs as u32,
+        sdr_repairs: report.sdr_repairs as u32,
+        hash2_repairs: report.hash2_repairs as u32,
+        due_lines: report.unresolved.len() as u32,
+        sdc_lines,
+    }
+}
+
+/// Runs a conditional campaign over `trials` seeds.
+pub fn run_group_campaign(
+    scenario: &GroupScenario,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> GroupCampaignSummary {
+    let threads = worker_threads(threads).min(trials.max(1) as usize);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let results: Vec<GroupCampaignSummary> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let scenario = scenario.clone();
+                scope.spawn(move |_| {
+                    let mut local = GroupCampaignSummary::default();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
+                        let o = run_group_trial(&scenario, seed.wrapping_add(i));
+                        local.trials += 1;
+                        if o.due_lines == 0 && o.sdc_lines == 0 {
+                            local.repaired += 1;
+                        }
+                        local.due += (o.due_lines > 0) as u64;
+                        local.sdc += (o.sdc_lines > 0) as u64;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    })
+    .expect("campaign scope");
+    let mut total = GroupCampaignSummary::default();
+    for r in results {
+        total.trials += r.trials;
+        total.repaired += r.repaired;
+        total.due += r.due;
+        total.sdc += r.sdc;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scaled-down cache keeps unit-test campaigns fast; statistical
+    /// behaviour per group is unchanged.
+    fn small_cfg(scheme: Scheme, trials: u64) -> McConfig {
+        McConfig {
+            scheme,
+            lines: 1 << 12, // 4096 lines
+            group: 64,
+            ber: 2e-4, // elevated so events actually occur
+            trials,
+            seed: 7,
+            threads: 2,
+            scrub: ScrubSchedule::paper_default(),
+        }
+    }
+
+    #[test]
+    fn interval_trial_is_deterministic() {
+        let cfg = small_cfg(Scheme::Y, 1);
+        assert_eq!(run_interval(&cfg, 123), run_interval(&cfg, 123));
+    }
+
+    #[test]
+    fn x_campaign_sees_due_events_y_fixes_most() {
+        let x = run_interval_campaign(&small_cfg(Scheme::X, 300));
+        let y = run_interval_campaign(&small_cfg(Scheme::Y, 300));
+        assert_eq!(x.trials, 300);
+        // At BER 2e-4, 4096×553 bits → ~450 faults/interval, multi-bit
+        // collisions are common: X must fail noticeably more often than Y.
+        assert!(
+            x.due_intervals > y.due_intervals,
+            "x = {}, y = {}",
+            x.due_intervals,
+            y.due_intervals
+        );
+        assert!(y.sdr_repairs > 0, "SDR must fire: {y:?}");
+    }
+
+    #[test]
+    fn z_campaign_stronger_than_y() {
+        let y = run_interval_campaign(&small_cfg(Scheme::Y, 200));
+        let z = run_interval_campaign(&small_cfg(Scheme::Z, 200));
+        assert!(
+            z.due_intervals <= y.due_intervals,
+            "y = {}, z = {}",
+            y.due_intervals,
+            z.due_intervals
+        );
+    }
+
+    #[test]
+    fn group_two_by_two_success_matches_paper_figure3() {
+        // Paper §IV-C: SDR repairs two 2-fault lines 99.9996 % of the time
+        // (failure only on full overlap, ~7.6e-6). 3000 trials cannot
+        // distinguish 99.9996 from 100 but must see zero-ish failures.
+        let scenario = GroupScenario::two_by_two(Scheme::Y, 64);
+        let summary = run_group_campaign(&scenario, 3000, 11, 2);
+        assert!(summary.success_rate() > 0.999, "{summary:?}");
+        assert_eq!(summary.sdc, 0);
+    }
+
+    #[test]
+    fn group_three_by_three_fails_under_y_heals_under_z() {
+        let y = run_group_campaign(
+            &GroupScenario {
+                scheme: Scheme::Y,
+                group: 64,
+                fault_counts: vec![3, 3],
+                pair_sdr: false,
+            },
+            200,
+            5,
+            2,
+        );
+        // Two 3-fault lines defeat SDR (paper §V): Y nearly always fails…
+        assert!(y.failure_rate() > 0.95, "{y:?}");
+        let z = run_group_campaign(
+            &GroupScenario {
+                scheme: Scheme::Z,
+                group: 64,
+                fault_counts: vec![3, 3],
+                pair_sdr: false,
+            },
+            200,
+            5,
+            2,
+        );
+        // …while Z repairs them through Hash-2 essentially always.
+        assert!(z.success_rate() > 0.99, "{z:?}");
+    }
+
+    #[test]
+    fn lifetime_matches_interval_rate() {
+        // At an elevated BER the X design fails within a handful of
+        // intervals; the lifetime estimator must land near
+        // interval / p_due measured by the independent-interval campaign.
+        let cfg = small_cfg(Scheme::X, 150);
+        let interval_summary = run_interval_campaign(&cfg);
+        let p = interval_summary.due_rate();
+        assert!(p > 0.05, "premise: X must fail often here ({p})");
+        let (mttf_s, failures) = run_lifetime_campaign(&cfg, 30, 200, 99);
+        assert!(failures >= 25, "most lifetimes should end in failure");
+        let expected = cfg.scrub.interval_s() / p;
+        let ratio = mttf_s / expected;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "mttf {mttf_s} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn lifetime_survives_cap_for_strong_scheme() {
+        let cfg = small_cfg(Scheme::Z, 1);
+        let o = run_lifetime(&cfg, 25, 3);
+        assert!(!o.failed, "{o:?}");
+        assert_eq!(o.intervals_survived, 25);
+    }
+
+    #[test]
+    fn campaign_summary_rates() {
+        let s = CampaignSummary {
+            trials: 1000,
+            due_intervals: 10,
+            ..CampaignSummary::default()
+        };
+        assert_eq!(s.due_rate(), 0.01);
+        let scrub = ScrubSchedule::paper_default();
+        assert!((s.mttf_seconds(&scrub) - 2.0).abs() < 1e-12);
+        let (lo, hi) = s.due_rate_ci();
+        assert!(lo < 0.01 && 0.01 < hi);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the reliability math and analytic models.
+
+use proptest::prelude::*;
+use sudoku_reliability::analytic::{
+    ecc_fit, line_pmf, line_sf, p_multibit, x_cache_fail, x_fit, y_cache_fail, y_group_breakdown,
+    z_fit, z_fit_paper_style, Params,
+};
+use sudoku_reliability::math::{binom_pmf, binom_sf, ln_choose, p_any, wilson_ci};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pascal's rule, checked in log space (the raw coefficients overflow
+    /// f64 long before n = 2000): ln C(n,k) = logsumexp(ln C(n-1,k-1),
+    /// ln C(n-1,k)).
+    #[test]
+    fn pascal_rule(n in 2u64..2000, frac in 0.0f64..1.0) {
+        let k = 1 + ((n - 2) as f64 * frac) as u64;
+        let lhs = ln_choose(n, k);
+        let a = ln_choose(n - 1, k - 1);
+        let b = ln_choose(n - 1, k);
+        let m = a.max(b);
+        let rhs = m + ((a - m).exp() + (b - m).exp()).ln();
+        prop_assert!((lhs - rhs).abs() < 1e-8, "n={n} k={k}: {lhs} vs {rhs}");
+    }
+
+    /// Survival function is monotone decreasing in k and bounded by pmf sums.
+    #[test]
+    fn sf_monotone(n in 10u64..5000, p in 1e-9f64..0.01, k in 1u64..8) {
+        let a = binom_sf(n, k, p);
+        let b = binom_sf(n, k + 1, p);
+        prop_assert!(b <= a);
+        prop_assert!(a <= 1.0 && b >= 0.0);
+        // sf(k) - sf(k+1) == pmf(k)
+        let pmf = binom_pmf(n, k, p);
+        prop_assert!(((a - b) - pmf).abs() <= 1e-12 + 1e-9 * pmf);
+    }
+
+    /// p_any bounds: max single ≤ p_any ≤ n·p (union bound).
+    #[test]
+    fn p_any_bounds(n in 1u64..10_000_000, p in 1e-15f64..1e-3) {
+        let v = p_any(n, p);
+        prop_assert!(v >= p * 0.999_999);
+        prop_assert!(v <= (n as f64 * p).min(1.0) * 1.000_001);
+    }
+
+    /// Wilson interval always contains the point estimate.
+    #[test]
+    fn wilson_contains_estimate(s in 0u64..1000, extra in 1u64..1000) {
+        let t = s + extra;
+        let (lo, hi) = wilson_ci(s, t, 1.96);
+        let phat = s as f64 / t as f64;
+        prop_assert!(lo <= phat + 1e-12 && phat <= hi + 1e-12);
+    }
+
+    /// Scheme ladder X ≥ Y ≥ Z(paper-style) ≥ Z(ours) across the whole
+    /// relevant BER range.
+    #[test]
+    fn scheme_ladder_all_bers(log_ber in -8.0f64..-4.5) {
+        let params = Params::paper_default().with_ber(10f64.powf(log_ber));
+        let x = x_fit(&params);
+        let ypp = y_cache_fail(&params);
+        let xpp = x_cache_fail(&params);
+        prop_assert!(xpp >= ypp, "x {xpp} vs y {ypp}");
+        prop_assert!(z_fit_paper_style(&params) >= z_fit(&params) * 0.99);
+        prop_assert!(x >= z_fit_paper_style(&params));
+    }
+
+    /// All FIT models are monotone in BER.
+    #[test]
+    fn fits_monotone_in_ber(log_ber in -8.0f64..-5.0, bump in 1.05f64..3.0) {
+        let lo = Params::paper_default().with_ber(10f64.powf(log_ber));
+        let hi = lo.with_ber(lo.ber * bump);
+        prop_assert!(ecc_fit(&hi, 6) >= ecc_fit(&lo, 6));
+        prop_assert!(x_fit(&hi) >= x_fit(&lo));
+        prop_assert!(z_fit_paper_style(&hi) >= z_fit_paper_style(&lo));
+    }
+
+    /// Stronger per-line ECC under SuDoku only helps.
+    #[test]
+    fn line_ecc2_never_hurts(log_ber in -7.0f64..-3.0) {
+        let p1 = Params::paper_default().with_ber(10f64.powf(log_ber));
+        let p2 = p1.with_line_ecc(2);
+        prop_assert!(p_multibit(&p2) <= p_multibit(&p1));
+        prop_assert!(z_fit_paper_style(&p2) <= z_fit_paper_style(&p1) * 1.000_001);
+    }
+
+    /// The Y breakdown terms are all non-negative and the pmf identities
+    /// they build on hold: Σ_k pmf(k) over a generous range ≈ 1.
+    #[test]
+    fn breakdown_sane(log_ber in -8.0f64..-4.0) {
+        let params = Params::paper_default().with_ber(10f64.powf(log_ber));
+        let b = y_group_breakdown(&params);
+        for term in [b.overlap22, b.contained2k, b.pair33, b.abort223, b.abort4] {
+            prop_assert!(term >= 0.0 && term.is_finite());
+        }
+        let total: f64 = (0..=20).map(|k| line_pmf(&params, k)).sum::<f64>()
+            + line_sf(&params, 21);
+        prop_assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+}

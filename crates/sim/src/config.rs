@@ -1,0 +1,170 @@
+//! System configuration (paper Table VI) and energy parameters (Table VII).
+
+use serde::{Deserialize, Serialize};
+
+/// Timing and shape of the simulated system (paper Table VI).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub cores: u32,
+    /// Core frequency in GHz.
+    pub core_ghz: f64,
+    /// Fetch/retire width (non-memory IPC ceiling).
+    pub width: u32,
+    /// Maximum overlapped LLC/DRAM requests per core (ROB-limited MLP).
+    pub mlp: u32,
+    /// LLC capacity in bytes.
+    pub llc_bytes: u64,
+    /// LLC associativity.
+    pub llc_ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// LLC banks (both the STTRAM array and the PLT are banked alike,
+    /// paper §VII-I).
+    pub llc_banks: u32,
+    /// STTRAM read latency in ns.
+    pub stt_read_ns: f64,
+    /// STTRAM write latency in ns.
+    pub stt_write_ns: f64,
+    /// SRAM PLT access latency in ns.
+    pub plt_write_ns: f64,
+    /// DRAM channels.
+    pub dram_channels: u32,
+    /// DRAM banks per channel (DDR3: 8).
+    pub dram_banks_per_channel: u32,
+    /// DRAM row size in cache lines (DDR3-800 x8 rank: 8 KB row = 128
+    /// 64-byte lines).
+    pub dram_row_lines: u64,
+    /// Row-buffer *hit* latency in ns (tCAS at DDR3-800: 11 cycles of
+    /// 2.5 ns ≈ 13.75 ns with I/O).
+    pub dram_row_hit_ns: f64,
+    /// Row-buffer *miss* latency in ns (tRP + tRCD + tCAS ≈ 41 ns).
+    pub dram_row_miss_ns: f64,
+    /// DRAM data-burst occupancy per access in ns (64 B over the channel).
+    pub dram_burst_ns: f64,
+}
+
+impl SystemConfig {
+    /// The paper's baseline system (Table VI).
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            cores: 8,
+            core_ghz: 3.2,
+            width: 4,
+            mlp: 8,
+            llc_bytes: 64 * 1024 * 1024,
+            llc_ways: 8,
+            line_bytes: 64,
+            llc_banks: 32,
+            stt_read_ns: 9.0,
+            stt_write_ns: 18.0,
+            plt_write_ns: 1.0,
+            dram_channels: 2,
+            dram_banks_per_channel: 8,
+            dram_row_lines: 128,
+            dram_row_hit_ns: 13.75,
+            dram_row_miss_ns: 41.25,
+            dram_burst_ns: 10.0,
+        }
+    }
+
+    /// Total DRAM banks across channels.
+    pub fn dram_banks(&self) -> u32 {
+        self.dram_channels * self.dram_banks_per_channel
+    }
+
+    /// LLC lines.
+    pub fn llc_lines(&self) -> u64 {
+        self.llc_bytes / self.line_bytes as u64
+    }
+
+    /// LLC sets.
+    pub fn llc_sets(&self) -> u64 {
+        self.llc_lines() / self.llc_ways as u64
+    }
+
+    /// Core cycle time in ns.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.core_ghz
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Per-event energies (paper Table VII and §VII-A), in nanojoules unless
+/// noted.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// STTRAM write energy per access (nJ).
+    pub stt_write_nj: f64,
+    /// STTRAM read energy per access (nJ).
+    pub stt_read_nj: f64,
+    /// STTRAM static power per cell (nW).
+    pub stt_static_nw_per_cell: f64,
+    /// SRAM write energy per access (nJ) — PLT updates.
+    pub sram_write_nj: f64,
+    /// SRAM read energy per access (nJ).
+    pub sram_read_nj: f64,
+    /// SRAM static power per cell (nW) — PLT array.
+    pub sram_static_nw_per_cell: f64,
+    /// CRC-31 + ECC-1 (or ECC-6) codec energy per line access (nJ);
+    /// the paper conservatively uses the 40 pJ of an ECC-6 codec \[54\].
+    pub codec_nj: f64,
+    /// DRAM energy for a row-buffer hit (rd/wr + IO for one line, nJ).
+    pub dram_access_nj: f64,
+    /// Additional DRAM energy for a row activation (precharge + activate,
+    /// nJ) — paid on row-buffer misses.
+    pub dram_activate_nj: f64,
+    /// Busy power per core (W) — keeps the denominator of the System-EDP
+    /// realistic; SuDoku's additions must stay ≪ this.
+    pub core_power_w: f64,
+}
+
+impl EnergyModel {
+    /// Table VII values plus standard DDR3/core figures.
+    pub fn paper_default() -> Self {
+        EnergyModel {
+            stt_write_nj: 0.35,
+            stt_read_nj: 0.13,
+            stt_static_nw_per_cell: 0.07,
+            sram_write_nj: 0.11,
+            sram_read_nj: 0.05,
+            sram_static_nw_per_cell: 4.02,
+            codec_nj: 0.04,
+            dram_access_nj: 12.0,
+            dram_activate_nj: 15.0,
+            core_power_w: 8.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_llc_shape() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.llc_lines(), 1 << 20);
+        assert_eq!(c.llc_sets(), 131_072);
+        assert!((c.cycle_ns() - 0.3125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_model_paper_values() {
+        let e = EnergyModel::paper_default();
+        assert_eq!(e.stt_write_nj, 0.35);
+        assert_eq!(e.stt_read_nj, 0.13);
+        assert_eq!(e.sram_write_nj, 0.11);
+    }
+}

@@ -1,0 +1,182 @@
+//! System energy and EDP accounting (paper §VII-D, Figure 9).
+
+use crate::config::{EnergyModel, SystemConfig};
+use crate::machine::{CacheMode, Metrics, OverheadConfig};
+use serde::{Deserialize, Serialize};
+
+/// Energy breakdown of a simulated run, in joules.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Core busy energy (dominates the system total).
+    pub cores_j: f64,
+    /// LLC dynamic energy (reads + writes + fills).
+    pub llc_dynamic_j: f64,
+    /// LLC static (leakage) energy.
+    pub llc_static_j: f64,
+    /// PLT dynamic + static energy.
+    pub plt_j: f64,
+    /// CRC/ECC codec energy.
+    pub codec_j: f64,
+    /// DRAM access energy.
+    pub dram_j: f64,
+    /// Scrub read/write energy.
+    pub scrub_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total system energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.cores_j
+            + self.llc_dynamic_j
+            + self.llc_static_j
+            + self.plt_j
+            + self.codec_j
+            + self.dram_j
+            + self.scrub_j
+    }
+
+    /// Energy-delay product in joule-seconds for a given execution time.
+    pub fn edp(&self, exec_time_ns: f64) -> f64 {
+        self.total_j() * exec_time_ns * 1e-9
+    }
+}
+
+/// Computes the energy breakdown for a run's metrics.
+pub fn energy_of(
+    sys: &SystemConfig,
+    model: &EnergyModel,
+    mode: CacheMode,
+    overhead: &OverheadConfig,
+    metrics: &Metrics,
+) -> EnergyBreakdown {
+    let time_s = metrics.exec_time_ns * 1e-9;
+    let nj = 1e-9;
+    let is_sudoku = matches!(mode, CacheMode::Sudoku { .. });
+
+    let cores_j = model.core_power_w * sys.cores as f64 * time_s;
+
+    // Dynamic LLC: every access reads the array; misses add a fill write;
+    // dirty evictions add a victim read.
+    let reads = metrics.llc_reads + metrics.writebacks;
+    let writes = metrics.llc_writes + metrics.llc_misses;
+    let llc_dynamic_j =
+        (reads as f64 * model.stt_read_nj + writes as f64 * model.stt_write_nj) * nj;
+
+    let llc_cells = (sys.llc_bytes * 8) as f64;
+    let llc_static_j = llc_cells * model.stt_static_nw_per_cell * 1e-9 * time_s;
+
+    // PLT: read-modify-write per update plus SRAM leakage (256 KB for Z).
+    let plt_j = if is_sudoku {
+        let dynamic = metrics.plt_writes as f64 * (model.sram_read_nj + model.sram_write_nj) * nj;
+        let plts = match mode {
+            CacheMode::Sudoku { plts } => plts as f64,
+            CacheMode::Ideal => 0.0,
+        };
+        let plt_cells = plts * (sys.llc_bytes / 512) as f64 * 8.0;
+        dynamic + plt_cells * model.sram_static_nw_per_cell * 1e-9 * time_s
+    } else {
+        0.0
+    };
+
+    // Codec energy on every access (encode on write, check on read).
+    let codec_j = if is_sudoku {
+        metrics.llc_accesses() as f64 * model.codec_nj * nj
+    } else {
+        0.0
+    };
+
+    let row_misses = metrics.llc_misses - metrics.dram_row_hits;
+    let dram_j = ((metrics.llc_misses + metrics.writebacks) as f64 * model.dram_access_nj
+        + row_misses as f64 * model.dram_activate_nj)
+        * nj;
+
+    // Scrub: read every line once per interval (plus codec per line).
+    let scrub_j = if is_sudoku {
+        let intervals = time_s / overhead.scrub_interval_s;
+        let per_interval = sys.llc_lines() as f64 * (model.stt_read_nj + model.codec_nj) * nj;
+        intervals * per_interval
+    } else {
+        0.0
+    };
+
+    EnergyBreakdown {
+        cores_j,
+        llc_dynamic_j,
+        llc_static_j,
+        plt_j,
+        codec_j,
+        dram_j,
+        scrub_j,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_metrics() -> Metrics {
+        Metrics {
+            instructions: 1_000_000,
+            exec_time_ns: 1e6, // 1 ms
+            llc_reads: 10_000,
+            llc_writes: 5_000,
+            llc_hits: 12_000,
+            llc_misses: 3_000,
+            writebacks: 500,
+            plt_writes: 16_000,
+            ..Metrics::default()
+        }
+    }
+
+    #[test]
+    fn cores_dominate_total() {
+        let sys = SystemConfig::paper_default();
+        let model = EnergyModel::paper_default();
+        let e = energy_of(
+            &sys,
+            &model,
+            CacheMode::sudoku_z(),
+            &OverheadConfig::paper_default(),
+            &fake_metrics(),
+        );
+        assert!(e.cores_j > 0.5 * e.total_j(), "{e:?}");
+    }
+
+    #[test]
+    fn sudoku_energy_overhead_is_small() {
+        let sys = SystemConfig::paper_default();
+        let model = EnergyModel::paper_default();
+        let overhead = OverheadConfig::paper_default();
+        let m = fake_metrics();
+        let ideal = energy_of(&sys, &model, CacheMode::Ideal, &overhead, &m);
+        let sudoku = energy_of(&sys, &model, CacheMode::sudoku_z(), &overhead, &m);
+        let ratio = sudoku.total_j() / ideal.total_j();
+        // Paper Figure 9: ≤0.4% EDP increase; energy alone stays ≤2%.
+        assert!(ratio > 1.0 && ratio < 1.02, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn ideal_mode_has_no_plt_or_codec_energy() {
+        let sys = SystemConfig::paper_default();
+        let model = EnergyModel::paper_default();
+        let e = energy_of(
+            &sys,
+            &model,
+            CacheMode::Ideal,
+            &OverheadConfig::paper_default(),
+            &fake_metrics(),
+        );
+        assert_eq!(e.plt_j, 0.0);
+        assert_eq!(e.codec_j, 0.0);
+        assert_eq!(e.scrub_j, 0.0);
+    }
+
+    #[test]
+    fn edp_scales_with_time() {
+        let e = EnergyBreakdown {
+            cores_j: 1.0,
+            ..EnergyBreakdown::default()
+        };
+        assert!((e.edp(2e9) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,631 @@
+//! The trace-driven timing model: multicore front-ends, a banked STTRAM
+//! LLC with LRU sets, banked SRAM PLTs, a DDR3-like backend, and the
+//! SuDoku-specific overheads (syndrome cycle, PLT write traffic, scrub
+//! bank occupancy, repair windows) of paper §VII-B/C/I.
+//!
+//! Simulation is two-pass: a *functional* pass interleaves the per-core
+//! traces round-robin through a real LRU cache model, fixing every access's
+//! hit/miss/writeback outcome; the *timing* pass then replays those
+//! outcomes under a cache mode. Both modes of a comparison therefore see
+//! byte-identical access streams, so the Figure-8 ratios measure SuDoku's
+//! overheads rather than interleaving noise.
+
+use crate::config::SystemConfig;
+use crate::trace::{TraceGen, Workload};
+use serde::{Deserialize, Serialize};
+
+/// What error-protection machinery the LLC carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheMode {
+    /// Idealized error-free cache: no detection, no scrub, no parity —
+    /// the normalization baseline of Figures 8 and 9.
+    Ideal,
+    /// SuDoku-protected cache.
+    Sudoku {
+        /// Number of PLTs written per store (1 for X/Y, 2 for Z).
+        plts: u32,
+    },
+}
+
+impl CacheMode {
+    /// The Figure 8/9 configuration: SuDoku-Z with two PLTs.
+    pub fn sudoku_z() -> Self {
+        CacheMode::Sudoku { plts: 2 }
+    }
+
+    fn is_sudoku(&self) -> bool {
+        matches!(self, CacheMode::Sudoku { .. })
+    }
+}
+
+/// SuDoku background-activity parameters for the timing model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OverheadConfig {
+    /// Scrub interval in seconds (20 ms).
+    pub scrub_interval_s: f64,
+    /// Expected RAID-4 repairs per interval (paper: ~4 per 20 ms).
+    pub repairs_per_interval: u32,
+    /// Lines read per repair (the RAID-Group size).
+    pub repair_group_lines: u32,
+}
+
+impl OverheadConfig {
+    /// The paper's operating point.
+    pub fn paper_default() -> Self {
+        OverheadConfig {
+            scrub_interval_s: 20e-3,
+            repairs_per_interval: 4,
+            repair_group_lines: 512,
+        }
+    }
+}
+
+impl Default for OverheadConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Counters and derived times produced by a timing run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Wall-clock of the simulated execution in ns (max over cores).
+    pub exec_time_ns: f64,
+    /// LLC read accesses.
+    pub llc_reads: u64,
+    /// LLC write accesses.
+    pub llc_writes: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// LLC misses.
+    pub llc_misses: u64,
+    /// Dirty evictions written back to DRAM.
+    pub writebacks: u64,
+    /// DRAM row-buffer hits among the misses.
+    pub dram_row_hits: u64,
+    /// PLT update operations issued.
+    pub plt_writes: u64,
+    /// Cumulative demand-access delay caused by scrub bank conflicts (ns).
+    pub scrub_stall_ns: f64,
+    /// Cumulative delay caused by repair windows (ns).
+    pub repair_stall_ns: f64,
+    /// Cumulative extra syndrome-check time on reads (ns).
+    pub syndrome_ns: f64,
+}
+
+impl Metrics {
+    /// Total LLC accesses.
+    pub fn llc_accesses(&self) -> u64 {
+        self.llc_reads + self.llc_writes
+    }
+
+    /// LLC hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        self.llc_hits as f64 / self.llc_accesses().max(1) as f64
+    }
+}
+
+/// One functionally resolved access, ready for timing replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolvedAccess {
+    /// Non-memory instructions since the previous access of this core.
+    pub gap_instrs: u32,
+    /// LLC bank index.
+    pub bank: u32,
+    /// DRAM channel index.
+    pub channel: u32,
+    /// Store or load.
+    pub is_write: bool,
+    /// LLC hit (functional, mode-independent).
+    pub hit: bool,
+    /// The miss evicted a dirty line.
+    pub dirty_evict: bool,
+    /// On a miss: whether the DRAM access hits the open row buffer of its
+    /// bank (resolved by a real per-bank open-row model in global order).
+    pub dram_row_hit: bool,
+}
+
+/// A workload resolved through the functional LLC model: one access vector
+/// per core.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedWorkload {
+    /// Workload name.
+    pub name: String,
+    /// Per-core resolved access streams.
+    pub cores: Vec<Vec<ResolvedAccess>>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u32,
+}
+
+/// Per-bank open-row tracker for the resolve pass (open-page policy).
+struct FunctionalDram {
+    open_rows: Vec<Option<u64>>,
+    banks: u64,
+    row_lines: u64,
+}
+
+impl FunctionalDram {
+    fn new(sys: &SystemConfig) -> Self {
+        FunctionalDram {
+            open_rows: vec![None; sys.dram_banks() as usize],
+            banks: sys.dram_banks() as u64,
+            row_lines: sys.dram_row_lines.max(1),
+        }
+    }
+
+    /// Returns whether this line address hits the currently open row of
+    /// its bank, then leaves that row open.
+    fn access(&mut self, line_addr: u64) -> bool {
+        let row = line_addr / self.row_lines;
+        let bank = (row % self.banks) as usize;
+        let hit = self.open_rows[bank] == Some(row);
+        self.open_rows[bank] = Some(row);
+        hit
+    }
+}
+
+/// Functional LRU LLC used by the resolve pass.
+struct FunctionalLlc {
+    sets: Vec<Way>,
+    n_sets: u64,
+    ways: usize,
+    clock: u32,
+}
+
+impl FunctionalLlc {
+    fn new(sys: &SystemConfig) -> Self {
+        let n_sets = sys.llc_sets();
+        let ways = sys.llc_ways as usize;
+        FunctionalLlc {
+            sets: vec![Way::default(); (n_sets * ways as u64) as usize],
+            n_sets,
+            ways,
+            clock: 0,
+        }
+    }
+
+    /// Returns `(hit, dirty_eviction)`.
+    fn access(&mut self, line_addr: u64, is_write: bool) -> (bool, bool) {
+        let set = ((line_addr ^ (line_addr >> 17)) % self.n_sets) as usize;
+        self.clock = self.clock.wrapping_add(1);
+        let base = set * self.ways;
+        let slice = &mut self.sets[base..base + self.ways];
+        for way in slice.iter_mut() {
+            if way.valid && way.tag == line_addr {
+                way.lru = self.clock;
+                way.dirty |= is_write;
+                return (true, false);
+            }
+        }
+        let victim = slice
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.lru as u64 + 1 } else { 0 })
+            .map(|(i, _)| i)
+            .expect("at least one way");
+        let dirty_evict = slice[victim].valid && slice[victim].dirty;
+        slice[victim] = Way {
+            tag: line_addr,
+            valid: true,
+            dirty: is_write,
+            lru: self.clock,
+        };
+        (false, dirty_evict)
+    }
+}
+
+/// Functional pass: interleaves the cores round-robin through a real LRU
+/// LLC and fixes every access outcome. Mode-independent by construction.
+pub fn resolve_workload(
+    sys: &SystemConfig,
+    workload: &Workload,
+    accesses_per_core: u64,
+    seed: u64,
+) -> ResolvedWorkload {
+    let mut llc = FunctionalLlc::new(sys);
+    let mut dram = FunctionalDram::new(sys);
+    let mut gens: Vec<TraceGen> = workload
+        .cores
+        .iter()
+        .enumerate()
+        .map(|(c, spec)| TraceGen::new(*spec, c as u32, seed))
+        .collect();
+    let n_cores = workload.cores.len();
+    let mut cores: Vec<Vec<ResolvedAccess>> =
+        vec![Vec::with_capacity(accesses_per_core as usize); n_cores];
+    for _ in 0..accesses_per_core {
+        for (c, gen) in gens.iter_mut().enumerate() {
+            let acc = gen.next_access();
+            let (hit, dirty_evict) = llc.access(acc.line_addr, acc.is_write);
+            let dram_row_hit = if hit {
+                false
+            } else {
+                dram.access(acc.line_addr)
+            };
+            cores[c].push(ResolvedAccess {
+                gap_instrs: acc.gap_instrs,
+                bank: (acc.line_addr % sys.llc_banks as u64) as u32,
+                channel: (acc.line_addr % sys.dram_channels as u64) as u32,
+                is_write: acc.is_write,
+                hit,
+                dirty_evict,
+                dram_row_hit,
+            });
+        }
+    }
+    ResolvedWorkload {
+        name: workload.name.clone(),
+        cores,
+    }
+}
+
+/// The timing engine: replays a [`ResolvedWorkload`] under a cache mode.
+///
+/// Contention is modelled deterministically: per-bank and per-channel
+/// utilizations are measured from the resolved stream, and every access
+/// pays the corresponding expected M/D/1 queueing delay. The model is
+/// monotone in the per-access service times, so adding SuDoku's overheads
+/// (syndrome cycle, scrub occupancy, repair windows, PLT traffic) can only
+/// lengthen the replayed execution — exactly the property the Figure-8
+/// normalization needs.
+pub struct Machine {
+    sys: SystemConfig,
+    mode: CacheMode,
+    overhead: OverheadConfig,
+}
+
+/// Fraction of loads whose consumers stall the core until data returns
+/// (dependent loads); the remainder are fully overlapped by the ROB.
+const CRITICAL_READ_FRAC: u32 = 4; // one in four
+
+impl Machine {
+    /// Builds a timing machine.
+    pub fn new(sys: SystemConfig, mode: CacheMode, overhead: OverheadConfig) -> Self {
+        Machine {
+            sys,
+            mode,
+            overhead,
+        }
+    }
+
+    /// Fraction of each bank-interval the scrub engine occupies
+    /// (lines/banks reads per interval; paper footnote 1 and §VII-E).
+    fn scrub_occupancy(&self) -> f64 {
+        if !self.mode.is_sudoku() {
+            return 0.0;
+        }
+        let interval_ns = self.overhead.scrub_interval_s * 1e9;
+        let ops_per_bank = (self.sys.llc_lines() / self.sys.llc_banks as u64) as f64;
+        ops_per_bank * self.sys.stt_read_ns / interval_ns
+    }
+
+    /// Expected per-access delay from RAID-4 repair windows: the chance of
+    /// landing in a window on one's own bank times the mean residual wait
+    /// (paper §III-D: ≈4 repairs × group×9 ns per 20 ms).
+    fn expected_repair_delay(&self) -> f64 {
+        if !self.mode.is_sudoku() || self.overhead.repairs_per_interval == 0 {
+            return 0.0;
+        }
+        let interval_ns = self.overhead.scrub_interval_s * 1e9;
+        let window_ns = self.overhead.repair_group_lines as f64 * self.sys.stt_read_ns;
+        let p_hit = self.overhead.repairs_per_interval as f64 * window_ns
+            / (interval_ns * self.sys.llc_banks as f64);
+        p_hit * window_ns / 2.0
+    }
+
+    /// Expected M/D/1 waiting time for utilization `rho` and service `s`.
+    fn queue_wait(rho: f64, s: f64) -> f64 {
+        let rho = rho.min(0.95);
+        rho * s / (2.0 * (1.0 - rho))
+    }
+
+    /// Replays the resolved workload and returns the timing metrics.
+    pub fn simulate(&self, resolved: &ResolvedWorkload) -> Metrics {
+        let sys = self.sys;
+        let cycle = sys.cycle_ns();
+        let is_sudoku = self.mode.is_sudoku();
+        let plts = match self.mode {
+            CacheMode::Sudoku { plts } => plts,
+            CacheMode::Ideal => 0,
+        };
+        let syndrome = if is_sudoku { cycle } else { 0.0 };
+
+        // ---- Pass 1: busy time per bank/channel for the utilization
+        // estimate, and a zero-contention horizon per core.
+        let mut bank_busy = vec![0.0f64; sys.llc_banks as usize];
+        let mut chan_busy = vec![0.0f64; sys.dram_channels as usize];
+        let mut horizon = 0.0f64;
+        for core in &resolved.cores {
+            let mut t = 0.0f64;
+            for acc in core {
+                t += acc.gap_instrs as f64 * cycle / sys.width as f64;
+                let service = if acc.is_write {
+                    sys.stt_write_ns
+                } else {
+                    sys.stt_read_ns + syndrome
+                };
+                bank_busy[acc.bank as usize] += if acc.hit {
+                    service
+                } else {
+                    sys.stt_read_ns + sys.stt_write_ns // probe + fill
+                };
+                if !acc.hit {
+                    chan_busy[acc.channel as usize] +=
+                        sys.dram_burst_ns * (1 + acc.dirty_evict as u64) as f64;
+                    let dram_ns = if acc.dram_row_hit {
+                        sys.dram_row_hit_ns
+                    } else {
+                        sys.dram_row_miss_ns
+                    };
+                    t += dram_ns / sys.mlp as f64;
+                }
+            }
+            horizon = horizon.max(t);
+        }
+        // Memory-bound streams are throttled by the banks/channels
+        // themselves; keep estimated utilizations out of the saturated
+        // regime the M/D/1 form cannot represent.
+        let max_bank = bank_busy.iter().cloned().fold(0.0f64, f64::max);
+        let max_chan = chan_busy.iter().cloned().fold(0.0f64, f64::max);
+        let horizon = horizon.max(max_bank / 0.7).max(max_chan / 0.7).max(1.0);
+        let scrub_rho = self.scrub_occupancy();
+        let bank_wait: Vec<f64> = bank_busy
+            .iter()
+            .map(|b| {
+                let rho = b / horizon + scrub_rho;
+                Self::queue_wait(rho, sys.stt_read_ns)
+            })
+            .collect();
+        let ideal_bank_wait: Vec<f64> = bank_busy
+            .iter()
+            .map(|b| Self::queue_wait(b / horizon, sys.stt_read_ns))
+            .collect();
+        let chan_wait: Vec<f64> = chan_busy
+            .iter()
+            .map(|b| Self::queue_wait(b / horizon, sys.dram_burst_ns))
+            .collect();
+        let repair_delay = self.expected_repair_delay();
+
+        // ---- Pass 2: per-core replay with fixed expected waits.
+        let mut m = Metrics::default();
+        let mut exec = 0.0f64;
+        for core in &resolved.cores {
+            let mut t = 0.0f64;
+            let mut outstanding: std::collections::VecDeque<f64> =
+                std::collections::VecDeque::new();
+            let mut read_seq = 0u32;
+            for acc in core {
+                m.instructions += acc.gap_instrs as u64 + 1;
+                t += acc.gap_instrs as f64 * cycle / sys.width as f64;
+                while outstanding.len() >= sys.mlp as usize {
+                    let oldest = outstanding.pop_front().expect("non-empty");
+                    if oldest > t {
+                        t = oldest;
+                    }
+                }
+                let bank = acc.bank as usize;
+                if acc.is_write {
+                    m.llc_writes += 1;
+                } else {
+                    m.llc_reads += 1;
+                }
+                let wait = bank_wait[bank] + repair_delay;
+                m.scrub_stall_ns += bank_wait[bank] - ideal_bank_wait[bank];
+                m.repair_stall_ns += repair_delay;
+                let service = if acc.is_write {
+                    sys.stt_write_ns
+                } else {
+                    m.syndrome_ns += syndrome;
+                    sys.stt_read_ns + syndrome
+                };
+                let completion = if acc.hit {
+                    m.llc_hits += 1;
+                    t + wait + service
+                } else {
+                    m.llc_misses += 1;
+                    m.dram_row_hits += acc.dram_row_hit as u64;
+                    if acc.dirty_evict {
+                        m.writebacks += 1;
+                    }
+                    let dram_ns = if acc.dram_row_hit {
+                        sys.dram_row_hit_ns
+                    } else {
+                        sys.dram_row_miss_ns
+                    };
+                    t + wait
+                        + sys.stt_read_ns // probe
+                        + chan_wait[acc.channel as usize]
+                        + dram_ns
+                        + sys.dram_burst_ns
+                };
+                if plts > 0 && (acc.is_write || !acc.hit) {
+                    m.plt_writes += plts as u64;
+                    // SRAM PLT updates drain faster than STTRAM writes
+                    // arrive (1 ns vs 18 ns per §VII-I): never a stall.
+                }
+                // Dependent loads stall the core until data returns.
+                if !acc.is_write {
+                    read_seq += 1;
+                    if read_seq % CRITICAL_READ_FRAC == 0 && completion > t {
+                        t = completion;
+                    }
+                }
+                outstanding.push_back(completion);
+            }
+            let drained = outstanding.iter().cloned().fold(0.0f64, f64::max);
+            exec = exec.max(t.max(drained));
+        }
+        m.exec_time_ns = exec;
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{paper_workloads, CoreSpec, Workload};
+
+    fn tiny_workload() -> Workload {
+        Workload::rate(
+            "test",
+            CoreSpec {
+                apki: 20.0,
+                write_frac: 0.3,
+                footprint_lines: 100_000,
+                hot_lines: 2_000,
+                hot_frac: 0.6,
+            },
+            4,
+        )
+    }
+
+    fn resolved() -> ResolvedWorkload {
+        resolve_workload(&SystemConfig::paper_default(), &tiny_workload(), 20_000, 1)
+    }
+
+    fn run(resolved: &ResolvedWorkload, mode: CacheMode) -> Metrics {
+        Machine::new(
+            SystemConfig::paper_default(),
+            mode,
+            OverheadConfig::paper_default(),
+        )
+        .simulate(resolved)
+    }
+
+    #[test]
+    fn resolve_is_deterministic() {
+        assert_eq!(resolved(), resolved());
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let r = resolved();
+        assert_eq!(
+            run(&r, CacheMode::sudoku_z()),
+            run(&r, CacheMode::sudoku_z())
+        );
+    }
+
+    #[test]
+    fn functional_outcomes_are_mode_independent() {
+        let r = resolved();
+        let ideal = run(&r, CacheMode::Ideal);
+        let sudoku = run(&r, CacheMode::sudoku_z());
+        assert_eq!(ideal.llc_hits, sudoku.llc_hits);
+        assert_eq!(ideal.llc_misses, sudoku.llc_misses);
+        assert_eq!(ideal.writebacks, sudoku.writebacks);
+    }
+
+    #[test]
+    fn sudoku_slowdown_is_tiny_but_positive() {
+        let r = resolved();
+        let ideal = run(&r, CacheMode::Ideal);
+        let sudoku = run(&r, CacheMode::sudoku_z());
+        let ratio = sudoku.exec_time_ns / ideal.exec_time_ns;
+        // Paper Figure 8: ~0.1% average slowdown; the model must show a
+        // positive but sub-2% effect.
+        assert!(ratio >= 1.0, "ratio = {ratio}");
+        assert!(ratio < 1.02, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn plt_writes_track_stores_and_fills() {
+        let r = resolved();
+        let sudoku = run(&r, CacheMode::sudoku_z());
+        // Every store or fill updates both PLTs exactly once each.
+        assert!(sudoku.plt_writes >= 2 * sudoku.llc_writes.max(sudoku.llc_misses));
+        assert!(sudoku.plt_writes % 2 == 0, "two PLTs per update");
+        let ideal = run(&r, CacheMode::Ideal);
+        assert_eq!(ideal.plt_writes, 0);
+    }
+
+    #[test]
+    fn hit_rate_is_sane_and_misses_cost_time() {
+        let m = run(&resolved(), CacheMode::Ideal);
+        assert!(
+            m.hit_rate() > 0.1 && m.hit_rate() < 0.999,
+            "{}",
+            m.hit_rate()
+        );
+        assert!(m.llc_misses > 0);
+        assert!(m.exec_time_ns > 0.0);
+    }
+
+    #[test]
+    fn ideal_mode_has_no_sudoku_overheads() {
+        let m = run(&resolved(), CacheMode::Ideal);
+        assert_eq!(m.scrub_stall_ns, 0.0);
+        assert_eq!(m.repair_stall_ns, 0.0);
+        assert_eq!(m.syndrome_ns, 0.0);
+    }
+
+    #[test]
+    fn streaming_workload_hits_dram_rows() {
+        // A pure streaming core sweeps lines sequentially: consecutive
+        // misses land in the same 128-line DRAM row, so the row-buffer hit
+        // rate among misses must be high.
+        let sys = SystemConfig::paper_default();
+        let w = Workload::rate(
+            "stream",
+            CoreSpec {
+                apki: 30.0,
+                write_frac: 0.0,
+                footprint_lines: 1_000_000,
+                hot_lines: 64,
+                hot_frac: 0.0,
+            },
+            1,
+        );
+        let r = resolve_workload(&sys, &w, 20_000, 5);
+        let m = Machine::new(sys, CacheMode::Ideal, OverheadConfig::paper_default()).simulate(&r);
+        assert!(m.llc_misses > 10_000);
+        let row_hit_rate = m.dram_row_hits as f64 / m.llc_misses as f64;
+        assert!(row_hit_rate > 0.9, "streaming row-hit rate {row_hit_rate}");
+    }
+
+    #[test]
+    fn random_access_workload_misses_dram_rows() {
+        let sys = SystemConfig::paper_default();
+        let w = Workload::rate(
+            "randomish",
+            CoreSpec {
+                apki: 30.0,
+                write_frac: 0.0,
+                footprint_lines: 64,
+                hot_lines: 10_000_000, // huge "hot" region accessed uniformly
+                hot_frac: 1.0,
+            },
+            1,
+        );
+        let r = resolve_workload(&sys, &w, 20_000, 5);
+        let m = Machine::new(sys, CacheMode::Ideal, OverheadConfig::paper_default()).simulate(&r);
+        assert!(m.llc_misses > 10_000);
+        let row_hit_rate = m.dram_row_hits as f64 / m.llc_misses as f64;
+        assert!(row_hit_rate < 0.2, "random row-hit rate {row_hit_rate}");
+    }
+
+    #[test]
+    fn all_paper_workloads_simulate() {
+        let sys = SystemConfig::paper_default();
+        let mut total_ratio = 0.0;
+        let workloads = paper_workloads(2);
+        for w in workloads.iter().take(4) {
+            let r = resolve_workload(&sys, w, 5_000, 3);
+            let mi = run(&r, CacheMode::Ideal);
+            let ms = run(&r, CacheMode::sudoku_z());
+            let ratio = ms.exec_time_ns / mi.exec_time_ns;
+            assert!(ratio >= 1.0, "{}: {ratio}", w.name);
+            total_ratio += ratio;
+        }
+        let avg = total_ratio / 4.0;
+        assert!((1.0..1.05).contains(&avg), "avg ratio {avg}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Synthetic workload traces.
+//!
+//! The paper drives its performance study with SPEC CPU2006, PARSEC,
+//! BioBench and the MSC commercial traces (§VII-A). Those traces are not
+//! redistributable, so this module generates *synthetic* LLC access streams
+//! whose first-order statistics — LLC accesses per kilo-instruction, write
+//! fraction, footprint, and hot-set reuse — are set per named workload to
+//! mimic each suite's published LLC behaviour. Figures 8 and 9 report
+//! SuDoku-Z *normalized to an ideal cache on the same trace*, which depends
+//! on these rates rather than on instruction semantics, so the substitution
+//! preserves the quantities under study (see DESIGN.md §3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One LLC access emitted by a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Non-memory instructions retired since the previous access.
+    pub gap_instrs: u32,
+    /// Line address (64-byte granule).
+    pub line_addr: u64,
+    /// Whether this is a write (dirty install / store miss).
+    pub is_write: bool,
+}
+
+/// Statistical shape of one core's access stream.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoreSpec {
+    /// LLC accesses per kilo-instruction.
+    pub apki: f64,
+    /// Fraction of accesses that are writes.
+    pub write_frac: f64,
+    /// Total footprint in lines (cold/streaming region).
+    pub footprint_lines: u64,
+    /// Hot-set size in lines (reused region; drives the LLC hit rate).
+    pub hot_lines: u64,
+    /// Probability an access goes to the hot set.
+    pub hot_frac: f64,
+}
+
+/// A named multiprogrammed workload: one [`CoreSpec`] per core.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Display name (suite-like identifier).
+    pub name: String,
+    /// Per-core stream shapes.
+    pub cores: Vec<CoreSpec>,
+}
+
+impl Workload {
+    /// A rate-mode workload: the same spec on every core (the paper runs
+    /// multiprogrammed copies for SPEC/BIO/COMM).
+    pub fn rate(name: &str, spec: CoreSpec, cores: u32) -> Self {
+        Workload {
+            name: name.to_string(),
+            cores: vec![spec; cores as usize],
+        }
+    }
+}
+
+/// Deterministic per-core access generator.
+#[derive(Clone, Debug)]
+pub struct TraceGen {
+    spec: CoreSpec,
+    rng: StdRng,
+    /// Line-address offset so different cores do not share data.
+    base: u64,
+    stream_cursor: u64,
+}
+
+impl TraceGen {
+    /// A generator for `spec`, seeded deterministically; `core_id`
+    /// partitions the address space between cores.
+    pub fn new(spec: CoreSpec, core_id: u32, seed: u64) -> Self {
+        TraceGen {
+            spec,
+            rng: StdRng::seed_from_u64(seed ^ (core_id as u64).wrapping_mul(0x9E37_79B9)),
+            base: (core_id as u64) << 40,
+            stream_cursor: 0,
+        }
+    }
+
+    /// Produces the next access.
+    pub fn next_access(&mut self) -> Access {
+        let s = &self.spec;
+        // Geometric-ish gap with mean 1000/apki instructions.
+        let mean_gap = (1000.0 / s.apki).max(1.0);
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap = (-u.ln() * mean_gap).min(100_000.0) as u32;
+        let is_write = self.rng.gen_bool(s.write_frac);
+        let line = if self.rng.gen_bool(s.hot_frac) {
+            // Hot set: uniform reuse within a compact region.
+            self.rng.gen_range(0..s.hot_lines.max(1))
+        } else {
+            // Cold/streaming: sequential sweep through the footprint —
+            // realistic for lbm/libquantum-style workloads and guarantees
+            // capacity misses once the footprint exceeds the LLC share.
+            self.stream_cursor = (self.stream_cursor + 1) % s.footprint_lines.max(1);
+            s.hot_lines + self.stream_cursor
+        };
+        Access {
+            gap_instrs: gap,
+            line_addr: self.base + line,
+            is_write,
+        }
+    }
+}
+
+const MB_LINES: u64 = (1024 * 1024) / 64;
+
+fn spec(apki: f64, write_frac: f64, foot_mb: u64, hot_kb: u64, hot_frac: f64) -> CoreSpec {
+    CoreSpec {
+        apki,
+        write_frac,
+        footprint_lines: foot_mb * MB_LINES,
+        hot_lines: (hot_kb * 1024 / 64).max(64),
+        hot_frac,
+    }
+}
+
+/// The workload list of Figure 8: SPEC2006-, PARSEC-, BioBench- and
+/// commercial-like mixes plus four random MIXes, each named after the suite
+/// member whose LLC behaviour it mimics.
+pub fn paper_workloads(cores: u32) -> Vec<Workload> {
+    // Hot sets are sized against each core's ~8 MB share of the 64 MB LLC:
+    // small enough to be cache-resident, so `hot_frac` sets the hit rate.
+    let presets: Vec<(&str, CoreSpec)> = vec![
+        // SPEC2006-like.
+        ("lbm", spec(30.0, 0.45, 400, 128, 0.15)),
+        ("mcf", spec(45.0, 0.25, 1700, 1024, 0.40)),
+        ("milc", spec(18.0, 0.30, 600, 256, 0.25)),
+        ("soplex", spec(22.0, 0.25, 250, 512, 0.50)),
+        ("libquantum", spec(25.0, 0.30, 32, 0, 0.00)),
+        ("omnetpp", spec(12.0, 0.35, 150, 768, 0.65)),
+        ("gcc", spec(4.0, 0.30, 60, 256, 0.85)),
+        ("bwaves", spec(15.0, 0.20, 800, 128, 0.20)),
+        ("gems", spec(20.0, 0.25, 700, 512, 0.30)),
+        ("xalanc", spec(8.0, 0.30, 100, 512, 0.75)),
+        // PARSEC-like.
+        ("canneal", spec(14.0, 0.20, 900, 512, 0.35)),
+        ("streamcluster", spec(16.0, 0.15, 120, 256, 0.55)),
+        ("ferret", spec(6.0, 0.25, 80, 384, 0.80)),
+        // BioBench-like.
+        ("mummer", spec(24.0, 0.15, 500, 256, 0.30)),
+        ("tigr", spec(28.0, 0.15, 650, 128, 0.20)),
+        // Commercial-like (MSC suite).
+        ("comm1", spec(10.0, 0.40, 300, 1024, 0.60)),
+        ("comm2", spec(13.0, 0.45, 450, 768, 0.50)),
+    ];
+    let mut out: Vec<Workload> = presets
+        .iter()
+        .map(|(name, s)| Workload::rate(name, *s, cores))
+        .collect();
+    // Four MIXes: rotate through the presets per core.
+    for (mi, stride) in [(1usize, 3usize), (2, 5), (3, 7), (4, 11)] {
+        let mut mix_cores = Vec::with_capacity(cores as usize);
+        for c in 0..cores as usize {
+            mix_cores.push(presets[(c * stride + mi) % presets.len()].1);
+        }
+        out.push(Workload {
+            name: format!("mix{mi}"),
+            cores: mix_cores,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let s = spec(20.0, 0.3, 100, 4, 0.5);
+        let run = || {
+            let mut g = TraceGen::new(s, 1, 42);
+            (0..100).map(|_| g.next_access()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cores_use_disjoint_address_ranges() {
+        let s = spec(20.0, 0.3, 100, 4, 0.5);
+        let mut g0 = TraceGen::new(s, 0, 1);
+        let mut g1 = TraceGen::new(s, 1, 1);
+        for _ in 0..50 {
+            let a0 = g0.next_access().line_addr >> 40;
+            let a1 = g1.next_access().line_addr >> 40;
+            assert_eq!(a0, 0);
+            assert_eq!(a1, 1);
+        }
+    }
+
+    #[test]
+    fn write_fraction_statistically_respected() {
+        let s = spec(20.0, 0.4, 100, 4, 0.5);
+        let mut g = TraceGen::new(s, 0, 9);
+        let writes = (0..20_000).filter(|_| g.next_access().is_write).count();
+        let frac = writes as f64 / 20_000.0;
+        assert!((frac - 0.4).abs() < 0.02, "{frac}");
+    }
+
+    #[test]
+    fn gap_mean_tracks_apki() {
+        let s = spec(10.0, 0.3, 100, 4, 0.5); // mean gap = 100 instrs
+        let mut g = TraceGen::new(s, 0, 3);
+        let total: u64 = (0..50_000).map(|_| g.next_access().gap_instrs as u64).sum();
+        let mean = total as f64 / 50_000.0;
+        assert!((80.0..120.0).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn paper_workload_list_has_21_entries() {
+        let w = paper_workloads(8);
+        assert_eq!(w.len(), 21);
+        assert!(w.iter().all(|wl| wl.cores.len() == 8));
+        assert!(w.iter().any(|wl| wl.name == "mix4"));
+    }
+}

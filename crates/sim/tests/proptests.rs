@@ -1,0 +1,96 @@
+//! Property-based tests for the performance simulator.
+
+use proptest::prelude::*;
+use sudoku_sim::{
+    resolve_workload, CacheMode, CoreSpec, Machine, OverheadConfig, SystemConfig, Workload,
+};
+
+fn arb_spec() -> impl Strategy<Value = CoreSpec> {
+    (
+        1.0f64..50.0,  // apki
+        0.05f64..0.6,  // write_frac
+        1u64..500_000, // footprint_lines
+        64u64..50_000, // hot_lines
+        0.0f64..0.95,  // hot_frac
+    )
+        .prop_map(
+            |(apki, write_frac, footprint_lines, hot_lines, hot_frac)| CoreSpec {
+                apki,
+                write_frac,
+                footprint_lines,
+                hot_lines,
+                hot_frac,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SuDoku replay is never faster than ideal on identical resolved
+    /// traces — the monotonicity the Figure-8 normalization relies on —
+    /// and its overhead stays sub-3% across random workload shapes.
+    #[test]
+    fn sudoku_overhead_positive_and_bounded(spec in arb_spec(), seed in any::<u64>()) {
+        let sys = SystemConfig::paper_default();
+        let w = Workload::rate("prop", spec, 2);
+        let resolved = resolve_workload(&sys, &w, 4_000, seed);
+        let ideal = Machine::new(sys, CacheMode::Ideal, OverheadConfig::paper_default())
+            .simulate(&resolved);
+        let sudoku = Machine::new(sys, CacheMode::sudoku_z(), OverheadConfig::paper_default())
+            .simulate(&resolved);
+        let ratio = sudoku.exec_time_ns / ideal.exec_time_ns;
+        prop_assert!(ratio >= 1.0, "ratio {ratio}");
+        prop_assert!(ratio < 1.03, "ratio {ratio}");
+    }
+
+    /// Functional outcomes are identical across modes and deterministic.
+    #[test]
+    fn functional_pass_mode_independent(spec in arb_spec(), seed in any::<u64>()) {
+        let sys = SystemConfig::paper_default();
+        let w = Workload::rate("prop", spec, 2);
+        let r1 = resolve_workload(&sys, &w, 2_000, seed);
+        let r2 = resolve_workload(&sys, &w, 2_000, seed);
+        prop_assert_eq!(&r1, &r2);
+        let a = Machine::new(sys, CacheMode::Ideal, OverheadConfig::paper_default())
+            .simulate(&r1);
+        let b = Machine::new(sys, CacheMode::sudoku_z(), OverheadConfig::paper_default())
+            .simulate(&r1);
+        prop_assert_eq!(a.llc_hits, b.llc_hits);
+        prop_assert_eq!(a.llc_misses, b.llc_misses);
+        prop_assert_eq!(a.llc_accesses(), 2 * 2_000);
+    }
+
+    /// Accounting identities hold for any workload: hits + misses =
+    /// accesses, writebacks ≤ misses, instructions ≥ accesses.
+    #[test]
+    fn metric_identities(spec in arb_spec(), seed in any::<u64>()) {
+        let sys = SystemConfig::paper_default();
+        let w = Workload::rate("prop", spec, 3);
+        let r = resolve_workload(&sys, &w, 3_000, seed);
+        let m = Machine::new(sys, CacheMode::sudoku_z(), OverheadConfig::paper_default())
+            .simulate(&r);
+        prop_assert_eq!(m.llc_hits + m.llc_misses, m.llc_accesses());
+        prop_assert!(m.writebacks <= m.llc_misses);
+        prop_assert!(m.instructions >= m.llc_accesses());
+        prop_assert!(m.exec_time_ns > 0.0);
+        // Two PLTs per store/fill, never more than 2 per access.
+        prop_assert!(m.plt_writes <= 2 * m.llc_accesses());
+    }
+
+    /// A strictly hotter (more cache-resident) variant of the same
+    /// workload never runs slower under the ideal mode.
+    #[test]
+    fn more_hits_never_slower(spec in arb_spec(), seed in any::<u64>()) {
+        let sys = SystemConfig::paper_default();
+        let cold = Workload::rate("cold", CoreSpec { hot_frac: 0.0, ..spec }, 2);
+        let hot = Workload::rate("hot", CoreSpec { hot_frac: 0.9, hot_lines: 1_000, ..spec }, 2);
+        let rc = resolve_workload(&sys, &cold, 3_000, seed);
+        let rh = resolve_workload(&sys, &hot, 3_000, seed);
+        let mc = Machine::new(sys, CacheMode::Ideal, OverheadConfig::paper_default())
+            .simulate(&rc);
+        let mh = Machine::new(sys, CacheMode::Ideal, OverheadConfig::paper_default())
+            .simulate(&rh);
+        prop_assert!(mh.hit_rate() >= mc.hit_rate());
+    }
+}

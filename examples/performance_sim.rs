@@ -1,0 +1,46 @@
+//! Performance/energy demo: run a few workloads through the trace-driven
+//! simulator and print the Figure 8/9 quantities (execution time and EDP
+//! of SuDoku-Z normalized to an idealized error-free cache).
+//!
+//! ```sh
+//! cargo run --release --example performance_sim [-- accesses_per_core]
+//! ```
+
+use sudoku_sttram::sim::{compare_workload, geo_mean, paper_workloads, RunnerConfig};
+
+fn main() {
+    let accesses: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    let cfg = RunnerConfig::paper_default(accesses, 2026);
+    println!(
+        "8-core system, 64 MB STTRAM LLC (9/18 ns), {} LLC accesses per core\n",
+        accesses
+    );
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>11} {:>11}",
+        "workload", "hit rate", "time×", "EDP×", "PLT writes", "scrubstall"
+    );
+    let mut t_ratios = Vec::new();
+    let mut e_ratios = Vec::new();
+    for w in paper_workloads(cfg.system.cores).iter().take(8) {
+        let c = compare_workload(&cfg, w);
+        t_ratios.push(c.time_ratio());
+        e_ratios.push(c.edp_ratio());
+        println!(
+            "{:<16} {:>9.3} {:>9.5} {:>9.5} {:>11} {:>9.1}µs",
+            c.name,
+            c.ideal.metrics.hit_rate(),
+            c.time_ratio(),
+            c.edp_ratio(),
+            c.sudoku.metrics.plt_writes,
+            c.sudoku.metrics.scrub_stall_ns / 1e3,
+        );
+    }
+    println!(
+        "\ngeomean slowdown {:.3}% (paper: ~0.15%), geomean EDP overhead {:.3}% (paper: ≤0.4%)",
+        (geo_mean(t_ratios) - 1.0) * 100.0,
+        (geo_mean(e_ratios) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,47 @@
+//! Reliability design-space sweep: thermal stability ∆ × scrub interval,
+//! reporting the FIT rate of ECC-6 vs SuDoku-Z for each point — the
+//! paper's Tables VIII and X generalized into one map.
+//!
+//! ```sh
+//! cargo run --release --example reliability_sweep
+//! ```
+
+use sudoku_sttram::fault::{ScrubSchedule, ThermalModel};
+use sudoku_sttram::reliability::analytic::{ecc_fit, z_fit_paper_style, Params};
+
+fn main() {
+    let deltas = [33.0, 34.0, 35.0, 36.0, 38.0];
+    let intervals = [5e-3, 10e-3, 20e-3, 40e-3];
+
+    println!("FIT of ECC-6 | SuDoku-Z (✓ = meets the 1-FIT target)\n");
+    print!("{:>6}", "∆ \\ t");
+    for t in intervals {
+        print!("{:>24}", format!("{:.0} ms", t * 1e3));
+    }
+    println!();
+    for delta in deltas {
+        print!("{delta:>6}");
+        for interval in intervals {
+            let ber = ThermalModel::new(delta, 0.10).ber(interval);
+            let params = Params {
+                ber,
+                scrub: ScrubSchedule::new(interval),
+                ..Params::paper_default()
+            };
+            let e6 = ecc_fit(&params, 6);
+            let z = z_fit_paper_style(&params);
+            let mark = |fit: f64| if fit <= 1.0 { "✓" } else { "✗" };
+            print!(
+                "{:>24}",
+                format!("{:.1e}{} | {:.1e}{}", e6, mark(e6), z, mark(z))
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "\nreading the map: at the paper's operating point (∆=35, 20 ms) both meet\n\
+         the target, but SuDoku-Z keeps meeting it at 40 ms and at ∆=34 where\n\
+         ECC-6 already fails — the scaling headroom the paper claims (§VII-E/G)."
+    );
+}

@@ -1,0 +1,78 @@
+//! Observability demo: run a small SuDoku-Z cache at an elevated fault
+//! rate and reconstruct, from the repair-event log, which mechanism earned
+//! its keep — the per-mechanism histogram behind the paper's "optimize for
+//! the common case" argument (§II-E).
+//!
+//! ```sh
+//! cargo run --release --example repair_observatory
+//! ```
+
+use std::collections::BTreeMap;
+use sudoku_sttram::codes::{LineData, TOTAL_BITS};
+use sudoku_sttram::core::{RepairMechanism, Scheme, SudokuCache, SudokuConfig};
+use sudoku_sttram::fault::{choose_distinct, FaultInjector};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lines = 1u64 << 12;
+    let ber = 3e-4; // ~6.8 faults per million bits per interval, scaled up
+    let mut cache = SudokuCache::new(SudokuConfig::small(Scheme::Z, lines, 64))?;
+    for i in 0..lines {
+        let mut d = LineData::zero();
+        d.set_bit((i as usize * 11) % 512, true);
+        cache.write(i, &d);
+    }
+
+    let mut injector = FaultInjector::new(ber, 2026);
+    let intervals = 40;
+    for _ in 0..intervals {
+        let plan = injector.cache_plan(lines);
+        let mut hints = Vec::with_capacity(plan.len());
+        for lf in &plan {
+            for pos in choose_distinct(injector.rng(), TOTAL_BITS as u64, lf.faults as u64) {
+                cache.inject_fault(lf.line, pos as usize);
+            }
+            hints.push(lf.line);
+        }
+        cache.scrub_lines(&hints);
+    }
+
+    let mut histogram: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut hash2 = 0u64;
+    for event in cache.events().iter() {
+        let name = match event.mechanism {
+            RepairMechanism::Ecc1 => "ECC-1 (single bit)",
+            RepairMechanism::EccField => "ECC-field regen",
+            RepairMechanism::Raid4 => "RAID-4 reconstruction",
+            RepairMechanism::Sdr => "SDR resurrection",
+            RepairMechanism::Due => "DUE (unrecovered)",
+        };
+        *histogram.entry(name).or_default() += 1;
+        if event.dim == Some(sudoku_sttram::core::HashDim::H2) {
+            hash2 += 1;
+        }
+    }
+
+    println!(
+        "{} intervals at BER {ber:.0e} over {lines} lines — repair mechanisms:\n",
+        intervals
+    );
+    let total: u64 = histogram.values().sum();
+    for (name, count) in &histogram {
+        println!(
+            "  {name:<24} {count:>6}  ({:>5.2}%)",
+            *count as f64 / total as f64 * 100.0
+        );
+    }
+    println!("  of which via Hash-2:     {hash2:>6}");
+    println!(
+        "\n(events retained: {}, dropped beyond the 4096-entry window: {})",
+        cache.events().len(),
+        cache.events().dropped()
+    );
+    println!(
+        "\nthe shape is the paper's §II-E insight: single-bit ECC-1 repairs\n\
+         dominate by orders of magnitude; the exotic machinery exists for\n\
+         the rare tail — and the tail is exactly where the MTTF lives."
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! SuDoku beyond STTRAM (paper §VI): an SRAM cache operated below V_min,
+//! where some cells fail *persistently*. SuDoku tolerates them with plain
+//! ECC-1 + CRC-31 + parity groups — no boot-time testing, no fault map —
+//! because stuck bits look exactly like very sticky transient faults.
+//!
+//! ```sh
+//! cargo run --release --example sram_vmin
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sudoku_sttram::codes::LineData;
+use sudoku_sttram::core::{Scheme, SudokuCache, SudokuConfig};
+use sudoku_sttram::fault::StuckBitMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small SRAM array at aggressive voltage: stuck-at BER of 2e-4.
+    // (Table IV studies 1e-3; at that density a 4096-line toy cache would
+    // see group collisions constantly — see EXPERIMENTS.md.)
+    let lines = 4096u64;
+    let mut rng = StdRng::seed_from_u64(7);
+    let stuck = StuckBitMap::random(&mut rng, lines, 2e-4);
+    println!(
+        "low-voltage SRAM: {} lines, {} stuck bits across {} lines",
+        lines,
+        stuck.total_stuck_bits(),
+        stuck.faulty_lines()
+    );
+
+    let mut cache = SudokuCache::new(SudokuConfig::small(Scheme::Z, lines, 64))?;
+    let payload = |i: u64| {
+        let mut d = LineData::zero();
+        d.set_bit((i as usize * 13) % 512, true);
+        d
+    };
+
+    // Write everything; after each write the stuck cells reassert.
+    let mut hints = Vec::new();
+    for i in 0..lines {
+        cache.write(i, &payload(i));
+        let mut stored = cache.stored_line(i);
+        if stuck.apply(i, &mut stored) > 0 {
+            // Model: the array cell ignores the written value.
+            let diff = stored.diff_positions(&cache.stored_line(i));
+            for bit in diff {
+                cache.inject_fault(i, bit);
+            }
+            hints.push(i);
+        }
+    }
+
+    // One scrub pass repairs the persistent damage like any other fault.
+    let report = cache.scrub_lines(&hints);
+    println!(
+        "scrub: {} ECC-1 repairs, {} RAID-4, {} SDR, {} via Hash-2, {} unresolved",
+        report.ecc1_repairs,
+        report.raid4_repairs,
+        report.sdr_repairs,
+        report.hash2_repairs,
+        report.unresolved.len()
+    );
+
+    // Every line still reads back correctly (reads re-repair whatever the
+    // stuck cells re-break).
+    let mut correct = 0;
+    for i in 0..lines {
+        let mut stored = cache.stored_line(i);
+        if stuck.apply(i, &mut stored) > 0 {
+            for bit in stored.diff_positions(&cache.stored_line(i)) {
+                cache.inject_fault(i, bit);
+            }
+        }
+        if cache.read(i)? == payload(i) {
+            correct += 1;
+        }
+    }
+    println!("reads correct after re-asserting stuck cells: {correct}/{lines}");
+    println!(
+        "\nthe same machinery that tolerates STTRAM retention failures handles\n\
+         persistent low-voltage SRAM faults with zero additional hardware (§VI)."
+    );
+    Ok(())
+}

@@ -1,0 +1,262 @@
+//! `sudoku` — command-line front end to the SuDoku STTRAM reproduction.
+//!
+//! ```text
+//! sudoku info                          architecture + overhead summary
+//! sudoku fit  [--delta 35] [--sigma 0.10] [--interval-ms 20]
+//!                                      analytic FIT for every scheme
+//! sudoku mc   [--scheme z] [--trials 500] [--ber 5.3e-6] [--lines 1048576]
+//!                                      Monte-Carlo interval campaign
+//! sudoku sim  [--workload mcf] [--accesses 100000]
+//!                                      Figure-8/9 datapoint for one workload
+//! sudoku demo                          the recovery ladder, end to end
+//! ```
+
+use std::collections::HashMap;
+use sudoku_sttram::codes::LineData;
+use sudoku_sttram::core::{Scheme, SudokuCache, SudokuConfig};
+use sudoku_sttram::fault::{ScrubSchedule, ThermalModel};
+use sudoku_sttram::reliability::analytic::{
+    ecc_fit, sdc_fit, x_fit, x_mttf_seconds, y_fit, y_mttf_hours, z_fit_paper_style, Params,
+};
+use sudoku_sttram::reliability::montecarlo::{run_interval_campaign, McConfig};
+use sudoku_sttram::sim::{compare_workload, paper_workloads, RunnerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let flags = parse_flags(&args[args.len().min(1)..]);
+    match cmd {
+        "info" => info(),
+        "fit" => fit(&flags),
+        "mc" => mc(&flags),
+        "sim" => sim(&flags),
+        "demo" => demo(),
+        _ => help(),
+    }
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .peek()
+                .filter(|v| !v.starts_with("--"))
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "true".to_string());
+            if value != "true" {
+                it.next();
+            }
+            out.insert(name.to_string(), value);
+        }
+    }
+    out
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
+    flags
+        .get(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn scheme_of(flags: &HashMap<String, String>) -> Scheme {
+    match flags.get("scheme").map(String::as_str) {
+        Some("x") | Some("X") => Scheme::X,
+        Some("y") | Some("Y") => Scheme::Y,
+        _ => Scheme::Z,
+    }
+}
+
+fn help() {
+    println!(
+        "sudoku — SuDoku STTRAM reproduction (DSN 2019)\n\n\
+         usage:\n\
+         \x20 sudoku info                                  architecture summary\n\
+         \x20 sudoku fit  [--delta 35] [--sigma 0.10] [--interval-ms 20]\n\
+         \x20 sudoku mc   [--scheme x|y|z] [--trials 500] [--ber 5.3e-6] [--lines N] [--group 512]\n\
+         \x20 sudoku sim  [--workload mcf] [--accesses 100000]\n\
+         \x20 sudoku demo                                  recovery-ladder walkthrough\n\n\
+         see also: cargo run -p sudoku-bench --bin repro   (every paper table/figure)"
+    );
+}
+
+fn info() {
+    let cfg = SudokuConfig::paper_default(Scheme::Z);
+    let params = Params::paper_default();
+    println!("SuDoku-Z, the paper's configuration:");
+    println!(
+        "  cache:     64 MB STTRAM, {} lines of 64 B, 8-way",
+        cfg.geometry.lines()
+    );
+    println!(
+        "  per line:  ECC-1 (10 b) + CRC-31 (31 b); groups of {} lines",
+        cfg.group_lines
+    );
+    println!(
+        "  PLTs:      2 × {} KB SRAM (skewed hashes over addr[8:0] / addr[17:9])",
+        cfg.plt_storage_bytes() / 2048
+    );
+    println!(
+        "  overhead:  {:.1} bits/line (ECC-6 needs 60)",
+        cfg.storage_overhead_bits_per_line()
+    );
+    println!("\nreliability at BER 5.3e-6 / 20 ms scrub:");
+    println!(
+        "  SuDoku-X  MTTF {:.2} s     | SuDoku-Y  MTTF {:.1} h",
+        x_mttf_seconds(&params),
+        y_mttf_hours(&params)
+    );
+    println!(
+        "  SuDoku-Z  FIT {:.2e}  | ECC-6  FIT {:.3}  | SDC FIT {:.2e}",
+        z_fit_paper_style(&params),
+        ecc_fit(&params, 6),
+        sdc_fit(&params)
+    );
+}
+
+fn fit(flags: &HashMap<String, String>) {
+    let delta = flag(flags, "delta", 35.0f64);
+    let sigma = flag(flags, "sigma", 0.10f64);
+    let interval_ms = flag(flags, "interval-ms", 20.0f64);
+    let thermal = ThermalModel::new(delta, sigma);
+    let interval = interval_ms * 1e-3;
+    let ber = thermal.ber(interval);
+    let params = Params {
+        ber,
+        scrub: ScrubSchedule::new(interval),
+        ..Params::paper_default()
+    };
+    println!(
+        "∆ = {delta}, σ = {:.0}%, scrub {interval_ms} ms → BER {ber:.3e}",
+        sigma * 100.0
+    );
+    println!("\n{:<16} {:>12}", "scheme", "FIT");
+    for t in 1..=6u32 {
+        println!("{:<16} {:>12.3e}", format!("ECC-{t}"), ecc_fit(&params, t));
+    }
+    println!("{:<16} {:>12.3e}", "SuDoku-X", x_fit(&params));
+    println!("{:<16} {:>12.3e}", "SuDoku-Y", y_fit(&params));
+    println!("{:<16} {:>12.3e}", "SuDoku-Z", z_fit_paper_style(&params));
+    println!(
+        "{:<16} {:>12.3e}",
+        "SuDoku-Z/ECC2",
+        z_fit_paper_style(&params.with_line_ecc(2))
+    );
+}
+
+fn mc(flags: &HashMap<String, String>) {
+    let cfg = McConfig {
+        scheme: scheme_of(flags),
+        lines: flag(flags, "lines", 1u64 << 20),
+        group: flag(flags, "group", 512u32),
+        ber: flag(flags, "ber", 5.3e-6f64),
+        trials: flag(flags, "trials", 500u64),
+        seed: flag(flags, "seed", 42u64),
+        threads: flag(flags, "threads", 0usize),
+        scrub: ScrubSchedule::paper_default(),
+    };
+    println!(
+        "running {} intervals of {} over {} lines at BER {:.2e}…",
+        cfg.trials, cfg.scheme, cfg.lines, cfg.ber
+    );
+    let s = run_interval_campaign(&cfg);
+    let (lo, hi) = s.due_rate_ci();
+    println!(
+        "  faulty bits/interval: {:.1}; multi-bit lines/interval: {:.2}",
+        s.faulty_bits as f64 / s.trials as f64,
+        s.multibit_lines as f64 / s.trials as f64
+    );
+    println!(
+        "  repairs: raid4 {} | sdr {} | hash2 {}",
+        s.raid4_repairs, s.sdr_repairs, s.hash2_repairs
+    );
+    println!(
+        "  DUE: {}/{} intervals (rate {:.3e}, 95% CI {:.2e}–{:.2e}); SDC intervals: {}",
+        s.due_intervals,
+        s.trials,
+        s.due_rate(),
+        lo,
+        hi,
+        s.sdc_intervals
+    );
+    let mttf = s.mttf_seconds(&cfg.scrub);
+    if mttf.is_finite() {
+        println!("  measured MTTF: {mttf:.2} s");
+    } else {
+        println!("  no failures observed — MTTF beyond this campaign's reach");
+    }
+}
+
+fn sim(flags: &HashMap<String, String>) {
+    let name = flags
+        .get("workload")
+        .cloned()
+        .unwrap_or_else(|| "mcf".to_string());
+    let accesses = flag(flags, "accesses", 100_000u64);
+    let cfg = RunnerConfig::paper_default(accesses, flag(flags, "seed", 42u64));
+    let workloads = paper_workloads(cfg.system.cores);
+    let Some(w) = workloads.iter().find(|w| w.name == name) else {
+        println!(
+            "unknown workload {name}; available: {}",
+            workloads
+                .iter()
+                .map(|w| w.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return;
+    };
+    let c = compare_workload(&cfg, w);
+    println!("{name}: {} LLC accesses/core on 8 cores", accesses);
+    println!(
+        "  hit rate {:.3}; DRAM row-hit rate {:.3}",
+        c.ideal.metrics.hit_rate(),
+        c.ideal.metrics.dram_row_hits as f64 / c.ideal.metrics.llc_misses.max(1) as f64
+    );
+    println!(
+        "  SuDoku-Z vs ideal: time ×{:.5}, EDP ×{:.5}",
+        c.time_ratio(),
+        c.edp_ratio()
+    );
+    println!(
+        "  overhead detail: scrub stalls {:.1} µs, syndrome {:.1} µs, PLT writes {}",
+        c.sudoku.metrics.scrub_stall_ns / 1e3,
+        c.sudoku.metrics.syndrome_ns / 1e3,
+        c.sudoku.metrics.plt_writes
+    );
+}
+
+fn demo() {
+    let config = SudokuConfig::small(Scheme::Z, 256, 16);
+    let mut cache = SudokuCache::new(config).expect("demo configuration is valid");
+    let payload = |i: u64| {
+        let mut d = LineData::zero();
+        d.set_bit((i as usize * 37) % 512, true);
+        d
+    };
+    for i in 0..256 {
+        cache.write(i, &payload(i));
+    }
+    println!("256-line SuDoku-Z cache primed. Injecting the ladder:");
+    cache.inject_fault(7, 123);
+    assert_eq!(cache.read(7).expect("ecc1"), payload(7));
+    println!("  1 fault      → ECC-1");
+    for bit in [10, 60, 200, 340, 480] {
+        cache.inject_fault(20, bit);
+    }
+    assert_eq!(cache.read(20).expect("raid4"), payload(20));
+    println!("  5 faults     → RAID-4");
+    for (l, b) in [(32, 11), (32, 22), (33, 33), (33, 44)] {
+        cache.inject_fault(l, b);
+    }
+    assert!(cache.scrub_lines(&[32, 33]).fully_repaired());
+    println!("  2×2 faults   → SDR");
+    for (l, b) in [(48, 1), (48, 2), (48, 3), (49, 4), (49, 5), (49, 6)] {
+        cache.inject_fault(l, b);
+    }
+    assert!(cache.scrub_lines(&[48, 49]).fully_repaired());
+    println!("  2×3 faults   → Hash-2");
+    println!("\nstats: {:#?}", cache.stats());
+}

@@ -1,0 +1,108 @@
+//! Cross-validation: the analytic reliability model against Monte-Carlo
+//! campaigns driving the real engines, at scales where both are computable.
+
+use sudoku_sttram::core::Scheme;
+use sudoku_sttram::fault::ScrubSchedule;
+use sudoku_sttram::reliability::analytic::{x_cache_fail, Params};
+use sudoku_sttram::reliability::montecarlo::{
+    run_group_campaign, run_interval_campaign, GroupScenario, McConfig,
+};
+
+/// SuDoku-X DUE rate: analytic binomial model vs measured, elevated BER on
+/// a small cache so hundreds of events land in seconds.
+#[test]
+fn x_due_rate_matches_analytic_model() {
+    let lines = 1u64 << 14;
+    let group = 128u32;
+    let ber = 1e-4;
+    let cfg = McConfig {
+        scheme: Scheme::X,
+        lines,
+        group,
+        ber,
+        trials: 600,
+        seed: 31,
+        threads: 0,
+        scrub: ScrubSchedule::paper_default(),
+    };
+    let summary = run_interval_campaign(&cfg);
+    let params = Params {
+        lines,
+        group,
+        ber,
+        ..Params::paper_default()
+    };
+    let analytic = x_cache_fail(&params);
+    let measured = summary.due_rate();
+    assert!(
+        measured > 0.02,
+        "test premise: events must occur (got {measured})"
+    );
+    // Agreement within a factor of 1.6 at 600 trials.
+    let ratio = measured / analytic;
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "measured {measured:.4} vs analytic {analytic:.4} (ratio {ratio:.2})"
+    );
+}
+
+/// The (2,2) SDR failure mode is exactly full overlap: the measured success
+/// at modest trial counts must be ≥ 1 − 10× the analytic overlap chance.
+#[test]
+fn sdr_two_by_two_failure_is_overlap_rare() {
+    let scenario = GroupScenario::two_by_two(Scheme::Y, 128);
+    let s = run_group_campaign(&scenario, 4000, 5, 0);
+    // Analytic overlap probability: 2/(n(n-1)) ≈ 6.5e-6.
+    assert!(s.success_rate() > 0.999, "{s:?}");
+    assert_eq!(s.sdc, 0, "SDR must never silently corrupt");
+}
+
+/// Fault statistics: the injector's plan matches the binomial expectations
+/// the analytic model is built on.
+#[test]
+fn injected_fault_statistics_match_model() {
+    let cfg = McConfig {
+        scheme: Scheme::Y,
+        lines: 1 << 16,
+        group: 256,
+        ber: 5.3e-6,
+        trials: 200,
+        seed: 77,
+        threads: 0,
+        scrub: ScrubSchedule::paper_default(),
+    };
+    let s = run_interval_campaign(&cfg);
+    let bits_per_interval = s.faulty_bits as f64 / s.trials as f64;
+    let expect = (1u64 << 16) as f64 * 553.0 * 5.3e-6;
+    assert!(
+        (bits_per_interval / expect - 1.0).abs() < 0.05,
+        "measured {bits_per_interval:.1} vs expected {expect:.1}"
+    );
+}
+
+/// Y and Z never do worse than X on the same seeds.
+#[test]
+fn stronger_schemes_never_lose_to_weaker_on_same_faults() {
+    let base = McConfig {
+        scheme: Scheme::X,
+        lines: 1 << 13,
+        group: 64,
+        ber: 2e-4,
+        trials: 150,
+        seed: 11,
+        threads: 0,
+        scrub: ScrubSchedule::paper_default(),
+    };
+    let x = run_interval_campaign(&base);
+    let y = run_interval_campaign(&McConfig {
+        scheme: Scheme::Y,
+        ..base
+    });
+    let z = run_interval_campaign(&McConfig {
+        scheme: Scheme::Z,
+        ..base
+    });
+    assert!(x.due_intervals >= y.due_intervals);
+    assert!(y.due_intervals >= z.due_intervals);
+    assert!(x.due_intervals > 0, "premise: X must fail sometimes here");
+}

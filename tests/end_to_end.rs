@@ -1,0 +1,166 @@
+//! End-to-end pipeline tests: thermal model → fault injection → SuDoku
+//! cache recovery → golden comparison, across the whole workspace facade.
+
+use sudoku_sttram::codes::LineData;
+use sudoku_sttram::core::{Scheme, SudokuCache, SudokuConfig};
+use sudoku_sttram::fault::{FaultInjector, ScrubSchedule, ThermalModel};
+
+fn golden(i: u64) -> LineData {
+    let mut d = LineData::zero();
+    d.set_bit((i as usize * 29) % 512, true);
+    d.set_bit((i as usize * 173 + 7) % 512, true);
+    d
+}
+
+fn populated(scheme: Scheme, lines: u64, group: u32) -> SudokuCache {
+    let mut cache = SudokuCache::new(SudokuConfig::small(scheme, lines, group))
+        .expect("valid test configuration");
+    for i in 0..lines {
+        cache.write(i, &golden(i));
+    }
+    cache
+}
+
+/// Run many thermal-model-driven intervals over a small cache; SuDoku-Z
+/// must repair everything the model throws at it at realistic (scaled)
+/// rates, with zero silent corruption.
+#[test]
+fn thermal_driven_intervals_fully_recover_under_z() {
+    let lines = 1024u64;
+    let scrub = ScrubSchedule::paper_default();
+    // A deliberately weak device so the small cache actually sees faults.
+    let thermal = ThermalModel::new(28.0, 0.10);
+    let ber = thermal.ber(scrub.interval_s());
+    assert!(ber > 1e-6, "test premise: non-trivial BER, got {ber}");
+    let mut cache = populated(Scheme::Z, lines, 32);
+    let mut injector = FaultInjector::new(ber, 99);
+    let mut total_faults = 0u64;
+    for _ in 0..50 {
+        let plan = injector.cache_plan(lines);
+        let mut hints = Vec::new();
+        for lf in &plan {
+            for _ in 0..lf.faults {
+                // inject_exactly equivalent through the cache API
+            }
+            hints.push(lf.line);
+        }
+        for lf in &plan {
+            let mut line = cache.stored_line(lf.line);
+            let before = line;
+            let mut injected = 0;
+            let mut bit = (lf.line as usize * 97) % 553;
+            while injected < lf.faults {
+                line.flip_bit(bit);
+                bit = (bit + 211) % 553;
+                injected += 1;
+            }
+            for b in line.diff_positions(&before) {
+                cache.inject_fault(lf.line, b);
+            }
+            total_faults += lf.faults as u64;
+        }
+        let report = cache.scrub_lines(&hints);
+        assert!(report.fully_repaired(), "{report:?}");
+    }
+    assert!(
+        total_faults > 20,
+        "the campaign must actually inject faults"
+    );
+    for i in 0..lines {
+        assert_eq!(cache.read(i).expect("readable"), golden(i), "line {i}");
+    }
+}
+
+/// The recovery ladder in one place: identical fault patterns, increasing
+/// scheme strength, strictly fewer unresolved lines.
+#[test]
+fn scheme_ladder_on_identical_fault_pattern() {
+    let inject = |cache: &mut SudokuCache| {
+        // Two double-fault lines in one group (Y-recoverable) plus two
+        // triple-fault lines in another group (Z-recoverable).
+        cache.inject_fault(0, 5);
+        cache.inject_fault(0, 6);
+        cache.inject_fault(1, 7);
+        cache.inject_fault(1, 8);
+        for bit in [10, 20, 30] {
+            cache.inject_fault(64, bit);
+        }
+        for bit in [11, 21, 31] {
+            cache.inject_fault(65, bit);
+        }
+    };
+    let mut unresolved = Vec::new();
+    for scheme in [Scheme::X, Scheme::Y, Scheme::Z] {
+        let mut cache = populated(scheme, 1024, 32);
+        inject(&mut cache);
+        let report = cache.scrub();
+        unresolved.push(report.unresolved.len());
+    }
+    assert_eq!(
+        unresolved,
+        vec![4, 2, 0],
+        "X fails all, Y fixes the pairs, Z fixes everything"
+    );
+}
+
+/// Writes intermixed with faults and scrubs never corrupt the parity
+/// invariant: after any sequence, every line reads back as last written.
+#[test]
+fn interleaved_writes_faults_and_scrubs_preserve_all_data() {
+    let lines = 256u64;
+    let mut cache = populated(Scheme::Z, lines, 16);
+    let mut expected: Vec<LineData> = (0..lines).map(golden).collect();
+    for round in 0..20u64 {
+        // Overwrite a few lines.
+        for k in 0..5u64 {
+            let idx = (round * 31 + k * 7) % lines;
+            let mut d = LineData::zero();
+            d.set_bit(((round * 97 + k) % 512) as usize, true);
+            cache.write(idx, &d);
+            expected[idx as usize] = d;
+        }
+        // Sprinkle faults, including multi-bit bursts.
+        let victim = (round * 13) % lines;
+        for j in 0..(1 + round % 4) {
+            cache.inject_fault(victim, ((round * 41 + j * 101) % 553) as usize);
+        }
+        // Scrub every couple of rounds.
+        if round % 2 == 1 {
+            let report = cache.scrub();
+            assert!(report.fully_repaired(), "round {round}: {report:?}");
+        }
+    }
+    cache.scrub();
+    for i in 0..lines {
+        assert_eq!(
+            cache.read(i).expect("readable"),
+            expected[i as usize],
+            "line {i}"
+        );
+    }
+}
+
+/// Reads repair on demand without a scrub pass (paper §III-B).
+#[test]
+fn demand_reads_alone_recover_multibit_faults() {
+    let mut cache = populated(Scheme::Y, 256, 16);
+    for bit in [100, 200, 300, 400, 500, 512, 544] {
+        cache.inject_fault(42, bit);
+    }
+    assert_eq!(cache.read(42).expect("recovered"), golden(42));
+    assert!(cache.is_line_valid(42));
+}
+
+/// The storage-overhead arithmetic of §VII-H holds for the real configs.
+#[test]
+fn storage_overhead_matches_paper() {
+    let z = SudokuConfig::paper_default(Scheme::Z);
+    assert_eq!(z.storage_overhead_bits_per_line().round() as u32, 43);
+    assert_eq!(z.plt_storage_bytes(), 256 * 1024);
+    let ecc6 = sudoku_sttram::codes::line_ecc(6).expect("ECC-6");
+    assert_eq!(ecc6.parity_bits(), 60);
+    assert!(
+        z.storage_overhead_bits_per_line() < 60.0 * 0.75,
+        "≥25% cheaper"
+    );
+}

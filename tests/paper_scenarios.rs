@@ -1,0 +1,148 @@
+//! The paper's worked examples (Figures 2, 3, 4, 6) replayed literally on
+//! the real implementation through the workspace facade.
+
+use sudoku_sttram::codes::{group_parity, LineCodec, LineData};
+use sudoku_sttram::core::{HashDim, Scheme, SkewedHashes, SudokuCache, SudokuConfig};
+
+fn lettered(i: u64) -> LineData {
+    // Distinct, recognizable contents for lines "A".."P".
+    let mut d = LineData::zero();
+    for b in 0..8 {
+        d.set_bit(((i + 1) as usize * (b + 3) * 17) % 512, true);
+    }
+    d
+}
+
+/// Figure 2: a 16-line cache, 4-line RAID-Groups; line B suffers a 6-bit
+/// error and is reconstructed from A, C, D and the parity line.
+#[test]
+fn figure2_raid4_reconstruction() {
+    let mut cache =
+        SudokuCache::new(SudokuConfig::small(Scheme::X, 16, 4)).expect("figure 2 geometry");
+    for i in 0..16 {
+        cache.write(i, &lettered(i));
+    }
+    let b = 1u64; // "line B"
+    for bit in [3, 97, 164, 230, 310, 500] {
+        cache.inject_fault(b, bit);
+    }
+    assert_eq!(cache.read(b).expect("repaired"), lettered(b));
+    assert_eq!(cache.stats().raid4_repairs, 1);
+}
+
+/// Figure 3(a)/(b)/(c): SDR on two double-fault lines with zero, one, and
+/// two overlapping fault positions.
+#[test]
+fn figure3_sdr_overlap_cases() {
+    let run_case = |faults1: [usize; 2], faults2: [usize; 2]| -> usize {
+        let mut cache =
+            SudokuCache::new(SudokuConfig::small(Scheme::Y, 16, 4)).expect("figure 3 geometry");
+        for i in 0..16 {
+            cache.write(i, &lettered(i));
+        }
+        for f in faults1 {
+            cache.inject_fault(0, f);
+        }
+        for f in faults2 {
+            cache.inject_fault(1, f);
+        }
+        cache.scrub().unresolved.len()
+    };
+    // (a) no overlap: four mismatch positions, fully repaired.
+    assert_eq!(run_case([10, 20], [30, 40]), 0);
+    // (b) one overlap: two mismatches, still repaired.
+    assert_eq!(run_case([10, 20], [10, 40]), 0);
+    // (c) both overlap: zero mismatches, SuDoku-Y must declare DUE.
+    assert_eq!(run_case([10, 20], [10, 20]), 2);
+}
+
+/// Figure 4: a 3-bit-fault line paired with a 2-bit-fault line — SDR fixes
+/// the 2-bit line, RAID-4 then recovers the 3-bit line.
+#[test]
+fn figure4_three_plus_two_fault_pair() {
+    let mut cache =
+        SudokuCache::new(SudokuConfig::small(Scheme::Y, 16, 4)).expect("figure 4 geometry");
+    for i in 0..16 {
+        cache.write(i, &lettered(i));
+    }
+    for bit in [11, 22, 33] {
+        cache.inject_fault(2, bit);
+    }
+    for bit in [44, 55] {
+        cache.inject_fault(3, bit);
+    }
+    let report = cache.scrub();
+    assert!(report.fully_repaired(), "{report:?}");
+    assert_eq!(cache.read(2).expect("ok"), lettered(2));
+    assert_eq!(cache.read(3).expect("ok"), lettered(3));
+}
+
+/// Figure 6: lines B and D with 3 faults each share a Hash-1 group but map
+/// to different Hash-2 groups (B,F,J,N and D,H,L,P), where each is the
+/// lone casualty and recovers.
+#[test]
+fn figure6_skewed_hash_recovery() {
+    let hashes = SkewedHashes::new(16, 4).expect("figure 6 geometry");
+    let b = 1u64;
+    let d = 3u64;
+    assert_eq!(
+        hashes.group_of(HashDim::H1, b),
+        hashes.group_of(HashDim::H1, d),
+        "B and D share a Hash-1 group"
+    );
+    assert_ne!(
+        hashes.group_of(HashDim::H2, b),
+        hashes.group_of(HashDim::H2, d),
+        "…but not a Hash-2 group"
+    );
+    assert_eq!(
+        hashes
+            .members(HashDim::H2, hashes.group_of(HashDim::H2, b))
+            .collect::<Vec<_>>(),
+        vec![1, 5, 9, 13] // B, F, J, N
+    );
+
+    let mut cache =
+        SudokuCache::new(SudokuConfig::small(Scheme::Z, 16, 4)).expect("figure 6 geometry");
+    for i in 0..16 {
+        cache.write(i, &lettered(i));
+    }
+    for bit in [10, 110, 210] {
+        cache.inject_fault(b, bit);
+    }
+    for bit in [20, 120, 220] {
+        cache.inject_fault(d, bit);
+    }
+    let report = cache.scrub();
+    assert!(report.fully_repaired(), "{report:?}");
+    assert!(report.hash2_repairs >= 1);
+    assert_eq!(cache.read(b).expect("ok"), lettered(b));
+    assert_eq!(cache.read(d).expect("ok"), lettered(d));
+}
+
+/// Figure 1's organization invariant: the PLT holds the XOR of every
+/// group's stored lines at all times, across writes.
+#[test]
+fn figure1_plt_invariant() {
+    let mut cache =
+        SudokuCache::new(SudokuConfig::small(Scheme::X, 16, 4)).expect("figure 1 geometry");
+    for i in 0..16 {
+        cache.write(i, &lettered(i));
+    }
+    // Overwrite some lines, then verify the parity of group 0 by hand.
+    cache.write(2, &lettered(9));
+    cache.write(0, &LineData::zero());
+    let codec = LineCodec::shared();
+    let members: Vec<_> = (0..4).map(|i| cache.stored_line(i)).collect();
+    let parity = group_parity(members.iter());
+    assert!(
+        codec.validate(&parity),
+        "XOR of valid codewords stays valid"
+    );
+    // Reconstruct member 2 from the others via the cache's own machinery:
+    // inject an uncorrectable burst and let RAID-4 use the PLT.
+    for bit in [5, 6, 7, 8] {
+        cache.inject_fault(2, bit);
+    }
+    assert_eq!(cache.read(2).expect("ok"), lettered(9));
+}
