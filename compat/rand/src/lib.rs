@@ -1,0 +1,317 @@
+//! Offline drop-in subset of the `rand` crate API.
+//!
+//! The build environment for this repository is air-gapped, so the real
+//! `rand` crate cannot be fetched. This shim provides the exact surface the
+//! workspace uses — [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! the [`Rng`] extension methods `gen`, `gen_range`, `gen_bool` — backed by
+//! xoshiro256++ seeded through SplitMix64 (the same seeding scheme
+//! `rand_xoshiro` uses).
+//!
+//! Determinism contract: for a fixed seed the generated stream is stable
+//! across platforms and releases of this workspace. The stream differs from
+//! upstream `rand`'s ChaCha12-based `StdRng`, which is fine: nothing in the
+//! repository depends on the specific stream, only on seeded
+//! reproducibility.
+
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly over a range (integer and float primitives).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                low.wrapping_add(uniform_u64(rng, span) as Self)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty inclusive range");
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as Self;
+                }
+                low.wrapping_add(uniform_u64(rng, span + 1) as Self)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        low + (high - low) * unit_f64(rng)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "gen_range: empty inclusive range");
+        low + (high - low) * (rng.next_u64() as f64 / u64::MAX as f64)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_half_open(rng, low as f64, high as f64) as f32
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_inclusive(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// Unbiased uniform draw from `0..span` (`span == 0` means the full 2^64).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // Widening-multiply rejection (Lemire): unbiased, usually one draw.
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (span as u128);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (span as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// A uniform double in `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution subset).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng) as f32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as Self
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// The user-facing extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` (the `Standard` distribution).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use rand::{Rng, SeedableRng};
+    ///
+    /// let mut a = StdRng::seed_from_u64(7);
+    /// let mut b = StdRng::seed_from_u64(7);
+    /// assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+    /// ```
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the 256-bit state
+            // (never all-zero: SplitMix64 output over four draws cannot be).
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_int_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..13);
+            assert!((3..13).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit");
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(0..=5);
+            assert!(v <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_float_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn unit_f64_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn uniform_u64_unbiased_small_span() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[uniform_u64(&mut rng, 3) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace uses serde derives purely as forward-compatible markers on
+//! config/report structs; nothing serializes through them yet, and the build
+//! environment is air-gapped so the real `serde_derive` cannot be fetched.
+//! These derives accept the same syntax (including `#[serde(...)]` helper
+//! attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

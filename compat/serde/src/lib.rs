@@ -1,0 +1,18 @@
+//! Offline drop-in subset of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-compatible
+//! markers only — no code serializes through serde yet, and the build
+//! environment is air-gapped. This shim supplies the trait names and re-exports
+//! the no-op derive macros so `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. When a future PR
+//! needs real (de)serialization, replace this shim with a vendored serde.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

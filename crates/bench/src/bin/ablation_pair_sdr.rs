@@ -4,7 +4,7 @@
 
 use sudoku_bench::{header, sci, Args};
 use sudoku_core::Scheme;
-use sudoku_reliability::montecarlo::{run_group_campaign, GroupScenario};
+use sudoku_reliability::montecarlo::{run_group_campaign_timed, GroupScenario, ThroughputReport};
 
 fn main() {
     let args = Args::parse(4000, 0);
@@ -13,6 +13,7 @@ fn main() {
         "{:<30} {:>12} {:>14} {:>12}",
         "scenario", "Y (paper)", "Y + pair-SDR", "Z (paper)"
     );
+    let mut reports: Vec<(String, ThroughputReport)> = Vec::new();
     let cases: Vec<(&str, Vec<u32>)> = vec![
         ("two lines × 2 faults", vec![2, 2]),
         ("two lines × 3 faults", vec![3, 3]),
@@ -29,8 +30,13 @@ fn main() {
                 fault_counts: counts.clone(),
                 pair_sdr: pair,
             };
-            let s = run_group_campaign(&scenario, args.trials, args.seed, args.threads);
+            let (s, report) =
+                run_group_campaign_timed(&scenario, args.trials, args.seed, args.threads);
             rates.push(s.success_rate());
+            reports.push((
+                format!("{label} / {scheme}{}", if pair { "+pair" } else { "" }),
+                report,
+            ));
         }
         println!(
             "{label:<30} {:>12} {:>14} {:>12}",
@@ -45,4 +51,8 @@ fn main() {
          ≥4-fault pairs or fully-overlapping patterns — the second hash\n\
          remains the stronger and cheaper mechanism, as the paper chose."
     );
+    println!("\ncampaign throughput:");
+    for (label, report) in &reports {
+        report.println(label);
+    }
 }

@@ -5,7 +5,7 @@
 use sudoku_bench::{header, sci, Args};
 use sudoku_core::Scheme;
 use sudoku_fault::ScrubSchedule;
-use sudoku_reliability::montecarlo::{run_interval_campaign, McConfig};
+use sudoku_reliability::montecarlo::{run_interval_campaign_timed, McConfig};
 
 fn main() {
     let args = Args::parse(400, 0);
@@ -27,10 +27,12 @@ fn main() {
         "scheme", "DUE rate", "raid4", "sdr", "hash2", "SDC"
     );
     let mut rates = Vec::new();
+    let mut reports = Vec::new();
     for scheme in [Scheme::X, Scheme::Y, Scheme::Z] {
         let cfg = McConfig { scheme, ..base };
-        let s = run_interval_campaign(&cfg);
+        let (s, report) = run_interval_campaign_timed(&cfg);
         rates.push(s.due_rate());
+        reports.push((scheme, report));
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
             scheme.to_string(),
@@ -53,4 +55,8 @@ fn main() {
         rates[0] >= rates[1] && rates[1] >= rates[2],
         "ladder must be monotone"
     );
+    println!("\ncampaign throughput:");
+    for (scheme, report) in &reports {
+        report.println(&scheme.to_string());
+    }
 }

@@ -9,7 +9,7 @@ use sudoku_codes::TOTAL_BITS;
 use sudoku_core::baselines::{BaselineOutcome, CppcCache, EccOnlyCache, Raid6Cache};
 use sudoku_core::Scheme;
 use sudoku_fault::{choose_distinct, sample_binomial, FaultInjector, ScrubSchedule};
-use sudoku_reliability::montecarlo::{run_interval_campaign, McConfig};
+use sudoku_reliability::montecarlo::{run_interval_campaign_timed, McConfig};
 
 const LINES: u64 = 1 << 12;
 const GROUP: u32 = 64;
@@ -82,7 +82,7 @@ fn main() {
     }
 
     // SuDoku-Z via the standard campaign at the same scale.
-    let z = run_interval_campaign(&McConfig {
+    let (z, z_report) = run_interval_campaign_timed(&McConfig {
         scheme: Scheme::Z,
         lines: LINES,
         group: GROUP,
@@ -112,4 +112,5 @@ fn main() {
     );
     println!("  SuDoku-Z:         {}", sci(z.due_rate()));
     println!("\nordering matches Table XI: CPPC ≫ uniform-ECC ≫ RAID-6 ≫ SuDoku.");
+    z_report.println("SuDoku-Z campaign");
 }

@@ -5,7 +5,7 @@
 use sudoku_bench::{header, sci, Args};
 use sudoku_core::Scheme;
 use sudoku_reliability::analytic::{x_cache_fail, x_mttf_seconds, Params};
-use sudoku_reliability::montecarlo::{run_interval_campaign, McConfig};
+use sudoku_reliability::montecarlo::{run_interval_campaign_timed, McConfig};
 
 fn main() {
     let args = Args::parse(2000, 0);
@@ -15,7 +15,7 @@ fn main() {
     // SuDoku-X at paper scale: DUE probability per interval is ~5e-3, so a
     // few thousand trials give a tight estimate.
     let cfg = McConfig::paper_default(Scheme::X, args.trials, args.seed);
-    let summary = run_interval_campaign(&cfg);
+    let (summary, report) = run_interval_campaign_timed(&cfg);
     let (lo, hi) = summary.due_rate_ci();
     println!(
         "SuDoku-X, {} intervals at BER 5.3e-6 over 2^20 lines:",
@@ -45,11 +45,12 @@ fn main() {
         sci(x_cache_fail(&params))
     );
     assert_eq!(summary.sdc_intervals, 0, "no SDC expected at these scales");
+    report.println("X campaign");
 
     // SuDoku-Y at the same scale: the measured rate should drop by orders
     // of magnitude (most trials repair everything).
     let cfg_y = McConfig::paper_default(Scheme::Y, args.trials, args.seed ^ 0xABCD);
-    let sy = run_interval_campaign(&cfg_y);
+    let (sy, sy_report) = run_interval_campaign_timed(&cfg_y);
     println!(
         "\nSuDoku-Y, {} intervals: DUE intervals {} (rate {}), SDR repairs {}",
         sy.trials,
@@ -58,11 +59,13 @@ fn main() {
         sy.sdr_repairs
     );
     println!("  (paper: Y fails once per ~3.9 h = every ~700k intervals; expect 0 here)");
+    sy_report.println("Y campaign");
 
     let cfg_z = McConfig::paper_default(Scheme::Z, args.trials / 2, args.seed ^ 0x1234);
-    let sz = run_interval_campaign(&cfg_z);
+    let (sz, sz_report) = run_interval_campaign_timed(&cfg_z);
     println!(
         "\nSuDoku-Z, {} intervals: DUE intervals {} (expect 0; MTTF is ~10^12 h)",
         sz.trials, sz.due_intervals
     );
+    sz_report.println("Z campaign");
 }

@@ -3,7 +3,7 @@
 
 use sudoku_bench::{header, sci, Args};
 use sudoku_core::Scheme;
-use sudoku_reliability::montecarlo::{run_group_campaign, GroupScenario};
+use sudoku_reliability::montecarlo::{run_group_campaign_timed, GroupScenario, ThroughputReport};
 
 fn main() {
     let args = Args::parse(20_000, 0);
@@ -12,6 +12,7 @@ fn main() {
         "{:<34} {:>9} {:>12} {:>12} {:>22}",
         "scenario (faults per line)", "scheme", "success", "DUE", "paper expectation"
     );
+    let mut reports: Vec<(String, ThroughputReport)> = Vec::new();
     let cases: Vec<(&str, Scheme, Vec<u32>, &str)> = vec![
         (
             "two lines × 2 faults",
@@ -76,7 +77,9 @@ fn main() {
         } else {
             args.trials
         };
-        let s = run_group_campaign(&scenario, trials.max(100), args.seed, args.threads);
+        let (s, report) =
+            run_group_campaign_timed(&scenario, trials.max(100), args.seed, args.threads);
+        reports.push((format!("{label} / {scheme}"), report));
         println!(
             "{label:<34} {:>9} {:>12} {:>12} {:>22}",
             format!("{scheme}").replace("SuDoku-", ""),
@@ -90,4 +93,8 @@ fn main() {
          (paper §IV-B case 3: ~0.0004%)",
         sci(2.0 / (553.0 * 552.0))
     );
+    println!("\ncampaign throughput:");
+    for (label, report) in &reports {
+        report.println(label);
+    }
 }

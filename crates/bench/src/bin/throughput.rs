@@ -1,0 +1,89 @@
+//! Campaign-throughput benchmark: runs the paper-default interval campaign
+//! and reports trials/sec plus kernel micro-timings.
+//!
+//! ```text
+//! cargo run --release -p sudoku-bench --bin throughput -- --trials 64
+//! cargo run --release -p sudoku-bench --bin throughput -- --trials 64 --json
+//! ```
+//!
+//! `--json` additionally writes `BENCH_kernels.json` to the current
+//! directory, a machine-readable record for tracking kernel performance
+//! across revisions.
+
+use std::hint::black_box;
+use std::time::Instant;
+use sudoku_bench::{flag, header, Args};
+use sudoku_codes::{CrcEngine, LineData, CRC31};
+use sudoku_core::Scheme;
+use sudoku_reliability::montecarlo::{run_interval_campaign_timed, McConfig};
+
+/// Nanoseconds per `checksum_line` call on a dense pseudo-random line.
+fn measure_ns_per_crc() -> f64 {
+    let engine = CrcEngine::new(CRC31);
+    let mut words = [0u64; 8];
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for w in words.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *w = x;
+    }
+    let line = LineData::from_words(words);
+    const ITERS: u32 = 200_000;
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..ITERS {
+        acc ^= engine.checksum_line(black_box(&line));
+    }
+    black_box(acc);
+    start.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    let args = Args::parse(64, 0);
+    header("Campaign throughput (paper-default config)");
+    let cfg = McConfig::paper_default(Scheme::Z, args.trials, args.seed);
+    let (summary, report) = run_interval_campaign_timed(&cfg);
+    let elapsed = summary.trials as f64 / report.trials_per_sec;
+    println!(
+        "trials = {}, elapsed = {:.3} s, trials/sec = {:.2}",
+        summary.trials, elapsed, report.trials_per_sec
+    );
+    println!(
+        "due_intervals = {}, faulty_bits = {}, multibit_lines = {}",
+        summary.due_intervals, summary.faulty_bits, summary.multibit_lines
+    );
+    report.println("campaign");
+
+    let ns_per_crc = measure_ns_per_crc();
+    // Campaign-amortized cost per scrubbed line (injection + scrub + reset).
+    let ns_per_scrub_line = elapsed * 1e9 / report.lines_scrubbed.max(1) as f64;
+    println!("ns/CRC (dense line) = {ns_per_crc:.2}, ns/scrubbed line = {ns_per_scrub_line:.2}");
+
+    if flag("--json") {
+        let json = format!(
+            "{{\n  \"name\": \"interval_campaign_paper_default\",\n  \
+             \"trials_per_sec\": {:.3},\n  \"ns_per_crc\": {:.3},\n  \
+             \"ns_per_scrub_line\": {:.3},\n  \"seed\": {},\n  \
+             \"git_rev\": \"{}\"\n}}\n",
+            report.trials_per_sec,
+            ns_per_crc,
+            ns_per_scrub_line,
+            args.seed,
+            git_rev()
+        );
+        std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+        println!("wrote BENCH_kernels.json");
+    }
+}

@@ -64,6 +64,11 @@ impl Args {
     }
 }
 
+/// Whether a bare `--flag` (no value) is present on the command line.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 /// Ratio formatted as "N.NNx".
 pub fn ratio(a: f64, b: f64) -> String {
     format!("{:.0}x", a / b)

@@ -152,17 +152,30 @@ impl LineData {
     }
 
     /// Iterator over the positions of set bits, ascending.
+    ///
+    /// Walks the backing words directly (no per-word allocation), clearing
+    /// the lowest set bit of each word as it goes.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.0.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut bits = Vec::new();
-            let mut d = w;
-            while d != 0 {
-                bits.push(wi * 64 + d.trailing_zeros() as usize);
-                d &= d - 1;
-            }
-            bits
-        })
+        iter_word_ones(&self.0)
     }
+}
+
+/// Ascending set-bit positions over a word slice (bit 0 = LSB of word 0).
+fn iter_word_ones(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    let mut wi = 0usize;
+    let mut cur = words.first().copied().unwrap_or(0);
+    std::iter::from_fn(move || loop {
+        if cur != 0 {
+            let tz = cur.trailing_zeros() as usize;
+            cur &= cur - 1;
+            return Some(wi * 64 + tz);
+        }
+        wi += 1;
+        if wi >= words.len() {
+            return None;
+        }
+        cur = words[wi];
+    })
 }
 
 impl fmt::Debug for LineData {
@@ -184,7 +197,16 @@ impl fmt::Display for LineData {
 /// A growable bit buffer for codewords whose length is not 512 bits
 /// (BCH codewords, Hi-ECC 1-KB regions, test vectors).
 ///
-/// Bit 0 is the least-significant bit of word 0.
+/// # Bit-order contract
+///
+/// Bits are stored in **ascending order**: bit `i` of the buffer is bit
+/// `i % 64` (counting from the LSB) of backing word `i / 64`, so bit 0 is
+/// the least-significant bit of word 0 and iteration by index visits bits
+/// in the same order the CRC and Hamming codes consume them. Any storage
+/// bits at positions `>= len` in the last word are always zero — every
+/// constructor and mutator preserves this invariant, which is what lets
+/// word-level kernels read the final partial word with a single masked
+/// load.
 ///
 /// # Examples
 ///
@@ -209,6 +231,37 @@ impl BitBuf {
             words: vec![0; len.div_ceil(64)],
             len,
         }
+    }
+
+    /// Builds a buffer of `len` bits directly from backing words (bit `i`
+    /// is bit `i % 64` of word `i / 64`, per the bit-order contract).
+    ///
+    /// Storage bits at positions `>= len` in the last word are cleared so
+    /// the trailing-zero invariant holds regardless of the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)`.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(64),
+            "word count must match the bit length"
+        );
+        let rem = len % 64;
+        if rem != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+        BitBuf { words, len }
+    }
+
+    /// The backing words (bit `i` of the buffer is bit `i % 64` of word
+    /// `i / 64`; bits `>= len` in the last word are zero).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Length in bits.
@@ -295,15 +348,12 @@ impl BitBuf {
 
     /// Positions of set bits, ascending.
     pub fn ones(&self) -> Vec<usize> {
-        let mut out = Vec::new();
-        for (wi, &w) in self.words.iter().enumerate() {
-            let mut d = w;
-            while d != 0 {
-                out.push(wi * 64 + d.trailing_zeros() as usize);
-                d &= d - 1;
-            }
-        }
-        out
+        self.iter_ones().collect()
+    }
+
+    /// Iterator over the positions of set bits, ascending (non-allocating).
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        iter_word_ones(&self.words)
     }
 
     /// Copies `bits` bits from `src` starting at `src_off` into `self` at
@@ -443,5 +493,36 @@ mod tests {
         let mut a = BitBuf::zeros(10);
         let b = BitBuf::zeros(11);
         a.xor_assign(&b);
+    }
+
+    #[test]
+    fn bitbuf_from_words_roundtrip() {
+        let buf = BitBuf::from_words(vec![0x5u64, 0x8000_0000_0000_0001], 128);
+        assert_eq!(buf.ones(), vec![0, 2, 64, 127]);
+        assert_eq!(buf.words(), &[0x5u64, 0x8000_0000_0000_0001]);
+    }
+
+    #[test]
+    fn bitbuf_from_words_masks_tail() {
+        // Bits above `len` in the final word must be cleared.
+        let buf = BitBuf::from_words(vec![u64::MAX], 3);
+        assert_eq!(buf.count_ones(), 3);
+        assert_eq!(buf.words(), &[0b111u64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "word count must match")]
+    fn bitbuf_from_words_wrong_count_panics() {
+        BitBuf::from_words(vec![0u64; 3], 100);
+    }
+
+    #[test]
+    fn bitbuf_iter_ones_matches_ones() {
+        let mut buf = BitBuf::zeros(200);
+        for i in [0usize, 63, 64, 65, 130, 199] {
+            buf.set(i, true);
+        }
+        let collected: Vec<usize> = buf.iter_ones().collect();
+        assert_eq!(collected, buf.ones());
     }
 }

@@ -62,7 +62,12 @@ pub struct CrcEngine {
     /// Reflected polynomial (bit i of normal poly becomes bit width-1-i).
     rpoly: u64,
     mask: u64,
-    table: [u64; 256],
+    /// Slice-by-8 tables: `tables[0]` is the classic one-byte-at-a-time
+    /// table; `tables[k][b]` is the CRC of byte `b` followed by `k` zero
+    /// bytes, which lets a full 64-bit word be folded into the register
+    /// with eight independent table lookups (valid for any width <= 63,
+    /// since the register then fits inside the word being consumed).
+    tables: [[u64; 256]; 8],
 }
 
 impl std::fmt::Debug for CrcEngine {
@@ -101,8 +106,8 @@ impl CrcEngine {
         );
         let rpoly = reflect(spec.poly, spec.width);
         let mask = (1u64 << spec.width) - 1;
-        let mut table = [0u64; 256];
-        for (b, entry) in table.iter_mut().enumerate() {
+        let mut tables = [[0u64; 256]; 8];
+        for (b, entry) in tables[0].iter_mut().enumerate() {
             let mut reg = b as u64;
             for _ in 0..8 {
                 reg = if reg & 1 == 1 {
@@ -113,11 +118,18 @@ impl CrcEngine {
             }
             *entry = reg & mask;
         }
+        // tables[k+1][b] = tables[k][b] advanced by one more zero byte.
+        for k in 1..8 {
+            for b in 0..256usize {
+                let prev = tables[k - 1][b];
+                tables[k][b] = (prev >> 8) ^ tables[0][(prev & 0xff) as usize];
+            }
+        }
         CrcEngine {
             spec,
             rpoly,
             mask,
-            table,
+            tables,
         }
     }
 
@@ -126,43 +138,93 @@ impl CrcEngine {
         self.spec
     }
 
+    /// Folds one full 64-bit word (eight message bytes, ascending bit
+    /// order) into the register using the slice-by-8 tables.
+    ///
+    /// Because the register width is <= 63, the whole register fits inside
+    /// the word being consumed, so `reg ^ word` XORs the register into the
+    /// corresponding message bytes and the eight lookups are independent.
+    #[inline]
+    fn word_step(&self, reg: u64, word: u64) -> u64 {
+        let x = reg ^ word;
+        self.tables[7][(x & 0xff) as usize]
+            ^ self.tables[6][((x >> 8) & 0xff) as usize]
+            ^ self.tables[5][((x >> 16) & 0xff) as usize]
+            ^ self.tables[4][((x >> 24) & 0xff) as usize]
+            ^ self.tables[3][((x >> 32) & 0xff) as usize]
+            ^ self.tables[2][((x >> 40) & 0xff) as usize]
+            ^ self.tables[1][((x >> 48) & 0xff) as usize]
+            ^ self.tables[0][((x >> 56) & 0xff) as usize]
+    }
+
     /// Checksum of a byte slice (bit 0 of byte 0 is consumed first).
     pub fn checksum_bytes(&self, bytes: &[u8]) -> u64 {
         let mut reg = 0u64;
-        for &b in bytes {
-            reg = (reg >> 8) ^ self.table[((reg ^ b as u64) & 0xff) as usize];
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            reg = self.word_step(reg, word);
+        }
+        for &b in chunks.remainder() {
+            reg = (reg >> 8) ^ self.tables[0][((reg ^ b as u64) & 0xff) as usize];
         }
         reg & self.mask
     }
 
-    /// Checksum of a 512-bit cache line.
+    /// Checksum of a sequence of full 64-bit message words (bit 0 of word 0
+    /// is consumed first, matching the [`BitBuf`] bit-order contract).
+    ///
+    /// This is the slice-by-8 hot path: one table-fold per word, no byte
+    /// serialization of the input.
+    pub fn checksum_words(&self, words: &[u64]) -> u64 {
+        let mut reg = 0u64;
+        for &w in words {
+            reg = self.word_step(reg, w);
+        }
+        reg & self.mask
+    }
+
+    /// Checksum of a 512-bit cache line, consuming its backing words
+    /// directly (no intermediate byte array).
+    #[inline]
     pub fn checksum_line(&self, line: &LineData) -> u64 {
-        self.checksum_bytes(&line.to_bytes())
+        self.checksum_words(line.words())
     }
 
     /// Checksum of an arbitrary-length bit buffer.
     ///
-    /// Whole bytes go through the table; trailing bits are processed
-    /// bit-serially, preserving ascending bit order.
+    /// Whole 64-bit words go through the slice-by-8 fold; the trailing
+    /// partial word (if any) is read with a single masked load — valid
+    /// because [`BitBuf`] guarantees storage bits at positions `>= len`
+    /// are zero — then consumed byte-wise and finally bit-serially,
+    /// preserving ascending bit order.
     pub fn checksum_bits(&self, buf: &BitBuf) -> u64 {
+        let words = buf.words();
+        let full_words = buf.len() / 64;
         let mut reg = 0u64;
-        let full_bytes = buf.len() / 8;
-        for byte_idx in 0..full_bytes {
-            let mut b = 0u8;
-            for k in 0..8 {
-                if buf.get(byte_idx * 8 + k) {
-                    b |= 1 << k;
-                }
-            }
-            reg = (reg >> 8) ^ self.table[((reg ^ b as u64) & 0xff) as usize];
+        for &w in &words[..full_words] {
+            reg = self.word_step(reg, w);
         }
-        for i in full_bytes * 8..buf.len() {
-            let bit = buf.get(i) as u64;
-            reg = if (reg ^ bit) & 1 == 1 {
-                (reg >> 1) ^ self.rpoly
-            } else {
-                reg >> 1
-            };
+        let rem = buf.len() % 64;
+        if rem > 0 {
+            // Single masked read of the partial tail word (the mask is
+            // belt-and-braces: the invariant already zeroes those bits).
+            let mut tail = words[full_words] & ((1u64 << rem) - 1);
+            let mut left = rem;
+            while left >= 8 {
+                reg = (reg >> 8) ^ self.tables[0][((reg ^ tail) & 0xff) as usize];
+                tail >>= 8;
+                left -= 8;
+            }
+            for _ in 0..left {
+                let bit = tail & 1;
+                tail >>= 1;
+                reg = if (reg ^ bit) & 1 == 1 {
+                    (reg >> 1) ^ self.rpoly
+                } else {
+                    reg >> 1
+                };
+            }
         }
         reg & self.mask
     }
@@ -180,6 +242,22 @@ impl CrcEngine {
                     reg >> 1
                 };
             }
+        }
+        reg & self.mask
+    }
+
+    /// Bit-serial reference implementation over a bit buffer (one register
+    /// step per bit via [`BitBuf::get`]), used to verify the word-walking
+    /// [`CrcEngine::checksum_bits`] path.
+    pub fn checksum_bits_reference(&self, buf: &BitBuf) -> u64 {
+        let mut reg = 0u64;
+        for i in 0..buf.len() {
+            let bit = buf.get(i) as u64;
+            reg = if (reg ^ bit) & 1 == 1 {
+                (reg >> 1) ^ self.rpoly
+            } else {
+                reg >> 1
+            };
         }
         reg & self.mask
     }
@@ -205,6 +283,75 @@ mod tests {
             engine.checksum_bytes(&data),
             engine.checksum_bytes_reference(&data)
         );
+    }
+
+    #[test]
+    fn word_fold_matches_reference() {
+        // Slice-by-8 over whole words must agree with the bit-serial
+        // reference over the same bytes, for several widths.
+        for spec in [
+            CRC31,
+            CrcSpec {
+                width: 8,
+                poly: 0x07,
+            },
+            CrcSpec {
+                width: 16,
+                poly: 0x1021,
+            },
+            CrcSpec {
+                width: 63,
+                poly: 0x4C11_DB7A_DEAD_BEEF,
+            },
+        ] {
+            let engine = CrcEngine::new(spec);
+            let bytes: Vec<u8> = (0..128u32).map(|i| (i * 167 + 29) as u8).collect();
+            let words: Vec<u64> = bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            assert_eq!(
+                engine.checksum_words(&words),
+                engine.checksum_bytes_reference(&bytes),
+                "width {}",
+                spec.width
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_line_matches_byte_path() {
+        let engine = crc31();
+        let mut line = LineData::zero();
+        for i in [0usize, 1, 63, 64, 255, 256, 500, 511] {
+            line.flip_bit(i);
+        }
+        assert_eq!(
+            engine.checksum_line(&line),
+            engine.checksum_bytes_reference(&line.to_bytes())
+        );
+    }
+
+    #[test]
+    fn checksum_bits_matches_reference_at_odd_lengths() {
+        let engine = crc31();
+        for len in [1usize, 7, 8, 9, 63, 64, 65, 127, 128, 129, 543, 553] {
+            let mut buf = BitBuf::zeros(len);
+            let mut x = 0x1234_5678_9abc_def0u64 | 1;
+            for i in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x & 1 == 1 {
+                    buf.set(i, true);
+                }
+            }
+            assert_eq!(
+                engine.checksum_bits(&buf),
+                engine.checksum_bits_reference(&buf),
+                "len {len}"
+            );
+        }
     }
 
     #[test]

@@ -116,9 +116,16 @@ impl HammingSec {
 
     fn payload_signature(&self, payload: &BitBuf) -> u32 {
         debug_assert_eq!(payload.len(), self.payload_bits);
+        // Walk the backing words directly: mostly-zero payloads (the
+        // golden-zero Monte-Carlo state) skip whole words, and no position
+        // vector is allocated.
         let mut sig = 0u32;
-        for pos in payload.ones() {
-            sig ^= self.payload_pos[pos];
+        for (wi, &w) in payload.words().iter().enumerate() {
+            let mut d = w;
+            while d != 0 {
+                sig ^= self.payload_pos[wi * 64 + d.trailing_zeros() as usize];
+                d &= d - 1;
+            }
         }
         sig
     }

@@ -15,7 +15,7 @@
 //! Storage overhead: 41 bits per line, vs 60 for ECC-6 (paper §VII-H counts
 //! 43 with the amortized 2 bits of PLT parity storage).
 
-use crate::bits::{BitBuf, LineData, LINE_BITS};
+use crate::bits::{BitBuf, LineData, LINE_BITS, LINE_WORDS};
 use crate::crc::{crc31, CrcEngine};
 use crate::hamming::{HammingOutcome, HammingSec};
 use serde::{Deserialize, Serialize};
@@ -202,34 +202,23 @@ impl LineCodec {
         CODEC.get_or_init(LineCodec::new)
     }
 
+    /// Assembles the 543-bit ECC payload (data ‖ CRC) word-by-word: eight
+    /// data words followed by the CRC in the low 31 bits of word 8. No
+    /// per-bit loop — this is on the scrub/read hot path.
     fn payload_of(data: &LineData, crc: u32) -> BitBuf {
-        let mut payload = BitBuf::zeros(DATA_BITS + CRC_BITS);
-        for i in 0..DATA_BITS {
-            if data.bit(i) {
-                payload.set(i, true);
-            }
-        }
-        for j in 0..CRC_BITS {
-            if (crc >> j) & 1 == 1 {
-                payload.set(DATA_BITS + j, true);
-            }
-        }
-        payload
+        let mut words = Vec::with_capacity(LINE_WORDS + 1);
+        words.extend_from_slice(data.words());
+        words.push(crc as u64);
+        BitBuf::from_words(words, DATA_BITS + CRC_BITS)
     }
 
+    /// Inverse of [`LineCodec::payload_of`]: splits the payload words back
+    /// into the line data (words 0..8) and the CRC (low 31 bits of word 8).
     fn payload_to_line(payload: &BitBuf) -> (LineData, u32) {
-        let mut data = LineData::zero();
-        for i in 0..DATA_BITS {
-            if payload.get(i) {
-                data.set_bit(i, true);
-            }
-        }
-        let mut crc = 0u32;
-        for j in 0..CRC_BITS {
-            if payload.get(DATA_BITS + j) {
-                crc |= 1 << j;
-            }
-        }
+        debug_assert_eq!(payload.len(), DATA_BITS + CRC_BITS);
+        let words = payload.words();
+        let data = LineData::from_words(words[..LINE_WORDS].try_into().expect("8 data words"));
+        let crc = (words[LINE_WORDS] & ((1u64 << CRC_BITS) - 1)) as u32;
         (data, crc)
     }
 
@@ -348,6 +337,29 @@ mod tests {
     #[test]
     fn total_bits_is_553() {
         assert_eq!(TOTAL_BITS, 553);
+    }
+
+    #[test]
+    fn payload_assembly_matches_bitwise_reference() {
+        let data = sample_data(99);
+        let crc = 0x5a5a_5a5a & ((1u32 << CRC_BITS) - 1);
+        let payload = LineCodec::payload_of(&data, crc);
+        assert_eq!(payload.len(), DATA_BITS + CRC_BITS);
+        let mut reference = BitBuf::zeros(DATA_BITS + CRC_BITS);
+        for i in 0..DATA_BITS {
+            if data.bit(i) {
+                reference.set(i, true);
+            }
+        }
+        for j in 0..CRC_BITS {
+            if (crc >> j) & 1 == 1 {
+                reference.set(DATA_BITS + j, true);
+            }
+        }
+        assert_eq!(payload, reference);
+        let (data2, crc2) = LineCodec::payload_to_line(&payload);
+        assert_eq!(data2, data);
+        assert_eq!(crc2, crc);
     }
 
     #[test]

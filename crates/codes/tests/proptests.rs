@@ -182,4 +182,32 @@ proptest! {
         let outcome = code.decode(&mut rx, &mut parity);
         prop_assert_ne!(outcome, BchOutcome::Clean);
     }
+
+    /// The slice-by-8 byte kernel and the word-walking `checksum_bits`
+    /// kernel agree with the bit/byte-serial references at every length
+    /// 0..=1024 bits.
+    #[test]
+    fn crc_word_kernels_match_reference(len in 0usize..=1024, seed in any::<u64>()) {
+        let e = crc31();
+        let mut buf = BitBuf::zeros(len);
+        let mut x = seed | 1;
+        for i in 0..len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x & 1 == 1 {
+                buf.set(i, true);
+            }
+        }
+        prop_assert_eq!(e.checksum_bits(&buf), e.checksum_bits_reference(&buf));
+        if len % 8 == 0 {
+            // Byte-aligned: both word kernels must also match the
+            // byte-serial reference over the same octet stream.
+            let bytes: Vec<u8> = (0..len / 8)
+                .map(|j| (buf.words()[j / 8] >> (8 * (j % 8))) as u8)
+                .collect();
+            prop_assert_eq!(e.checksum_bytes(&bytes), e.checksum_bytes_reference(&bytes));
+            prop_assert_eq!(e.checksum_bits(&buf), e.checksum_bytes_reference(&bytes));
+        }
+    }
 }

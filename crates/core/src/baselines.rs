@@ -245,7 +245,7 @@ impl Raid6Cache {
         if group_lines < 2 || !group_lines.is_power_of_two() {
             return Err(ConfigError::BadGroupSize(group_lines));
         }
-        if n_lines == 0 || n_lines % group_lines as u64 != 0 {
+        if n_lines == 0 || !n_lines.is_multiple_of(group_lines as u64) {
             return Err(ConfigError::LinesNotMultipleOfGroup {
                 lines: n_lines,
                 group: group_lines,

@@ -200,12 +200,12 @@ impl SudokuConfig {
             return Err(ConfigError::BadGroupSize(g));
         }
         let lines = self.geometry.lines();
-        if lines == 0 || lines % g as u64 != 0 {
+        if lines == 0 || !lines.is_multiple_of(g as u64) {
             return Err(ConfigError::LinesNotMultipleOfGroup { lines, group: g });
         }
         if self.scheme.second_hash_enabled() {
             let sq = g as u64 * g as u64;
-            if lines % sq != 0 {
+            if !lines.is_multiple_of(sq) {
                 return Err(ConfigError::LinesNotMultipleOfGroupSquare { lines, group: g });
             }
         }

@@ -46,7 +46,7 @@ impl SkewedHashes {
         if group_lines < 2 || !group_lines.is_power_of_two() {
             return Err(ConfigError::BadGroupSize(group_lines));
         }
-        if n_lines == 0 || n_lines % group_lines as u64 != 0 {
+        if n_lines == 0 || !n_lines.is_multiple_of(group_lines as u64) {
             return Err(ConfigError::LinesNotMultipleOfGroup {
                 lines: n_lines,
                 group: group_lines,
@@ -82,7 +82,7 @@ impl SkewedHashes {
     /// Whether Hash-2 has its disjointness guarantee (`n_lines` is a
     /// multiple of `group²`).
     pub fn hash2_guaranteed(&self) -> bool {
-        self.n_lines % (1u64 << (2 * self.group_bits)) == 0
+        self.n_lines.is_multiple_of(1u64 << (2 * self.group_bits))
     }
 
     /// Group id of `line` under the given dimension.

@@ -15,6 +15,14 @@ use sudoku_codes::ProtectedLine;
 pub struct ParityTable {
     parities: Vec<ProtectedLine>,
     writes: u64,
+    /// Groups whose parity may have left the zero state since construction
+    /// or the last [`ParityTable::reset_zero`] (may contain duplicates);
+    /// lets the reset undo exactly the touched entries instead of
+    /// rewriting the whole table.
+    dirty: Vec<u64>,
+    /// Set when the dirty list outgrew the table: the tracking degrades to
+    /// "everything may be dirty" rather than growing without bound.
+    dirty_all: bool,
 }
 
 impl ParityTable {
@@ -24,6 +32,8 @@ impl ParityTable {
         ParityTable {
             parities: vec![ProtectedLine::zero(); n_groups as usize],
             writes: 0,
+            dirty: Vec::new(),
+            dirty_all: false,
         }
     }
 
@@ -50,16 +60,46 @@ impl ParityTable {
         p.xor_assign(old);
         p.xor_assign(new);
         self.writes += 1;
+        self.mark_dirty(group);
     }
 
     /// Overwrites a group's parity (used when (re)initializing a cache).
     pub fn set_parity(&mut self, group: u64, parity: ProtectedLine) {
         self.parities[group as usize] = parity;
+        self.mark_dirty(group);
     }
 
     /// Number of parity updates performed (PLT write traffic, §VII-I).
     pub fn write_count(&self) -> u64 {
         self.writes
+    }
+
+    fn mark_dirty(&mut self, group: u64) {
+        if !self.dirty_all {
+            self.dirty.push(group);
+            if self.dirty.len() as u64 > self.n_groups() {
+                self.dirty_all = true;
+                self.dirty.clear();
+            }
+        }
+    }
+
+    /// Sparse undo: rezeroes every parity touched since construction (or
+    /// the last reset), in O(touched groups) — the reset path campaign
+    /// workers use to return a reused cache to the golden-zero state. The
+    /// write-traffic counter deliberately survives (it measures cumulative
+    /// PLT traffic, not current state).
+    pub fn reset_zero(&mut self) {
+        if self.dirty_all {
+            self.parities.fill(ProtectedLine::zero());
+            self.dirty_all = false;
+        } else {
+            for i in 0..self.dirty.len() {
+                let g = self.dirty[i] as usize;
+                self.parities[g] = ProtectedLine::zero();
+            }
+        }
+        self.dirty.clear();
     }
 }
 
@@ -105,6 +145,35 @@ mod tests {
         t.apply_write(0, &zero, &val);
         t.apply_write(0, &val, &zero);
         assert!(t.parity(0).is_zero());
+    }
+
+    #[test]
+    fn reset_zero_undoes_touched_groups_only() {
+        let codec = LineCodec::shared();
+        let mut t = ParityTable::new(8);
+        let zero = codec.encode(&LineData::zero());
+        let mut d = LineData::zero();
+        d.set_bit(5, true);
+        let val = codec.encode(&d);
+        t.apply_write(2, &zero, &val);
+        t.set_parity(6, val);
+        assert!(!t.parity(2).is_zero() && !t.parity(6).is_zero());
+        t.reset_zero();
+        for g in 0..8 {
+            assert!(t.parity(g).is_zero(), "group {g}");
+        }
+        // Write traffic accounting survives the reset.
+        assert_eq!(t.write_count(), 1);
+        // Heavy churn trips the dirty-all fallback and still resets.
+        for _ in 0..20 {
+            t.apply_write(1, &zero, &val);
+            t.apply_write(1, &val, &zero);
+        }
+        t.apply_write(3, &zero, &val);
+        t.reset_zero();
+        for g in 0..8 {
+            assert!(t.parity(g).is_zero(), "group {g} after churn");
+        }
     }
 
     #[test]

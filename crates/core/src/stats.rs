@@ -36,6 +36,10 @@ pub struct CacheStats {
     pub due_lines: u64,
     /// Whole-group reads performed during recovery.
     pub group_scans: u64,
+    /// CRC/ECC consistency checks performed by the read, scrub, and
+    /// recovery paths (all-zero lines skipped by the fast path are not
+    /// counted — that is the point of the counter).
+    pub crc_checks: u64,
 }
 
 impl CacheStats {
@@ -68,6 +72,7 @@ impl CacheStats {
         self.hash2_repairs += other.hash2_repairs;
         self.due_lines += other.due_lines;
         self.group_scans += other.group_scans;
+        self.crc_checks += other.crc_checks;
     }
 }
 

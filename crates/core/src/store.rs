@@ -11,7 +11,37 @@
 //!   only the ~1700 faulty lines, keeping Monte-Carlo at paper scale cheap.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use sudoku_codes::ProtectedLine;
+
+/// Multiplicative hash for `u64` line indices (Fibonacci hashing). Line
+/// indices are small, dense, attacker-free integers — SipHash's DoS
+/// resistance buys nothing here and costs ~5× per store access on the
+/// Monte-Carlo hot path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LineIndexHasher(u64);
+
+impl Hasher for LineIndexHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached via derived/complex keys; fold bytes in words.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type LineMap = HashMap<u64, ProtectedLine, BuildHasherDefault<LineIndexHasher>>;
 
 /// Abstract access to the stored (possibly faulty) lines of a cache.
 ///
@@ -89,7 +119,7 @@ impl LineStore for DenseStore {
 #[derive(Clone, Debug)]
 pub struct SparseStore {
     n_lines: u64,
-    touched: HashMap<u64, ProtectedLine>,
+    touched: LineMap,
 }
 
 impl SparseStore {
@@ -97,7 +127,7 @@ impl SparseStore {
     pub fn new(n_lines: u64) -> Self {
         SparseStore {
             n_lines,
-            touched: HashMap::new(),
+            touched: LineMap::default(),
         }
     }
 

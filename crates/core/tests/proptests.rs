@@ -162,4 +162,29 @@ proptest! {
             }
         }
     }
+
+    /// The all-zero-word scrub fast path is observation-equivalent: on a
+    /// golden-zero cache under any fault plan, the optimized scrub returns
+    /// a byte-identical `ScrubReport` and stored lines vs the reference
+    /// path that checks every line's CRC.
+    #[test]
+    fn zero_fast_path_reports_identical(faults in arb_faults(12, 7)) {
+        let config = SudokuConfig::small(Scheme::Z, LINES, GROUP);
+        let mut fast = SudokuCache::new(config).expect("valid config");
+        let mut reference = SudokuCache::new(config).expect("valid config");
+        let mut hints = Vec::new();
+        for (line, bits) in &faults {
+            for &b in bits {
+                fast.inject_fault(*line, b);
+                reference.inject_fault(*line, b);
+            }
+            hints.push(*line);
+        }
+        let r_fast = fast.scrub_lines(&hints);
+        let r_ref = reference.scrub_lines_reference(&hints);
+        prop_assert_eq!(r_fast, r_ref);
+        for i in 0..LINES {
+            prop_assert_eq!(fast.stored_line(i), reference.stored_line(i), "line {}", i);
+        }
+    }
 }

@@ -103,6 +103,12 @@ pub fn choose_distinct<R: Rng + ?Sized>(rng: &mut R, n: u64, k: u64) -> Vec<u64>
     if k == 0 {
         return Vec::new();
     }
+    if k == 1 {
+        // A single draw cannot collide; skip the set machinery. Consumes
+        // one `gen_range` like both general paths below, so the RNG stream
+        // (and hence every downstream trial) is unchanged.
+        return vec![rng.gen_range(0..n)];
+    }
     if k * 3 >= n {
         // Dense: partial Fisher-Yates over an index vector.
         let mut idx: Vec<u64> = (0..n).collect();
@@ -113,13 +119,29 @@ pub fn choose_distinct<R: Rng + ?Sized>(rng: &mut R, n: u64, k: u64) -> Vec<u64>
         let mut out = idx[..k as usize].to_vec();
         out.sort_unstable();
         out
+    } else if k <= 16 {
+        // Sparse, tiny k: rejection sampling with a linear-scan dedup —
+        // same accept/reject per draw as the set-based path, no heap
+        // beyond the output vector.
+        let mut out: Vec<u64> = Vec::with_capacity(k as usize);
+        while (out.len() as u64) < k {
+            let x = rng.gen_range(0..n);
+            if !out.contains(&x) {
+                out.push(x);
+            }
+        }
+        out.sort_unstable();
+        out
     } else {
-        // Sparse: rejection sampling.
-        let mut set = std::collections::BTreeSet::new();
+        // Sparse: rejection sampling (hash set + one sort; the accepted
+        // value sequence matches an ordered-set implementation exactly).
+        let mut set = std::collections::HashSet::with_capacity(k as usize);
         while (set.len() as u64) < k {
             set.insert(rng.gen_range(0..n));
         }
-        set.into_iter().collect()
+        let mut out: Vec<u64> = set.into_iter().collect();
+        out.sort_unstable();
+        out
     }
 }
 
@@ -170,6 +192,15 @@ impl FaultInjector {
     /// The configured bit error rate.
     pub fn ber(&self) -> f64 {
         self.ber
+    }
+
+    /// Re-seeds the injector in place, restoring the exact state of
+    /// `FaultInjector::new(self.ber(), seed)` without reconstructing it.
+    /// Campaign workers use this to reuse a per-worker injector across
+    /// trials while keeping each trial's fault stream deterministic in its
+    /// trial seed alone.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 
     /// Mutable access to the underlying RNG (for composed samplers).
@@ -315,6 +346,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let picks = choose_distinct(&mut rng, 10, 10);
         assert_eq!(picks, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reseed_matches_fresh_injector() {
+        let golden = LineCodec::shared().encode(&LineData::zero());
+        let mut reused = FaultInjector::new(0.01, 1);
+        // Burn some state, then reseed.
+        let mut l = golden;
+        let _ = reused.inject_line(&mut l);
+        reused.reseed(77);
+        let mut fresh = FaultInjector::new(0.01, 77);
+        let mut a = golden;
+        let mut b = golden;
+        assert_eq!(reused.inject_line(&mut a), fresh.inject_line(&mut b));
+        assert_eq!(reused.cache_plan(1 << 16), fresh.cache_plan(1 << 16));
     }
 
     #[test]

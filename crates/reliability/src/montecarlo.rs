@@ -18,14 +18,33 @@
 //!   measure the engine's repair success, reproducing the SDR case
 //!   percentages of paper §IV-B/C and feeding the rare-event estimates of
 //!   SuDoku-Y/Z.
+//!
+//! # Arena reuse
+//!
+//! Campaign workers do **not** build a fresh cache and injector per trial:
+//! each worker owns one arena for the whole campaign, runs a trial with
+//! [`run_interval_in`] / [`run_group_trial_in`], then returns the arena to
+//! the golden-zero state with a sparse undo
+//! ([`SudokuCache::reset_to_golden_zero`] rezeroes only the touched lines
+//! and PLT entries; [`FaultInjector::reseed`] restores a fresh RNG stream).
+//! Because reset + reseed reproduces the freshly-constructed state exactly,
+//! results are bit-identical to the construct-per-trial implementation —
+//! the `*_timed` variants additionally account the amortization in a
+//! [`ThroughputReport`].
 
 use crate::math::wilson_ci;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 use sudoku_codes::TOTAL_BITS;
-use sudoku_core::{CacheGeometry, Scheme, SudokuCache, SudokuConfig};
+use sudoku_core::{CacheGeometry, Scheme, SparseStore, SudokuCache, SudokuConfig};
 use sudoku_fault::{choose_distinct, FaultInjector, ScrubSchedule};
+
+/// Trials claimed per worker fetch: large enough that the atomic counter is
+/// off the hot path, small enough that the tail imbalance stays bounded.
+const TRIAL_CHUNK: u64 = 8;
 
 /// Configuration of an unconditional interval campaign.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -72,6 +91,36 @@ impl McConfig {
             sdr_pair_trials: false,
             scrub: self.scrub,
         }
+    }
+}
+
+/// Wall-clock throughput and amortization accounting for one campaign.
+///
+/// Produced by the `*_timed` campaign variants and surfaced by every
+/// benchmark binary that runs campaigns (DESIGN.md "Performance notes").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Completed trials per wall-clock second (for lifetime campaigns:
+    /// simulated *intervals* per second, since runs vary in length).
+    pub trials_per_sec: f64,
+    /// Lines examined by scrub passes, summed over all workers.
+    pub lines_scrubbed: u64,
+    /// CRC/ECC consistency checks actually performed (lines skipped by the
+    /// all-zero fast path are not counted).
+    pub crc_checks: u64,
+    /// Seconds spent resetting reused arenas to the golden-zero state
+    /// between trials — the amortized cost paid instead of reconstructing
+    /// cache + injector from scratch every trial.
+    pub reset_cost: f64,
+}
+
+impl ThroughputReport {
+    /// One-line human-readable rendering, prefixed with `label`.
+    pub fn println(&self, label: &str) {
+        println!(
+            "[{label}] {:.2} trials/s | {} lines scrubbed | {} CRC checks | reset cost {:.4} s",
+            self.trials_per_sec, self.lines_scrubbed, self.crc_checks, self.reset_cost
+        );
     }
 }
 
@@ -143,13 +192,56 @@ impl CampaignSummary {
     pub fn fit(&self, scrub: &ScrubSchedule) -> f64 {
         scrub.fit_rate_linear(self.due_rate())
     }
+
+    fn absorb(&mut self, o: &IntervalOutcome) {
+        self.trials += 1;
+        self.due_intervals += (o.due_lines > 0) as u64;
+        self.sdc_intervals += (o.sdc_lines > 0) as u64;
+        self.faulty_bits += o.faulty_bits as u64;
+        self.multibit_lines += o.multibit_lines as u64;
+        self.raid4_repairs += o.raid4_repairs as u64;
+        self.sdr_repairs += o.sdr_repairs as u64;
+        self.hash2_repairs += o.hash2_repairs as u64;
+    }
+
+    fn merge(&mut self, r: &CampaignSummary) {
+        self.trials += r.trials;
+        self.due_intervals += r.due_intervals;
+        self.sdc_intervals += r.sdc_intervals;
+        self.faulty_bits += r.faulty_bits;
+        self.multibit_lines += r.multibit_lines;
+        self.raid4_repairs += r.raid4_repairs;
+        self.sdr_repairs += r.sdr_repairs;
+        self.hash2_repairs += r.hash2_repairs;
+    }
 }
 
-/// Simulates one scrub interval; deterministic in `(cfg, trial_seed)`.
-pub fn run_interval(cfg: &McConfig, trial_seed: u64) -> IntervalOutcome {
-    let mut cache =
-        SudokuCache::new_sparse(cfg.sudoku_config()).expect("valid Monte-Carlo configuration");
-    let mut injector = FaultInjector::new(cfg.ber, trial_seed);
+/// Lines that survived scrub non-zero without being flagged: silent data
+/// corruption under the golden-zero convention.
+fn count_sdc(cache: &SudokuCache<SparseStore>, report: &sudoku_core::ScrubReport) -> u32 {
+    let mut sdc_lines = 0u32;
+    for (idx, line) in cache.store().iter_touched() {
+        if !line.is_zero() && !report.unresolved.contains(&idx) {
+            sdc_lines += 1;
+        }
+    }
+    sdc_lines
+}
+
+/// Simulates one scrub interval in a caller-owned arena.
+///
+/// `cache` must be in the golden-zero state (freshly constructed or
+/// [`SudokuCache::reset_to_golden_zero`]); the injector is reseeded to
+/// `trial_seed`, so the result depends only on `(cfg, trial_seed)` and is
+/// bit-identical to [`run_interval`]. The cache is left *dirty* — the
+/// caller resets it before the next trial.
+pub fn run_interval_in(
+    cache: &mut SudokuCache<SparseStore>,
+    injector: &mut FaultInjector,
+    cfg: &McConfig,
+    trial_seed: u64,
+) -> IntervalOutcome {
+    injector.reseed(trial_seed);
     let plan = injector.cache_plan(cfg.lines);
     let mut hints = Vec::with_capacity(plan.len());
     let mut faulty_bits = 0u32;
@@ -162,12 +254,6 @@ pub fn run_interval(cfg: &McConfig, trial_seed: u64) -> IntervalOutcome {
         hints.push(lf.line);
     }
     let report = cache.scrub_lines(&hints);
-    let mut sdc_lines = 0u32;
-    for (idx, line) in cache.store().iter_touched() {
-        if !line.is_zero() && !report.unresolved.contains(&idx) {
-            sdc_lines += 1;
-        }
-    }
     IntervalOutcome {
         faulty_lines: plan.len() as u32,
         faulty_bits,
@@ -176,8 +262,16 @@ pub fn run_interval(cfg: &McConfig, trial_seed: u64) -> IntervalOutcome {
         sdr_repairs: report.sdr_repairs as u32,
         hash2_repairs: report.hash2_repairs as u32,
         due_lines: report.unresolved.len() as u32,
-        sdc_lines,
+        sdc_lines: count_sdc(cache, &report),
     }
+}
+
+/// Simulates one scrub interval; deterministic in `(cfg, trial_seed)`.
+pub fn run_interval(cfg: &McConfig, trial_seed: u64) -> IntervalOutcome {
+    let mut cache =
+        SudokuCache::new_sparse(cfg.sudoku_config()).expect("valid Monte-Carlo configuration");
+    let mut injector = FaultInjector::new(cfg.ber, trial_seed);
+    run_interval_in(&mut cache, &mut injector, cfg, trial_seed)
 }
 
 fn worker_threads(requested: usize) -> usize {
@@ -190,32 +284,42 @@ fn worker_threads(requested: usize) -> usize {
     }
 }
 
-/// Runs `cfg.trials` independent intervals, sharded across threads.
-pub fn run_interval_campaign(cfg: &McConfig) -> CampaignSummary {
+/// Runs `cfg.trials` independent intervals with per-worker reused arenas
+/// and reports campaign throughput alongside the summary.
+pub fn run_interval_campaign_timed(cfg: &McConfig) -> (CampaignSummary, ThroughputReport) {
     let threads = worker_threads(cfg.threads).min(cfg.trials.max(1) as usize);
-    let next = std::sync::atomic::AtomicU64::new(0);
-    let results: Vec<CampaignSummary> = crossbeam::thread::scope(|scope| {
+    let next = AtomicU64::new(0);
+    let start = Instant::now();
+    let results: Vec<(CampaignSummary, u64, u64, f64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
+                    let mut cache = SudokuCache::new_sparse(cfg.sudoku_config())
+                        .expect("valid Monte-Carlo configuration");
+                    let mut injector = FaultInjector::new(cfg.ber, cfg.seed);
                     let mut local = CampaignSummary::default();
+                    let mut reset_cost = 0.0f64;
                     loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= cfg.trials {
+                        let chunk = next.fetch_add(TRIAL_CHUNK, Ordering::Relaxed);
+                        if chunk >= cfg.trials {
                             break;
                         }
-                        let o = run_interval(cfg, cfg.seed.wrapping_add(i));
-                        local.trials += 1;
-                        local.due_intervals += (o.due_lines > 0) as u64;
-                        local.sdc_intervals += (o.sdc_lines > 0) as u64;
-                        local.faulty_bits += o.faulty_bits as u64;
-                        local.multibit_lines += o.multibit_lines as u64;
-                        local.raid4_repairs += o.raid4_repairs as u64;
-                        local.sdr_repairs += o.sdr_repairs as u64;
-                        local.hash2_repairs += o.hash2_repairs as u64;
+                        for i in chunk..(chunk + TRIAL_CHUNK).min(cfg.trials) {
+                            let o = run_interval_in(
+                                &mut cache,
+                                &mut injector,
+                                cfg,
+                                cfg.seed.wrapping_add(i),
+                            );
+                            local.absorb(&o);
+                            let t = Instant::now();
+                            cache.reset_to_golden_zero();
+                            reset_cost += t.elapsed().as_secs_f64();
+                        }
                     }
-                    local
+                    let stats = *cache.stats();
+                    (local, stats.lines_scrubbed, stats.crc_checks, reset_cost)
                 })
             })
             .collect();
@@ -223,20 +327,27 @@ pub fn run_interval_campaign(cfg: &McConfig) -> CampaignSummary {
             .into_iter()
             .map(|h| h.join().expect("worker"))
             .collect()
-    })
-    .expect("campaign scope");
+    });
+    let elapsed = start.elapsed().as_secs_f64();
     let mut total = CampaignSummary::default();
-    for r in results {
-        total.trials += r.trials;
-        total.due_intervals += r.due_intervals;
-        total.sdc_intervals += r.sdc_intervals;
-        total.faulty_bits += r.faulty_bits;
-        total.multibit_lines += r.multibit_lines;
-        total.raid4_repairs += r.raid4_repairs;
-        total.sdr_repairs += r.sdr_repairs;
-        total.hash2_repairs += r.hash2_repairs;
+    let mut report = ThroughputReport::default();
+    for (local, lines_scrubbed, crc_checks, reset_cost) in &results {
+        total.merge(local);
+        report.lines_scrubbed += lines_scrubbed;
+        report.crc_checks += crc_checks;
+        report.reset_cost += reset_cost;
     }
-    total
+    report.trials_per_sec = if elapsed > 0.0 {
+        total.trials as f64 / elapsed
+    } else {
+        f64::INFINITY
+    };
+    (total, report)
+}
+
+/// Runs `cfg.trials` independent intervals, sharded across threads.
+pub fn run_interval_campaign(cfg: &McConfig) -> CampaignSummary {
+    run_interval_campaign_timed(cfg).0
 }
 
 /// Outcome of a lifetime run: consecutive intervals simulated until the
@@ -249,14 +360,19 @@ pub struct LifetimeOutcome {
     pub failed: bool,
 }
 
-/// Simulates consecutive scrub intervals on one cache until the first DUE
-/// or `max_intervals`. Successful scrubs restore the pristine state, so
-/// the time-to-first-failure is geometric in the per-interval DUE
-/// probability — this run measures it directly rather than assuming it.
-pub fn run_lifetime(cfg: &McConfig, max_intervals: u64, seed: u64) -> LifetimeOutcome {
-    let mut cache =
-        SudokuCache::new_sparse(cfg.sudoku_config()).expect("valid Monte-Carlo configuration");
-    let mut injector = FaultInjector::new(cfg.ber, seed);
+/// Simulates consecutive scrub intervals in a caller-owned arena until the
+/// first DUE or `max_intervals`. Successful scrubs restore the pristine
+/// state, so the time-to-first-failure is geometric in the per-interval
+/// DUE probability. The cache must start golden-zero and is left dirty
+/// after a failed run — the caller resets it.
+pub fn run_lifetime_in(
+    cache: &mut SudokuCache<SparseStore>,
+    injector: &mut FaultInjector,
+    cfg: &McConfig,
+    max_intervals: u64,
+    seed: u64,
+) -> LifetimeOutcome {
+    injector.reseed(seed);
     for interval in 0..max_intervals {
         let plan = injector.cache_plan(cfg.lines);
         let mut hints = Vec::with_capacity(plan.len());
@@ -280,17 +396,34 @@ pub fn run_lifetime(cfg: &McConfig, max_intervals: u64, seed: u64) -> LifetimeOu
     }
 }
 
-/// Runs `runs` independent lifetimes and reports the censored-mean MTTF.
-pub fn run_lifetime_campaign(
+/// Simulates one lifetime; deterministic in `(cfg, max_intervals, seed)`.
+pub fn run_lifetime(cfg: &McConfig, max_intervals: u64, seed: u64) -> LifetimeOutcome {
+    let mut cache =
+        SudokuCache::new_sparse(cfg.sudoku_config()).expect("valid Monte-Carlo configuration");
+    let mut injector = FaultInjector::new(cfg.ber, seed);
+    run_lifetime_in(&mut cache, &mut injector, cfg, max_intervals, seed)
+}
+
+/// Runs `runs` independent lifetimes in one reused arena and reports the
+/// censored-mean MTTF with throughput accounting (`trials_per_sec` counts
+/// simulated intervals, since runs vary in length).
+pub fn run_lifetime_campaign_timed(
     cfg: &McConfig,
     runs: u64,
     max_intervals: u64,
     seed: u64,
-) -> (f64, u64) {
+) -> ((f64, u64), ThroughputReport) {
+    let mut cache =
+        SudokuCache::new_sparse(cfg.sudoku_config()).expect("valid Monte-Carlo configuration");
+    let mut injector = FaultInjector::new(cfg.ber, seed);
+    let start = Instant::now();
+    let mut reset_cost = 0.0f64;
     let mut total_intervals = 0u64;
     let mut failures = 0u64;
     for r in 0..runs {
-        let o = run_lifetime(
+        let o = run_lifetime_in(
+            &mut cache,
+            &mut injector,
             cfg,
             max_intervals,
             seed.wrapping_add(r.wrapping_mul(0x9E37)),
@@ -299,13 +432,38 @@ pub fn run_lifetime_campaign(
         // that dies immediately lived one interval, not zero).
         total_intervals += o.intervals_survived + o.failed as u64;
         failures += o.failed as u64;
+        let t = Instant::now();
+        cache.reset_to_golden_zero();
+        reset_cost += t.elapsed().as_secs_f64();
     }
+    let elapsed = start.elapsed().as_secs_f64();
     let mttf_s = if failures == 0 {
         f64::INFINITY
     } else {
         total_intervals as f64 / failures as f64 * cfg.scrub.interval_s()
     };
-    (mttf_s, failures)
+    let stats = *cache.stats();
+    let report = ThroughputReport {
+        trials_per_sec: if elapsed > 0.0 {
+            total_intervals as f64 / elapsed
+        } else {
+            f64::INFINITY
+        },
+        lines_scrubbed: stats.lines_scrubbed,
+        crc_checks: stats.crc_checks,
+        reset_cost,
+    };
+    ((mttf_s, failures), report)
+}
+
+/// Runs `runs` independent lifetimes and reports the censored-mean MTTF.
+pub fn run_lifetime_campaign(
+    cfg: &McConfig,
+    runs: u64,
+    max_intervals: u64,
+    seed: u64,
+) -> (f64, u64) {
+    run_lifetime_campaign_timed(cfg, runs, max_intervals, seed).0
 }
 
 /// A conditional scenario: `fault_counts[i]` faults are injected into the
@@ -380,12 +538,25 @@ impl GroupCampaignSummary {
     pub fn failure_rate(&self) -> f64 {
         self.due as f64 / self.trials as f64
     }
+
+    fn absorb(&mut self, o: &IntervalOutcome) {
+        self.trials += 1;
+        if o.due_lines == 0 && o.sdc_lines == 0 {
+            self.repaired += 1;
+        }
+        self.due += (o.due_lines > 0) as u64;
+        self.sdc += (o.sdc_lines > 0) as u64;
+    }
 }
 
-/// Runs one conditional group trial. Returns the outcome of the interval.
-pub fn run_group_trial(scenario: &GroupScenario, trial_seed: u64) -> IntervalOutcome {
-    let mut cache =
-        SudokuCache::new_sparse(scenario.sudoku_config()).expect("valid scenario configuration");
+/// Runs one conditional group trial in a caller-owned arena. The cache
+/// must start golden-zero and is left dirty; the trial RNG is derived from
+/// `trial_seed` alone, so the result matches [`run_group_trial`] exactly.
+pub fn run_group_trial_in(
+    cache: &mut SudokuCache<SparseStore>,
+    scenario: &GroupScenario,
+    trial_seed: u64,
+) -> IntervalOutcome {
     let mut rng = StdRng::seed_from_u64(trial_seed);
     // Pick a random Hash-1 group and distinct victim offsets within it.
     let n_groups = scenario.lines_needed() / scenario.group as u64;
@@ -406,12 +577,6 @@ pub fn run_group_trial(scenario: &GroupScenario, trial_seed: u64) -> IntervalOut
         hints.push(line);
     }
     let report = cache.scrub_lines(&hints);
-    let mut sdc_lines = 0u32;
-    for (idx, line) in cache.store().iter_touched() {
-        if !line.is_zero() && !report.unresolved.contains(&idx) {
-            sdc_lines += 1;
-        }
-    }
     IntervalOutcome {
         faulty_lines: scenario.fault_counts.len() as u32,
         faulty_bits,
@@ -420,8 +585,79 @@ pub fn run_group_trial(scenario: &GroupScenario, trial_seed: u64) -> IntervalOut
         sdr_repairs: report.sdr_repairs as u32,
         hash2_repairs: report.hash2_repairs as u32,
         due_lines: report.unresolved.len() as u32,
-        sdc_lines,
+        sdc_lines: count_sdc(cache, &report),
     }
+}
+
+/// Runs one conditional group trial. Returns the outcome of the interval.
+pub fn run_group_trial(scenario: &GroupScenario, trial_seed: u64) -> IntervalOutcome {
+    let mut cache =
+        SudokuCache::new_sparse(scenario.sudoku_config()).expect("valid scenario configuration");
+    run_group_trial_in(&mut cache, scenario, trial_seed)
+}
+
+/// Runs a conditional campaign over `trials` seeds with per-worker reused
+/// arenas, reporting throughput alongside the summary.
+pub fn run_group_campaign_timed(
+    scenario: &GroupScenario,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> (GroupCampaignSummary, ThroughputReport) {
+    let threads = worker_threads(threads).min(trials.max(1) as usize);
+    let next = AtomicU64::new(0);
+    let start = Instant::now();
+    let results: Vec<(GroupCampaignSummary, u64, u64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let scenario = scenario.clone();
+                scope.spawn(move || {
+                    let mut cache = SudokuCache::new_sparse(scenario.sudoku_config())
+                        .expect("valid scenario configuration");
+                    let mut local = GroupCampaignSummary::default();
+                    let mut reset_cost = 0.0f64;
+                    loop {
+                        let chunk = next.fetch_add(TRIAL_CHUNK, Ordering::Relaxed);
+                        if chunk >= trials {
+                            break;
+                        }
+                        for i in chunk..(chunk + TRIAL_CHUNK).min(trials) {
+                            let o = run_group_trial_in(&mut cache, &scenario, seed.wrapping_add(i));
+                            local.absorb(&o);
+                            let t = Instant::now();
+                            cache.reset_to_golden_zero();
+                            reset_cost += t.elapsed().as_secs_f64();
+                        }
+                    }
+                    let stats = *cache.stats();
+                    (local, stats.lines_scrubbed, stats.crc_checks, reset_cost)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut total = GroupCampaignSummary::default();
+    let mut report = ThroughputReport::default();
+    for (local, lines_scrubbed, crc_checks, reset_cost) in &results {
+        total.trials += local.trials;
+        total.repaired += local.repaired;
+        total.due += local.due;
+        total.sdc += local.sdc;
+        report.lines_scrubbed += lines_scrubbed;
+        report.crc_checks += crc_checks;
+        report.reset_cost += reset_cost;
+    }
+    report.trials_per_sec = if elapsed > 0.0 {
+        total.trials as f64 / elapsed
+    } else {
+        f64::INFINITY
+    };
+    (total, report)
 }
 
 /// Runs a conditional campaign over `trials` seeds.
@@ -431,46 +667,7 @@ pub fn run_group_campaign(
     seed: u64,
     threads: usize,
 ) -> GroupCampaignSummary {
-    let threads = worker_threads(threads).min(trials.max(1) as usize);
-    let next = std::sync::atomic::AtomicU64::new(0);
-    let results: Vec<GroupCampaignSummary> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let next = &next;
-                let scenario = scenario.clone();
-                scope.spawn(move |_| {
-                    let mut local = GroupCampaignSummary::default();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= trials {
-                            break;
-                        }
-                        let o = run_group_trial(&scenario, seed.wrapping_add(i));
-                        local.trials += 1;
-                        if o.due_lines == 0 && o.sdc_lines == 0 {
-                            local.repaired += 1;
-                        }
-                        local.due += (o.due_lines > 0) as u64;
-                        local.sdc += (o.sdc_lines > 0) as u64;
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
-    })
-    .expect("campaign scope");
-    let mut total = GroupCampaignSummary::default();
-    for r in results {
-        total.trials += r.trials;
-        total.repaired += r.repaired;
-        total.due += r.due;
-        total.sdc += r.sdc;
-    }
-    total
+    run_group_campaign_timed(scenario, trials, seed, threads).0
 }
 
 #[cfg(test)]
@@ -496,6 +693,46 @@ mod tests {
     fn interval_trial_is_deterministic() {
         let cfg = small_cfg(Scheme::Y, 1);
         assert_eq!(run_interval(&cfg, 123), run_interval(&cfg, 123));
+    }
+
+    #[test]
+    fn reused_arena_trials_match_fresh_construction() {
+        let cfg = small_cfg(Scheme::Y, 1);
+        let mut cache = SudokuCache::new_sparse(cfg.sudoku_config()).unwrap();
+        let mut injector = FaultInjector::new(cfg.ber, 0);
+        for trial_seed in [5u64, 123, 7777] {
+            let reused = run_interval_in(&mut cache, &mut injector, &cfg, trial_seed);
+            cache.reset_to_golden_zero();
+            assert_eq!(reused, run_interval(&cfg, trial_seed), "seed {trial_seed}");
+        }
+    }
+
+    #[test]
+    fn campaign_matches_accumulated_fresh_trials() {
+        // The arena-reusing campaign must equal summing independent
+        // fresh-cache trials over the same seeds, bit for bit.
+        let cfg = small_cfg(Scheme::Y, 24);
+        let (campaign, report) = run_interval_campaign_timed(&cfg);
+        let mut expected = CampaignSummary::default();
+        for i in 0..cfg.trials {
+            expected.absorb(&run_interval(&cfg, cfg.seed.wrapping_add(i)));
+        }
+        assert_eq!(campaign, expected);
+        assert!(report.trials_per_sec > 0.0);
+        assert!(report.lines_scrubbed > 0, "{report:?}");
+        assert!(report.crc_checks > 0, "{report:?}");
+    }
+
+    #[test]
+    fn group_campaign_matches_accumulated_fresh_trials() {
+        let scenario = GroupScenario::two_by_two(Scheme::Y, 64);
+        let (campaign, report) = run_group_campaign_timed(&scenario, 20, 11, 2);
+        let mut expected = GroupCampaignSummary::default();
+        for i in 0..20u64 {
+            expected.absorb(&run_group_trial(&scenario, 11u64.wrapping_add(i)));
+        }
+        assert_eq!(campaign, expected);
+        assert!(report.lines_scrubbed > 0, "{report:?}");
     }
 
     #[test]
@@ -576,8 +813,9 @@ mod tests {
         let interval_summary = run_interval_campaign(&cfg);
         let p = interval_summary.due_rate();
         assert!(p > 0.05, "premise: X must fail often here ({p})");
-        let (mttf_s, failures) = run_lifetime_campaign(&cfg, 30, 200, 99);
+        let ((mttf_s, failures), report) = run_lifetime_campaign_timed(&cfg, 30, 200, 99);
         assert!(failures >= 25, "most lifetimes should end in failure");
+        assert!(report.lines_scrubbed > 0, "{report:?}");
         let expected = cfg.scrub.interval_s() / p;
         let ratio = mttf_s / expected;
         assert!(

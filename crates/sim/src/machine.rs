@@ -454,7 +454,7 @@ impl Machine {
                 // Dependent loads stall the core until data returns.
                 if !acc.is_write {
                     read_seq += 1;
-                    if read_seq % CRITICAL_READ_FRAC == 0 && completion > t {
+                    if read_seq.is_multiple_of(CRITICAL_READ_FRAC) && completion > t {
                         t = completion;
                     }
                 }
