@@ -1,7 +1,7 @@
 //! Ablation (paper §III-D): RAID-Group size trades storage, repair latency
 //! and reliability against each other.
 
-use sudoku_bench::{header, sci};
+use sudoku_bench::{flag, header, sci};
 use sudoku_core::STT_READ_NS;
 use sudoku_reliability::analytic::{x_fit, y_fit, z_fit_paper_style, Params};
 
@@ -11,6 +11,7 @@ fn main() {
         "{:<8} {:>10} {:>12} {:>12} {:>12} {:>12}",
         "group", "PLT (KB)", "repair (µs)", "X FIT", "Y FIT", "Z FIT"
     );
+    let mut rows = String::from("[");
     for group in [64u32, 128, 256, 512, 1024, 2048] {
         let params = Params {
             group,
@@ -24,6 +25,26 @@ fn main() {
             sci(y_fit(&params)),
             sci(z_fit_paper_style(&params)),
         );
+        if rows.len() > 1 {
+            rows.push(',');
+        }
+        let mut row = sudoku_obs::json::JsonObject::new();
+        row.field_u64("group", group as u64)
+            .field_u64("plt_kb", plt_kb)
+            .field_f64("repair_us", repair_us)
+            .field_f64("x_fit", x_fit(&params))
+            .field_f64("y_fit", y_fit(&params))
+            .field_f64("z_fit", z_fit_paper_style(&params));
+        rows.push_str(&row.finish());
+    }
+    rows.push(']');
+    if flag("--json") {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_str("name", "ablation_group")
+            .field_raw("rows", &rows);
+        std::fs::write("BENCH_ablation_group.json", obj.finish() + "\n")
+            .expect("write BENCH_ablation_group.json");
+        println!("wrote BENCH_ablation_group.json");
     }
     println!(
         "\nsmaller groups: more parity SRAM, faster repair, fewer collisions;\n\

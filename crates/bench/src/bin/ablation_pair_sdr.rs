@@ -2,9 +2,11 @@
 //! SuDoku-Z's advantage can a *single-hash* design recover by spending
 //! O(mismatch²) extra flip trials?
 
-use sudoku_bench::{header, sci, Args};
+use sudoku_bench::{flag, header, sci, Args};
 use sudoku_core::Scheme;
-use sudoku_reliability::montecarlo::{run_group_campaign_timed, GroupScenario, ThroughputReport};
+use sudoku_reliability::montecarlo::{
+    run_group_campaign_observed, GroupScenario, ThroughputReport,
+};
 
 fn main() {
     let args = Args::parse(4000, 0);
@@ -21,7 +23,7 @@ fn main() {
         ("three lines × 2 faults", vec![2, 2, 2]),
         ("two lines × 4 faults", vec![4, 4]),
     ];
-    for (label, counts) in cases {
+    for (case, (label, counts)) in cases.into_iter().enumerate() {
         let mut rates = Vec::new();
         for (scheme, pair) in [(Scheme::Y, false), (Scheme::Y, true), (Scheme::Z, false)] {
             let scenario = GroupScenario {
@@ -30,8 +32,19 @@ fn main() {
                 fault_counts: counts.clone(),
                 pair_sdr: pair,
             };
-            let (s, report) =
-                run_group_campaign_timed(&scenario, args.trials, args.seed, args.threads);
+            let (s, report, telemetry) = run_group_campaign_observed(
+                &scenario,
+                args.trials,
+                args.seed,
+                args.threads,
+                args.observe(),
+            );
+            let slug = format!(
+                "pair_sdr_c{case}_{}{}",
+                scheme.to_string().to_lowercase(),
+                if pair { "_pair" } else { "" }
+            );
+            args.write_telemetry(Some(&slug), &telemetry);
             rates.push(s.success_rate());
             reports.push((
                 format!("{label} / {scheme}{}", if pair { "+pair" } else { "" }),
@@ -54,5 +67,9 @@ fn main() {
     println!("\ncampaign throughput:");
     for (label, report) in &reports {
         report.println(label);
+    }
+
+    if flag("--json") {
+        sudoku_bench::write_bench_reports("ablation_pair_sdr", &reports);
     }
 }

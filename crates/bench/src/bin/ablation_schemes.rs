@@ -2,10 +2,10 @@
 //! +skewed hash = Z), measured with Monte-Carlo at an elevated BER so each
 //! level's failures are observable in minutes.
 
-use sudoku_bench::{header, sci, Args};
+use sudoku_bench::{flag, header, sci, Args};
 use sudoku_core::Scheme;
 use sudoku_fault::ScrubSchedule;
-use sudoku_reliability::montecarlo::{run_interval_campaign_timed, McConfig};
+use sudoku_reliability::montecarlo::{run_interval_campaign_observed, McConfig};
 
 fn main() {
     let args = Args::parse(400, 0);
@@ -28,9 +28,13 @@ fn main() {
     );
     let mut rates = Vec::new();
     let mut reports = Vec::new();
+    let mut phase_json = Vec::new();
     for scheme in [Scheme::X, Scheme::Y, Scheme::Z] {
         let cfg = McConfig { scheme, ..base };
-        let (s, report) = run_interval_campaign_timed(&cfg);
+        let (s, report, telemetry) = run_interval_campaign_observed(&cfg, args.observe());
+        let label = format!("ablation_{}", scheme.to_string().to_lowercase());
+        args.write_telemetry(Some(&label), &telemetry);
+        phase_json.push((scheme, telemetry.phases.to_json()));
         rates.push(s.due_rate());
         reports.push((scheme, report));
         println!(
@@ -58,5 +62,23 @@ fn main() {
     println!("\ncampaign throughput:");
     for (scheme, report) in &reports {
         report.println(&scheme.to_string());
+    }
+
+    if flag("--json") {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_str("name", "ablation_schemes");
+        for (scheme, report) in &reports {
+            let key = format!("{}_campaign", scheme.to_string().to_lowercase());
+            obj.field_raw(&key, &report.to_json());
+        }
+        if args.observe().enabled() {
+            for (scheme, phases) in &phase_json {
+                let key = format!("{}_phases", scheme.to_string().to_lowercase());
+                obj.field_raw(&key, phases);
+            }
+        }
+        std::fs::write("BENCH_ablation_schemes.json", obj.finish() + "\n")
+            .expect("write BENCH_ablation_schemes.json");
+        println!("wrote BENCH_ablation_schemes.json");
     }
 }

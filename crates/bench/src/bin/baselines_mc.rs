@@ -113,4 +113,7 @@ fn main() {
     println!("  SuDoku-Z:         {}", sci(z.due_rate()));
     println!("\nordering matches Table XI: CPPC ≫ uniform-ECC ≫ RAID-6 ≫ SuDoku.");
     z_report.println("SuDoku-Z campaign");
+    if sudoku_bench::flag("--json") {
+        sudoku_bench::write_bench_reports("baselines_mc", &[("sudoku_z".to_string(), z_report)]);
+    }
 }

@@ -2,7 +2,7 @@
 //! versus the paper's ECC-1 design, on the fault patterns that separate
 //! them — plus the analytic FIT impact at low ∆ (ties into Table X).
 
-use sudoku_bench::{header, sci, Args};
+use sudoku_bench::{flag, header, sci, write_bench_reports, Args};
 use sudoku_core::Scheme;
 use sudoku_fault::ThermalModel;
 use sudoku_reliability::analytic::{ecc_fit, z_fit_paper_style, Params};
@@ -81,5 +81,8 @@ fn main() {
     println!("\nECC-1 campaign throughput:");
     for (label, report) in &reports {
         report.println(label);
+    }
+    if flag("--json") {
+        write_bench_reports("ecc2_sdr", &reports);
     }
 }

@@ -1,5 +1,8 @@
 //! Figure 8: execution time of SuDoku-Z normalized to an idealized
 //! error-free cache, per workload.
+//!
+//! `--metrics-json <path>` exports every workload's full data point
+//! (timing counters, energy breakdown, Figure 8/9 ratios) as JSON.
 
 use sudoku_bench::{header, Args};
 use sudoku_sim::{compare_workload, geo_mean, paper_workloads, RunnerConfig};
@@ -9,6 +12,7 @@ fn main() {
     header("Figure 8 — execution time of SuDoku-Z normalized to ideal");
     let cfg = RunnerConfig::paper_default(args.accesses, args.seed);
     let mut ratios = Vec::new();
+    let mut points = Vec::new();
     println!(
         "{:<16} {:>10} {:>10} {:>12} {:>12} {:>12}",
         "workload", "norm.time", "hit rate", "scrubstall", "syndrome", "PLT writes"
@@ -26,10 +30,19 @@ fn main() {
             c.sudoku.metrics.syndrome_ns / 1e3,
             c.sudoku.metrics.plt_writes,
         );
+        points.push(c.to_json());
     }
     let gm = geo_mean(ratios.iter().copied());
     println!(
         "\ngeometric-mean slowdown: {:.3}% (paper Figure 8: ~0.15% average)",
         (gm - 1.0) * 100.0
     );
+    if let Some(path) = &args.metrics_json {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_str("name", "fig8")
+            .field_f64("geomean_time_ratio", gm)
+            .field_raw("workloads", &format!("[{}]", points.join(",")));
+        std::fs::write(path, obj.finish() + "\n").expect("write --metrics-json output");
+        println!("wrote per-workload metrics to {path}");
+    }
 }

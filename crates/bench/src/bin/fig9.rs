@@ -1,6 +1,9 @@
 //! Figure 9: system energy-delay product of SuDoku-Z normalized to the
 //! error-free baseline, per workload.
 
+//! `--metrics-json <path>` exports every workload's full data point
+//! (timing counters, energy breakdown, Figure 8/9 ratios) as JSON.
+
 use sudoku_bench::{header, Args};
 use sudoku_sim::{compare_workload, geo_mean, paper_workloads, RunnerConfig};
 
@@ -9,6 +12,7 @@ fn main() {
     header("Figure 9 — system EDP of SuDoku-Z normalized to error-free");
     let cfg = RunnerConfig::paper_default(args.accesses, args.seed);
     let mut ratios = Vec::new();
+    let mut points = Vec::new();
     println!(
         "{:<16} {:>10} {:>12} {:>12} {:>12}",
         "workload", "norm.EDP", "PLT energy", "codec", "scrub"
@@ -25,10 +29,19 @@ fn main() {
             c.sudoku.energy.codec_j * 1e6,
             c.sudoku.energy.scrub_j * 1e6,
         );
+        points.push(c.to_json());
     }
     let gm = geo_mean(ratios.iter().copied());
     println!(
         "\ngeometric-mean EDP increase: {:.3}% (paper Figure 9: ≤0.4%)",
         (gm - 1.0) * 100.0
     );
+    if let Some(path) = &args.metrics_json {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_str("name", "fig9")
+            .field_f64("geomean_edp_ratio", gm)
+            .field_raw("workloads", &format!("[{}]", points.join(",")));
+        std::fs::write(path, obj.finish() + "\n").expect("write --metrics-json output");
+        println!("wrote per-workload metrics to {path}");
+    }
 }

@@ -2,10 +2,10 @@
 //! campaigns driving the *real* correction engines, cross-validating the
 //! analytic ladder of §III-F/§IV-E.
 
-use sudoku_bench::{header, sci, Args};
+use sudoku_bench::{flag, header, sci, Args};
 use sudoku_core::Scheme;
 use sudoku_reliability::analytic::{x_cache_fail, x_mttf_seconds, Params};
-use sudoku_reliability::montecarlo::{run_interval_campaign_timed, McConfig};
+use sudoku_reliability::montecarlo::{run_interval_campaign_observed, McConfig};
 
 fn main() {
     let args = Args::parse(2000, 0);
@@ -15,7 +15,8 @@ fn main() {
     // SuDoku-X at paper scale: DUE probability per interval is ~5e-3, so a
     // few thousand trials give a tight estimate.
     let cfg = McConfig::paper_default(Scheme::X, args.trials, args.seed);
-    let (summary, report) = run_interval_campaign_timed(&cfg);
+    let (summary, report, tel_x) = run_interval_campaign_observed(&cfg, args.observe());
+    args.write_telemetry(Some("mttf_x"), &tel_x);
     let (lo, hi) = summary.due_rate_ci();
     println!(
         "SuDoku-X, {} intervals at BER 5.3e-6 over 2^20 lines:",
@@ -50,7 +51,8 @@ fn main() {
     // SuDoku-Y at the same scale: the measured rate should drop by orders
     // of magnitude (most trials repair everything).
     let cfg_y = McConfig::paper_default(Scheme::Y, args.trials, args.seed ^ 0xABCD);
-    let (sy, sy_report) = run_interval_campaign_timed(&cfg_y);
+    let (sy, sy_report, tel_y) = run_interval_campaign_observed(&cfg_y, args.observe());
+    args.write_telemetry(Some("mttf_y"), &tel_y);
     println!(
         "\nSuDoku-Y, {} intervals: DUE intervals {} (rate {}), SDR repairs {}",
         sy.trials,
@@ -62,10 +64,26 @@ fn main() {
     sy_report.println("Y campaign");
 
     let cfg_z = McConfig::paper_default(Scheme::Z, args.trials / 2, args.seed ^ 0x1234);
-    let (sz, sz_report) = run_interval_campaign_timed(&cfg_z);
+    let (sz, sz_report, tel_z) = run_interval_campaign_observed(&cfg_z, args.observe());
+    args.write_telemetry(Some("mttf_z"), &tel_z);
     println!(
         "\nSuDoku-Z, {} intervals: DUE intervals {} (expect 0; MTTF is ~10^12 h)",
         sz.trials, sz.due_intervals
     );
     sz_report.println("Z campaign");
+
+    if flag("--json") {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_str("name", "mttf_cross_validation")
+            .field_raw("x_campaign", &report.to_json())
+            .field_raw("y_campaign", &sy_report.to_json())
+            .field_raw("z_campaign", &sz_report.to_json());
+        if args.observe().enabled() {
+            obj.field_raw("x_phases", &tel_x.phases.to_json())
+                .field_raw("y_phases", &tel_y.phases.to_json())
+                .field_raw("z_phases", &tel_z.phases.to_json());
+        }
+        std::fs::write("BENCH_mttf.json", obj.finish() + "\n").expect("write BENCH_mttf.json");
+        println!("wrote BENCH_mttf.json");
+    }
 }

@@ -2,8 +2,13 @@
 //! spawning the individual experiment binaries (light default settings).
 //!
 //! `cargo run -p sudoku-bench --release --bin repro [-- --trials N --accesses N]`
+//!
+//! Telemetry flags fan out: `--events <path>` / `--metrics-json <path>`
+//! are rewritten per child (the experiment name spliced into the file
+//! stem), so one invocation collects every campaign's event log.
 
 use std::process::Command;
+use sudoku_bench::labeled_path;
 
 const EXPERIMENTS: &[&str] = &[
     "table1",
@@ -32,7 +37,25 @@ const EXPERIMENTS: &[&str] = &[
     "plt_traffic",
     "fig8_cores",
     "baselines_mc",
+    "forensics",
 ];
+
+/// Rewrites the value after each path-valued telemetry flag so children
+/// don't overwrite each other's output files.
+fn rewrite_paths(args: &[String], exp: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut label_next = false;
+    for a in args {
+        if label_next {
+            out.push(labeled_path(a, exp));
+            label_next = false;
+        } else {
+            label_next = a == "--events" || a == "--metrics-json";
+            out.push(a.clone());
+        }
+    }
+    out
+}
 
 fn main() {
     let passthrough: Vec<String> = std::env::args().skip(1).collect();
@@ -41,7 +64,9 @@ fn main() {
     let mut failed = Vec::new();
     for exp in EXPERIMENTS {
         let path = bin_dir.join(exp);
-        let status = Command::new(&path).args(&passthrough).status();
+        let status = Command::new(&path)
+            .args(rewrite_paths(&passthrough, exp))
+            .status();
         match status {
             Ok(s) if s.success() => {}
             other => {

@@ -1,7 +1,7 @@
 //! SDR case statistics (paper §IV-B/C, Figure 3): conditional Monte-Carlo
 //! over the real engines for the canonical fault patterns.
 
-use sudoku_bench::{header, sci, Args};
+use sudoku_bench::{flag, header, sci, write_bench_reports, Args};
 use sudoku_core::Scheme;
 use sudoku_reliability::montecarlo::{run_group_campaign_timed, GroupScenario, ThroughputReport};
 
@@ -96,5 +96,8 @@ fn main() {
     println!("\ncampaign throughput:");
     for (label, report) in &reports {
         report.println(label);
+    }
+    if flag("--json") {
+        write_bench_reports("sdr_cases", &reports);
     }
 }

@@ -4,18 +4,30 @@
 //! ```text
 //! cargo run --release -p sudoku-bench --bin throughput -- --trials 64
 //! cargo run --release -p sudoku-bench --bin throughput -- --trials 64 --json
+//! cargo run --release -p sudoku-bench --bin throughput -- --json --check-baseline
+//! cargo run --release -p sudoku-bench --bin throughput -- \
+//!     --events events.jsonl --metrics-json telemetry.json
 //! ```
 //!
 //! `--json` additionally writes `BENCH_kernels.json` to the current
 //! directory, a machine-readable record for tracking kernel performance
-//! across revisions.
+//! across revisions; with `--check-baseline`, the run first reads the
+//! committed `BENCH_kernels.json` and exits non-zero if the new
+//! trials/sec regressed more than 20 % against it.
+//!
+//! The headline number always comes from a telemetry-disabled campaign, so
+//! it is comparable across revisions; `--events`/`--metrics-json` trigger
+//! an *additional* observed campaign whose event log and histogram/phase
+//! metrics go to the given paths.
 
 use std::hint::black_box;
 use std::time::Instant;
-use sudoku_bench::{flag, header, Args};
+use sudoku_bench::{flag, header, json_f64_field, Args};
 use sudoku_codes::{CrcEngine, LineData, CRC31};
 use sudoku_core::Scheme;
-use sudoku_reliability::montecarlo::{run_interval_campaign_timed, McConfig};
+use sudoku_reliability::montecarlo::{
+    run_interval_campaign_observed, run_interval_campaign_timed, McConfig,
+};
 
 /// Nanoseconds per `checksum_line` call on a dense pseudo-random line.
 fn measure_ns_per_crc() -> f64 {
@@ -53,6 +65,11 @@ fn git_rev() -> String {
 fn main() {
     let args = Args::parse(64, 0);
     header("Campaign throughput (paper-default config)");
+    let baseline = flag("--check-baseline")
+        .then(|| std::fs::read_to_string("BENCH_kernels.json").ok())
+        .flatten()
+        .and_then(|text| json_f64_field(&text, "trials_per_sec"));
+
     let cfg = McConfig::paper_default(Scheme::Z, args.trials, args.seed);
     let (summary, report) = run_interval_campaign_timed(&cfg);
     let elapsed = summary.trials as f64 / report.trials_per_sec;
@@ -71,19 +88,52 @@ fn main() {
     let ns_per_scrub_line = elapsed * 1e9 / report.lines_scrubbed.max(1) as f64;
     println!("ns/CRC (dense line) = {ns_per_crc:.2}, ns/scrubbed line = {ns_per_scrub_line:.2}");
 
+    // An extra, observed campaign when telemetry outputs were requested —
+    // the headline above stays untouched by recording costs.
+    let observed = args.observe().enabled().then(|| {
+        let (obs_summary, obs_report, telemetry) =
+            run_interval_campaign_observed(&cfg, args.observe());
+        assert_eq!(obs_summary, summary, "telemetry must not perturb results");
+        println!("\nobserved re-run (telemetry on):");
+        obs_report.println("observed");
+        println!("{}", telemetry.phases.render());
+        args.write_telemetry(None, &telemetry);
+        telemetry
+    });
+
     if flag("--json") {
-        let json = format!(
-            "{{\n  \"name\": \"interval_campaign_paper_default\",\n  \
-             \"trials_per_sec\": {:.3},\n  \"ns_per_crc\": {:.3},\n  \
-             \"ns_per_scrub_line\": {:.3},\n  \"seed\": {},\n  \
-             \"git_rev\": \"{}\"\n}}\n",
-            report.trials_per_sec,
-            ns_per_crc,
-            ns_per_scrub_line,
-            args.seed,
-            git_rev()
-        );
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_str("name", "interval_campaign_paper_default")
+            .field_f64("trials_per_sec", report.trials_per_sec)
+            .field_f64("ns_per_crc", ns_per_crc)
+            .field_f64("ns_per_scrub_line", ns_per_scrub_line)
+            .field_u64("seed", args.seed)
+            .field_str("git_rev", &git_rev())
+            .field_raw("campaign", &report.to_json());
+        if let Some(telemetry) = &observed {
+            obj.field_raw("phases", &telemetry.phases.to_json());
+        }
+        let json = obj.finish() + "\n";
         std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
         println!("wrote BENCH_kernels.json");
+    }
+
+    if flag("--check-baseline") {
+        match baseline {
+            Some(base) => {
+                let ratio = report.trials_per_sec / base;
+                println!(
+                    "baseline check: {:.2} vs committed {:.2} trials/sec ({:+.1}%)",
+                    report.trials_per_sec,
+                    base,
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio < 0.8 {
+                    eprintln!("FAIL: throughput regressed more than 20% vs baseline");
+                    std::process::exit(1);
+                }
+            }
+            None => println!("baseline check: no committed BENCH_kernels.json, skipping"),
+        }
     }
 }

@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+use sudoku_reliability::montecarlo::{CampaignTelemetry, Observe, ThroughputReport};
+
 /// Formats a value in 3-significant-digit scientific notation, the way the
 /// paper's tables print probabilities and FIT rates.
 pub fn sci(x: f64) -> String {
@@ -43,23 +45,59 @@ pub struct Args {
     pub threads: usize,
     /// Simulated LLC accesses per core (`--accesses`).
     pub accesses: u64,
+    /// Recovery-event JSONL output path (`--events <path>`).
+    pub events: Option<String>,
+    /// Telemetry metrics JSON output path (`--metrics-json <path>`).
+    pub metrics_json: Option<String>,
 }
 
 impl Args {
     /// Parses the process arguments with the given defaults.
     pub fn parse(default_trials: u64, default_accesses: u64) -> Args {
         let argv: Vec<String> = std::env::args().collect();
-        let get = |flag: &str| -> Option<u64> {
+        let get_str = |flag: &str| -> Option<String> {
             argv.iter()
                 .position(|a| a == flag)
                 .and_then(|i| argv.get(i + 1))
-                .and_then(|v| v.parse().ok())
+                .cloned()
         };
+        let get = |flag: &str| -> Option<u64> { get_str(flag).and_then(|v| v.parse().ok()) };
         Args {
             seed: get("--seed").unwrap_or(42),
             trials: get("--trials").unwrap_or(default_trials),
             threads: get("--threads").unwrap_or(0) as usize,
             accesses: get("--accesses").unwrap_or(default_accesses),
+            events: get_str("--events"),
+            metrics_json: get_str("--metrics-json"),
+        }
+    }
+
+    /// Telemetry depth implied by the flags: campaigns record events only
+    /// when an output path asked for them.
+    pub fn observe(&self) -> Observe {
+        if self.events.is_some() || self.metrics_json.is_some() {
+            Observe::Unbounded
+        } else {
+            Observe::Off
+        }
+    }
+
+    /// Writes one campaign's telemetry sidecar files: the event log as
+    /// JSONL to `--events` and the histogram/phase metrics to
+    /// `--metrics-json`. With `Some(label)`, the label is spliced into the
+    /// file stem so multi-campaign bins keep their outputs apart.
+    pub fn write_telemetry(&self, label: Option<&str>, telemetry: &CampaignTelemetry) {
+        let dest = |base: &Option<String>| -> Option<String> {
+            base.as_ref()
+                .map(|p| label.map_or_else(|| p.clone(), |l| labeled_path(p, l)))
+        };
+        if let Some(path) = dest(&self.events) {
+            std::fs::write(&path, telemetry.events_jsonl()).expect("write --events output");
+            println!("wrote {} recovery events to {path}", telemetry.events.len());
+        }
+        if let Some(path) = dest(&self.metrics_json) {
+            std::fs::write(&path, telemetry.to_json()).expect("write --metrics-json output");
+            println!("wrote telemetry metrics to {path}");
         }
     }
 }
@@ -67,6 +105,51 @@ impl Args {
 /// Whether a bare `--flag` (no value) is present on the command line.
 pub fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// Splices a label into a path's file stem: `out.jsonl` + `mttf_x` →
+/// `out.mttf_x.jsonl` (appended when the path has no extension).
+pub fn labeled_path(path: &str, label: &str) -> String {
+    match path.rfind('.').filter(|&i| !path[i..].contains('/')) {
+        Some(i) => format!("{}.{label}{}", &path[..i], &path[i..]),
+        None => format!("{path}.{label}"),
+    }
+}
+
+/// Writes `BENCH_<name>.json` with one labeled [`ThroughputReport`] per
+/// campaign — the machine-readable shape shared by every multi-campaign
+/// bin's `--json` flag.
+pub fn write_bench_reports(name: &str, reports: &[(String, ThroughputReport)]) {
+    let mut campaigns = String::from("[");
+    for (i, (label, report)) in reports.iter().enumerate() {
+        if i > 0 {
+            campaigns.push(',');
+        }
+        let mut one = sudoku_obs::json::JsonObject::new();
+        one.field_str("label", label)
+            .field_raw("campaign", &report.to_json());
+        campaigns.push_str(&one.finish());
+    }
+    campaigns.push(']');
+    let mut obj = sudoku_obs::json::JsonObject::new();
+    obj.field_str("name", name)
+        .field_raw("campaigns", &campaigns);
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, obj.finish() + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// Extracts the first `"key": <number>` value from a JSON text. The
+/// workspace's serde is a no-op shim, so baseline files are re-read with
+/// this narrow scanner instead of a full parser.
+pub fn json_f64_field(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Ratio formatted as "N.NNx".
@@ -92,5 +175,24 @@ mod tests {
         let a = Args::parse(100, 1000);
         assert_eq!(a.trials, 100);
         assert_eq!(a.accesses, 1000);
+        assert!(a.events.is_none());
+        assert!(a.metrics_json.is_none());
+        assert!(!a.observe().enabled());
+    }
+
+    #[test]
+    fn labeled_path_splices_before_extension() {
+        assert_eq!(labeled_path("out.jsonl", "mttf_x"), "out.mttf_x.jsonl");
+        assert_eq!(labeled_path("a/b.c/out", "z"), "a/b.c/out.z");
+        assert_eq!(labeled_path("events", "y"), "events.y");
+    }
+
+    #[test]
+    fn json_f64_field_scans_numbers() {
+        let text = "{\n  \"name\": \"x\",\n  \"trials_per_sec\": 743.412,\n  \"n\": 3\n}";
+        assert_eq!(json_f64_field(text, "trials_per_sec"), Some(743.412));
+        assert_eq!(json_f64_field(text, "n"), Some(3.0));
+        assert_eq!(json_f64_field(text, "missing"), None);
+        assert_eq!(json_f64_field(text, "name"), None);
     }
 }

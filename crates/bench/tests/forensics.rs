@@ -1,0 +1,74 @@
+//! End-to-end test of the forensics bin: a seeded demo campaign must yield
+//! complete escalation chains for at least one SDR-resurrected and one
+//! Hash-2-repaired line, and the `--events` → `--input` round trip must
+//! reproduce the same analysis from the JSONL file.
+
+use std::process::Command;
+
+fn forensics() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_forensics"))
+}
+
+fn stdout_of(out: std::process::Output) -> String {
+    assert!(out.status.success(), "forensics bin failed: {out:?}");
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn demo_campaign_reconstructs_sdr_and_hash2_chains() {
+    let dir = std::env::temp_dir().join("sudoku_forensics_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let events = dir.join("events.jsonl");
+    let events_s = events.to_str().unwrap();
+
+    // Demo mode: seeded campaign, event log captured to disk.
+    let out = stdout_of(
+        forensics()
+            .args(["--trials", "200", "--seed", "42", "--events", events_s])
+            .output()
+            .expect("spawn forensics"),
+    );
+    assert!(
+        out.contains("exemplar SDR resurrection"),
+        "missing SDR exemplar section:\n{out}"
+    );
+    assert!(
+        out.contains("Sdr:Repaired"),
+        "no complete SDR-resurrection chain:\n{out}"
+    );
+    assert!(
+        out.contains("Repaired@H2"),
+        "no complete Hash-2 repair chain:\n{out}"
+    );
+    // Chains start at injection — complete, not truncated.
+    assert!(out.contains("Inject→CrcDetect→Raid4:Blocked@H1→Sdr:Repaired@H1"));
+
+    // Replaying the captured JSONL must reproduce the same exemplars.
+    let replay = stdout_of(
+        forensics()
+            .args(["--input", events_s])
+            .output()
+            .expect("spawn forensics replay"),
+    );
+    assert!(
+        replay.contains("Sdr:Repaired"),
+        "replay lost SDR chains:\n{replay}"
+    );
+    assert!(
+        replay.contains("Repaired@H2"),
+        "replay lost Hash-2 chains:\n{replay}"
+    );
+    let tail = |s: &str| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("resolution breakdown"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        tail(&out),
+        tail(&replay),
+        "replay diverged from live analysis"
+    );
+
+    std::fs::remove_file(&events).ok();
+}

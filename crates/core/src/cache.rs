@@ -17,11 +17,21 @@
 use crate::config::{ConfigError, Scheme, SudokuConfig};
 use crate::hashing::{HashDim, SkewedHashes};
 use crate::plt::ParityTable;
-use crate::stats::{CacheStats, EventLog, RepairEvent, RepairMechanism, ScrubReport};
+use crate::stats::{CacheStats, ScrubReport, STT_READ_NS, STT_WRITE_NS, SYNDROME_CHECK_NS};
 use crate::store::{DenseStore, LineStore, SparseStore};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use sudoku_codes::{LineCodec, LineData, ProtectedLine, ReadCheck, RepairKind};
+use sudoku_obs::{Dim, Mechanism, Outcome, Phase, Recorder, RecoveryEvent};
+
+/// Telemetry dimension tag for a hash dimension.
+#[inline]
+fn obs_dim(dim: HashDim) -> Dim {
+    match dim {
+        HashDim::H1 => Dim::H1,
+        HashDim::H2 => Dim::H2,
+    }
+}
 
 /// Error returned when a read hits a detectably uncorrectable line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -67,7 +77,7 @@ pub struct SudokuCache<S = DenseStore> {
     plt2: Option<ParityTable>,
     codec: &'static LineCodec,
     stats: CacheStats,
-    events: EventLog,
+    recorder: Recorder,
     scratch: GroupScratch,
 }
 
@@ -119,7 +129,7 @@ impl SudokuCache<SparseStore> {
         if let Some(plt2) = self.plt2.as_mut() {
             plt2.reset_zero();
         }
-        self.events.clear();
+        self.recorder.clear_events();
     }
 }
 
@@ -152,7 +162,7 @@ impl<S: LineStore> SudokuCache<S> {
             plt2,
             codec: LineCodec::shared(),
             stats: CacheStats::default(),
-            events: EventLog::with_capacity(4096),
+            recorder: Recorder::ring(4096),
             scratch: GroupScratch::default(),
         })
     }
@@ -172,14 +182,38 @@ impl<S: LineStore> SudokuCache<S> {
         &self.stats
     }
 
-    /// The bounded repair-event log (most recent 4096 events).
-    pub fn events(&self) -> &EventLog {
-        &self.events
+    /// The telemetry recorder attached to this cache. The default is a
+    /// bounded in-memory ring of the most recent 4096 recovery events;
+    /// install a different one with [`SudokuCache::set_recorder`].
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
-    /// Clears the repair-event log.
+    /// Mutable access to the recorder (interval stamping, phase spans).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
+    }
+
+    /// Installs `recorder` and returns the previous one — the harvesting
+    /// pattern campaign workers use to collect histograms and spans.
+    pub fn set_recorder(&mut self, recorder: Recorder) -> Recorder {
+        std::mem::replace(&mut self.recorder, recorder)
+    }
+
+    /// Retained recovery events, oldest first (empty for streaming or
+    /// disabled recorders).
+    pub fn events(&self) -> impl Iterator<Item = &RecoveryEvent> {
+        self.recorder.events()
+    }
+
+    /// Clears the retained recovery events.
     pub fn clear_events(&mut self) {
-        self.events.clear();
+        self.recorder.clear_events();
+    }
+
+    /// Removes and returns the retained recovery events, oldest first.
+    pub fn drain_events(&mut self) -> Vec<RecoveryEvent> {
+        self.recorder.drain_events()
     }
 
     /// The underlying line store.
@@ -221,6 +255,29 @@ impl<S: LineStore> SudokuCache<S> {
         } else {
             &[HashDim::H1]
         }
+    }
+
+    /// Builds and emits one recovery event. Callers gate on
+    /// `self.recorder.enabled()` so the disabled path never constructs the
+    /// event.
+    #[inline]
+    fn emit(
+        &mut self,
+        line: u64,
+        group: Option<(HashDim, u64)>,
+        mechanism: Mechanism,
+        outcome: Outcome,
+        trials: u32,
+    ) {
+        self.recorder.emit(RecoveryEvent {
+            interval: 0, // stamped by the recorder
+            line,
+            group: group.map(|(_, g)| g),
+            hash_dim: group.map(|(d, _)| obs_dim(d)),
+            mechanism,
+            outcome,
+            trials,
+        });
     }
 
     /// Writes `data` to line `idx`, updating every enabled PLT (the two
@@ -268,6 +325,9 @@ impl<S: LineStore> SudokuCache<S> {
             return stored;
         }
         self.stats.due_lines += 1;
+        if self.recorder.enabled() {
+            self.emit(idx, None, Mechanism::Due, Outcome::Failed, 0);
+        }
         let g1 = self.hashes.group_of(HashDim::H1, idx);
         let mut estimate = *self.plt1.parity(g1);
         for m in self.hashes.members(HashDim::H1, g1) {
@@ -299,6 +359,9 @@ impl<S: LineStore> SudokuCache<S> {
             }
             ReadCheck::MultiBit => {
                 self.stats.multibit_detections += 1;
+                if self.recorder.enabled() {
+                    self.emit(idx, None, Mechanism::CrcDetect, Outcome::Detected, 0);
+                }
                 let mut scratch = ScrubReport::default();
                 let recovered = self.group_recovery([idx].into_iter().collect(), &mut scratch);
                 if let Some(line) = recovered.get(&idx) {
@@ -318,11 +381,9 @@ impl<S: LineStore> SudokuCache<S> {
                     }
                     ReadCheck::MultiBit => {
                         self.stats.due_lines += 1;
-                        self.events.push(RepairEvent {
-                            line: idx,
-                            mechanism: RepairMechanism::Due,
-                            dim: None,
-                        });
+                        if self.recorder.enabled() {
+                            self.emit(idx, None, Mechanism::Due, Outcome::Failed, 0);
+                        }
                         Err(UncorrectableError { line: idx })
                     }
                 }
@@ -334,18 +395,21 @@ impl<S: LineStore> SudokuCache<S> {
         let mechanism = match kind {
             RepairKind::PayloadBit(_) => {
                 self.stats.ecc1_repairs += 1;
-                RepairMechanism::Ecc1
+                Mechanism::Ecc1
             }
             RepairKind::EccField => {
                 self.stats.meta_repairs += 1;
-                RepairMechanism::EccField
+                Mechanism::EccField
             }
         };
-        self.events.push(RepairEvent {
-            line,
-            mechanism,
-            dim: None,
-        });
+        if self.recorder.enabled() {
+            self.emit(line, None, mechanism, Outcome::Repaired, 0);
+            // §VII-B: one line read, a syndrome check, one write-back.
+            self.recorder
+                .hists
+                .line_recovery_ns
+                .record((STT_READ_NS + SYNDROME_CHECK_NS + STT_WRITE_NS) as u64);
+        }
     }
 
     /// Scrubs the entire cache (paper §II-D): every line is checked and
@@ -402,6 +466,9 @@ impl<S: LineStore> SudokuCache<S> {
                 }
                 ReadCheck::MultiBit => {
                     self.stats.multibit_detections += 1;
+                    if self.recorder.enabled() {
+                        self.emit(idx, None, Mechanism::CrcDetect, Outcome::Detected, 0);
+                    }
                     multibit.insert(idx);
                 }
             }
@@ -409,12 +476,16 @@ impl<S: LineStore> SudokuCache<S> {
         report.multibit_lines = multibit.len() as u64;
         self.group_recovery_impl(multibit, &mut report, fast);
         self.stats.due_lines += report.unresolved.len() as u64;
-        for &line in &report.unresolved {
-            self.events.push(RepairEvent {
-                line,
-                mechanism: RepairMechanism::Due,
-                dim: None,
-            });
+        if self.recorder.enabled() {
+            for i in 0..report.unresolved.len() {
+                self.emit(
+                    report.unresolved[i],
+                    None,
+                    Mechanism::Due,
+                    Outcome::Failed,
+                    0,
+                );
+            }
         }
         report
     }
@@ -442,6 +513,11 @@ impl<S: LineStore> SudokuCache<S> {
         report: &mut ScrubReport,
         fast: bool,
     ) -> BTreeMap<u64, ProtectedLine> {
+        // Time the whole ladder as one `Recover` span (nested inside the
+        // caller's `Scrub` span); the clock is only read when telemetry is
+        // on and there is actual recovery work.
+        let span_start =
+            (self.recorder.enabled() && !faulty.is_empty()).then(std::time::Instant::now);
         let mut recovered: BTreeMap<u64, ProtectedLine> = BTreeMap::new();
         loop {
             if faulty.is_empty() {
@@ -475,6 +551,11 @@ impl<S: LineStore> SudokuCache<S> {
             }
         }
         report.unresolved = faulty.into_iter().collect();
+        if let Some(start) = span_start {
+            self.recorder
+                .phases
+                .add(Phase::Recover, start.elapsed().as_secs_f64());
+        }
         recovered
     }
 
@@ -533,7 +614,26 @@ impl<S: LineStore> SudokuCache<S> {
                 }
             }
         }
+        if self.recorder.enabled() {
+            self.recorder
+                .hists
+                .group_scan_lines
+                .record(members.len() as u64);
+        }
         if !faulty.is_empty() {
+            // Plain RAID-4 reconstructs exactly one erased member; two or
+            // more casualties block it and escalate to SDR.
+            if faulty.len() >= 2 && self.recorder.enabled() {
+                for &fi in faulty.iter() {
+                    self.emit(
+                        members[fi],
+                        Some((dim, group)),
+                        Mechanism::Raid4,
+                        Outcome::Blocked,
+                        faulty.len() as u32,
+                    );
+                }
+            }
             // Pass 2: Sequential Data Resurrection while >= 2 lines are
             // faulty.
             if faulty.len() >= 2 && self.config.scheme.sdr_enabled() {
@@ -577,13 +677,31 @@ impl<S: LineStore> SudokuCache<S> {
             self.store.set_line(members[vi], candidate);
             recovered.insert(members[vi], candidate);
             self.stats.raid4_repairs += 1;
-            self.events.push(RepairEvent {
-                line: members[vi],
-                mechanism: RepairMechanism::Raid4,
-                dim: Some(dim),
-            });
+            if self.recorder.enabled() {
+                self.emit(
+                    members[vi],
+                    Some((dim, group)),
+                    Mechanism::Raid4,
+                    Outcome::Repaired,
+                    0,
+                );
+                // §VII-B: read every group member, write the victim back.
+                self.recorder
+                    .hists
+                    .line_recovery_ns
+                    .record((view.len() as f64 * STT_READ_NS + STT_WRITE_NS) as u64);
+            }
             true
         } else {
+            if self.recorder.enabled() {
+                self.emit(
+                    members[vi],
+                    Some((dim, group)),
+                    Mechanism::Raid4,
+                    Outcome::Failed,
+                    0,
+                );
+            }
             false
         }
     }
@@ -626,8 +744,20 @@ impl<S: LineStore> SudokuCache<S> {
             if mismatches.is_empty() || mismatches.len() > self.config.max_sdr_mismatches as usize {
                 // Fully overlapping faults (no mismatch) or too many
                 // candidates (paper SIV-C caps SDR at six positions).
+                if self.recorder.enabled() {
+                    for &fi in faulty.iter() {
+                        self.emit(
+                            members[fi],
+                            Some((dim, group)),
+                            Mechanism::Sdr,
+                            Outcome::Failed,
+                            0,
+                        );
+                    }
+                }
                 return;
             }
+            let round_start_trials = self.stats.sdr_trials;
             let mut fixed_victim: Option<(usize, ProtectedLine)> = None;
             'victims: for &vi in faulty.iter() {
                 let stored = view[vi];
@@ -660,6 +790,21 @@ impl<S: LineStore> SudokuCache<S> {
                 }
             }
             let Some((vi, fixed)) = fixed_victim else {
+                if self.recorder.enabled() {
+                    // A failed round spends the same trial count on every
+                    // victim, so the per-line share is exact.
+                    let per_line =
+                        (self.stats.sdr_trials - round_start_trials) / faulty.len() as u64;
+                    for &fi in faulty.iter() {
+                        self.emit(
+                            members[fi],
+                            Some((dim, group)),
+                            Mechanism::Sdr,
+                            Outcome::Failed,
+                            per_line as u32,
+                        );
+                    }
+                }
                 return;
             };
             self.store.set_line(members[vi], fixed);
@@ -667,11 +812,26 @@ impl<S: LineStore> SudokuCache<S> {
             view[vi] = fixed;
             faulty.retain(|&f| f != vi);
             self.stats.sdr_repairs += 1;
-            self.events.push(RepairEvent {
-                line: members[vi],
-                mechanism: RepairMechanism::Sdr,
-                dim: Some(dim),
-            });
+            if self.recorder.enabled() {
+                let round_trials = self.stats.sdr_trials - round_start_trials;
+                self.emit(
+                    members[vi],
+                    Some((dim, group)),
+                    Mechanism::Sdr,
+                    Outcome::Repaired,
+                    round_trials as u32,
+                );
+                self.recorder
+                    .hists
+                    .sdr_trials_per_resurrection
+                    .record(round_trials);
+                // §VII-B: the group scan, the flip-and-check trials (a few
+                // cycles each), the victim's write-back.
+                let ns = members.len() as f64 * STT_READ_NS
+                    + round_trials as f64 * 4.0 * SYNDROME_CHECK_NS
+                    + STT_WRITE_NS;
+                self.recorder.hists.line_recovery_ns.record(ns as u64);
+            }
             report.sdr_repairs += 1;
             if dim == HashDim::H2 {
                 report.hash2_repairs += 1;
@@ -1026,7 +1186,6 @@ mod tests {
 
     #[test]
     fn event_log_records_the_ladder() {
-        use crate::stats::RepairMechanism;
         let mut cache = small_cache(Scheme::Z);
         let golden = populate(&mut cache);
         cache.inject_fault(7, 100); // single
@@ -1040,19 +1199,30 @@ mod tests {
         cache.inject_fault(33, 33);
         cache.inject_fault(33, 44);
         cache.scrub_lines(&[32, 33]); // SDR + RAID-4
-        let mechanisms: Vec<RepairMechanism> = cache.events().iter().map(|e| e.mechanism).collect();
-        assert!(mechanisms.contains(&RepairMechanism::Ecc1));
-        assert!(mechanisms.contains(&RepairMechanism::Raid4));
-        assert!(mechanisms.contains(&RepairMechanism::Sdr));
-        assert!(!mechanisms.contains(&RepairMechanism::Due));
+        let repairs: Vec<Mechanism> = cache
+            .events()
+            .filter(|e| e.outcome == Outcome::Repaired)
+            .map(|e| e.mechanism)
+            .collect();
+        assert!(repairs.contains(&Mechanism::Ecc1));
+        assert!(repairs.contains(&Mechanism::Raid4));
+        assert!(repairs.contains(&Mechanism::Sdr));
+        assert!(cache.events().all(|e| e.mechanism != Mechanism::Due));
+        // The multi-bit detections and the blocked-RAID-4 escalation are
+        // part of the recorded chain too.
+        assert!(cache
+            .events()
+            .any(|e| e.mechanism == Mechanism::CrcDetect && e.line == 20));
+        assert!(cache
+            .events()
+            .any(|e| e.mechanism == Mechanism::Raid4 && e.outcome == Outcome::Blocked));
         assert_eq!(cache.read(32).unwrap(), golden[32]);
         cache.clear_events();
-        assert!(cache.events().is_empty());
+        assert!(cache.events().next().is_none());
     }
 
     #[test]
     fn event_log_records_due_with_line() {
-        use crate::stats::RepairMechanism;
         let mut cache = small_cache(Scheme::X);
         let _ = populate(&mut cache);
         cache.inject_fault(0, 1);
@@ -1062,11 +1232,59 @@ mod tests {
         cache.scrub();
         let dues: Vec<u64> = cache
             .events()
-            .iter()
-            .filter(|e| e.mechanism == RepairMechanism::Due)
+            .filter(|e| e.mechanism == Mechanism::Due)
             .map(|e| e.line)
             .collect();
         assert_eq!(dues, vec![0, 1]);
+    }
+
+    #[test]
+    fn disabled_recorder_keeps_stats_and_results_identical() {
+        let build = |recorder: Recorder| {
+            let mut c = small_cache(Scheme::Z);
+            let _ = c.set_recorder(recorder);
+            populate(&mut c);
+            c.inject_fault(4, 100);
+            c.inject_fault(4, 200);
+            c.inject_fault(5, 100);
+            c.inject_fault(5, 200);
+            let report = c.scrub();
+            (c, report)
+        };
+        let (on, r_on) = build(Recorder::unbounded());
+        let (off, r_off) = build(Recorder::disabled());
+        assert_eq!(r_on, r_off);
+        assert_eq!(on.stats(), off.stats());
+        assert!(on.events().count() > 0);
+        assert_eq!(off.events().count(), 0);
+        assert!(off.recorder().hists.is_empty());
+        assert!(off.recorder().phases.is_empty());
+    }
+
+    #[test]
+    fn recorder_histograms_track_recovery_work() {
+        let mut cache = small_cache(Scheme::Y);
+        let _ = cache.set_recorder(Recorder::unbounded());
+        let _ = populate(&mut cache);
+        cache.inject_fault(0, 5);
+        cache.inject_fault(0, 6);
+        cache.inject_fault(1, 7);
+        cache.inject_fault(1, 8);
+        let report = cache.scrub();
+        assert!(report.fully_repaired());
+        let hists = &cache.recorder().hists;
+        assert!(hists.sdr_trials_per_resurrection.count() >= 1);
+        assert_eq!(hists.group_scan_lines.max(), 16);
+        assert!(hists.line_recovery_ns.count() > 0);
+        // The Recover span was timed.
+        assert!(cache.recorder().phases.spans(Phase::Recover) >= 1);
+        // SDR trial counts on events add up to the stats counter.
+        let event_trials: u64 = cache
+            .events()
+            .filter(|e| e.mechanism == Mechanism::Sdr)
+            .map(|e| e.trials as u64)
+            .sum();
+        assert_eq!(event_trials, cache.stats().sdr_trials);
     }
 
     #[test]
@@ -1082,7 +1300,7 @@ mod tests {
         let _ = reused.scrub_lines(&[9, 10]);
         reused.reset_to_golden_zero();
         assert_eq!(reused.store().materialized(), 0);
-        assert!(reused.events().is_empty());
+        assert!(reused.events().next().is_none());
 
         // The reused arena must now behave exactly like a fresh cache.
         let mut fresh = SudokuCache::new_sparse(config).unwrap();

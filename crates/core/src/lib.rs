@@ -42,9 +42,13 @@ pub use cache::{scheme_supported, SudokuCache, UncorrectableError};
 pub use config::{CacheGeometry, ConfigError, Scheme, SudokuConfig};
 pub use hashing::{HashDim, SkewedHashes};
 pub use plt::ParityTable;
-pub use stats::{
-    CacheStats, EventLog, RepairEvent, RepairMechanism, ScrubReport, STT_READ_NS, STT_WRITE_NS,
-    SYNDROME_CHECK_NS,
-};
+pub use stats::{CacheStats, ScrubReport, STT_READ_NS, STT_WRITE_NS, SYNDROME_CHECK_NS};
 pub use store::{DenseStore, LineStore, SparseStore};
 pub use vmin::VminCache;
+
+// The telemetry vocabulary is defined by the dependency-free `sudoku-obs`
+// crate; re-exported here so cache users need not name it directly.
+pub use sudoku_obs::{
+    Dim, EventSink, Mechanism, Outcome, Phase, PhaseTimes, Recorder, RecoveryEvent,
+    RecoveryHistograms,
+};

@@ -74,90 +74,24 @@ impl CacheStats {
         self.group_scans += other.group_scans;
         self.crc_checks += other.crc_checks;
     }
-}
 
-/// Which mechanism repaired (or failed to repair) a line.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum RepairMechanism {
-    /// Per-line ECC-1 fixed a payload bit.
-    Ecc1,
-    /// The ECC metadata field was regenerated.
-    EccField,
-    /// RAID-4 reconstruction from the group parity.
-    Raid4,
-    /// Sequential Data Resurrection.
-    Sdr,
-    /// Left detectably uncorrectable.
-    Due,
-}
-
-/// One entry of the cache's repair-event log.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RepairEvent {
-    /// The affected line.
-    pub line: u64,
-    /// What happened.
-    pub mechanism: RepairMechanism,
-    /// Which hash dimension's group performed it (None for per-line
-    /// repairs and DUEs).
-    pub dim: Option<crate::hashing::HashDim>,
-}
-
-/// A bounded repair-event log: the most recent `capacity` events are kept
-/// (older ones are dropped), so long campaigns never grow unbounded.
-#[derive(Clone, Debug, Default)]
-pub struct EventLog {
-    events: std::collections::VecDeque<RepairEvent>,
-    capacity: usize,
-    dropped: u64,
-}
-
-impl EventLog {
-    /// A log keeping at most `capacity` recent events (0 disables logging).
-    pub fn with_capacity(capacity: usize) -> Self {
-        EventLog {
-            events: std::collections::VecDeque::new(),
-            capacity,
-            dropped: 0,
-        }
-    }
-
-    /// Appends an event, evicting the oldest if full.
-    pub fn push(&mut self, event: RepairEvent) {
-        if self.capacity == 0 {
-            self.dropped += 1;
-            return;
-        }
-        if self.events.len() == self.capacity {
-            self.events.pop_front();
-            self.dropped += 1;
-        }
-        self.events.push_back(event);
-    }
-
-    /// Retained events, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &RepairEvent> {
-        self.events.iter()
-    }
-
-    /// Number of retained events.
-    pub fn len(&self) -> usize {
-        self.events.len()
-    }
-
-    /// Whether no events are retained.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
-    }
-
-    /// Events evicted (or suppressed) so far.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
-    }
-
-    /// Clears the retained events (the dropped counter survives).
-    pub fn clear(&mut self) {
-        self.events.clear();
+    /// JSON object with every counter, stable field order.
+    pub fn to_json(&self) -> String {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_u64("reads", self.reads);
+        obj.field_u64("writes", self.writes);
+        obj.field_u64("lines_scrubbed", self.lines_scrubbed);
+        obj.field_u64("ecc1_repairs", self.ecc1_repairs);
+        obj.field_u64("meta_repairs", self.meta_repairs);
+        obj.field_u64("multibit_detections", self.multibit_detections);
+        obj.field_u64("raid4_repairs", self.raid4_repairs);
+        obj.field_u64("sdr_repairs", self.sdr_repairs);
+        obj.field_u64("sdr_trials", self.sdr_trials);
+        obj.field_u64("hash2_repairs", self.hash2_repairs);
+        obj.field_u64("due_lines", self.due_lines);
+        obj.field_u64("group_scans", self.group_scans);
+        obj.field_u64("crc_checks", self.crc_checks);
+        obj.finish()
     }
 }
 
@@ -231,33 +165,17 @@ mod tests {
     }
 
     #[test]
-    fn event_log_bounded_and_fifo() {
-        let mut log = EventLog::with_capacity(3);
-        for line in 0..5u64 {
-            log.push(RepairEvent {
-                line,
-                mechanism: RepairMechanism::Ecc1,
-                dim: None,
-            });
-        }
-        assert_eq!(log.len(), 3);
-        assert_eq!(log.dropped(), 2);
-        let lines: Vec<u64> = log.iter().map(|e| e.line).collect();
-        assert_eq!(lines, vec![2, 3, 4]);
-        log.clear();
-        assert!(log.is_empty());
-        assert_eq!(log.dropped(), 2);
-    }
-
-    #[test]
-    fn zero_capacity_log_suppresses_everything() {
-        let mut log = EventLog::with_capacity(0);
-        log.push(RepairEvent {
-            line: 9,
-            mechanism: RepairMechanism::Due,
-            dim: None,
-        });
-        assert!(log.is_empty());
-        assert_eq!(log.dropped(), 1);
+    fn stats_json_has_every_counter() {
+        let stats = CacheStats {
+            reads: 7,
+            sdr_trials: 5,
+            due_lines: 1,
+            ..CacheStats::default()
+        };
+        let json = stats.to_json();
+        assert!(json.contains("\"reads\":7"), "{json}");
+        assert!(json.contains("\"sdr_trials\":5"), "{json}");
+        assert!(json.contains("\"due_lines\":1"), "{json}");
+        assert!(json.contains("\"crc_checks\":0"), "{json}");
     }
 }

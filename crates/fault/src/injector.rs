@@ -154,6 +154,28 @@ pub struct LineFaults {
     pub faults: u32,
 }
 
+/// Records a sampled fault plan into `recorder`: one `Inject` event per
+/// faulty line (`trials` = injected fault bits) plus the faults-per-line
+/// histogram. Touches no RNG, so observing a plan never perturbs the
+/// deterministic trial stream.
+pub fn observe_plan(plan: &[LineFaults], recorder: &mut sudoku_obs::Recorder) {
+    if !recorder.enabled() {
+        return;
+    }
+    for lf in plan {
+        recorder.emit(sudoku_obs::RecoveryEvent {
+            interval: 0, // stamped by the recorder
+            line: lf.line,
+            group: None,
+            hash_dim: None,
+            mechanism: sudoku_obs::Mechanism::Inject,
+            outcome: sudoku_obs::Outcome::Injected,
+            trials: lf.faults,
+        });
+        recorder.hists.faults_per_line.record(lf.faults as u64);
+    }
+}
+
 /// A deterministic, seeded transient-fault injector.
 ///
 /// # Examples

@@ -1,0 +1,305 @@
+//! Fixed-bucket histograms, allocation-free on the hot path.
+
+use crate::json::JsonObject;
+
+/// A power-of-two-bucketed histogram over `u64` samples.
+///
+/// Bucket `i` covers `(bounds[i-1], bounds[i]]` with `bounds[i] = 2^i`
+/// (bucket 0 covers `0..=1`); one final overflow bucket catches everything
+/// above the largest bound. `record` is two compares, a leading-zeros
+/// instruction, and four integer adds — no allocation, no branching on
+/// sample magnitude beyond the clamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    max_exp: u32,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with buckets `0..=1, 2, 4, …, 2^max_exp` plus overflow.
+    pub fn pow2(max_exp: u32) -> Self {
+        assert!((1..=63).contains(&max_exp), "max_exp must be in 1..=63");
+        Histogram {
+            counts: vec![0; max_exp as usize + 2],
+            max_exp,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of a sample: `ceil(log2(v))`, clamped to the overflow
+    /// bucket.
+    #[inline]
+    fn bucket(&self, v: u64) -> usize {
+        let exp = if v <= 1 {
+            0
+        } else {
+            64 - (v - 1).leading_zeros()
+        };
+        (exp.min(self.max_exp + 1)) as usize
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let bucket = self.bucket(v);
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample seen (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Upper bound of bucket `i` (`u64::MAX` for the overflow bucket).
+    fn bucket_bound(&self, i: usize) -> u64 {
+        if i as u32 > self.max_exp {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the
+    /// bucket bound below which at least `q · count` samples fall. Exact
+    /// values are not retained, so this is conservative by up to one
+    /// power-of-two bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return self.bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram (same bucket layout) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.max_exp, other.max_exp, "bucket layouts must match");
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_bound(i), c))
+            .collect()
+    }
+
+    /// Compact JSON rendering: summary statistics plus non-empty buckets.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(bound, c)| {
+                if bound == u64::MAX {
+                    format!("[\"overflow\",{c}]")
+                } else {
+                    format!("[{bound},{c}]")
+                }
+            })
+            .collect();
+        let mut obj = JsonObject::new();
+        obj.field_u64("count", self.count);
+        obj.field_u64("sum", self.sum);
+        obj.field_f64("mean", self.mean());
+        obj.field_u64("min", self.min());
+        obj.field_u64("max", self.max);
+        obj.field_u64("p50", self.quantile(0.50));
+        obj.field_u64("p99", self.quantile(0.99));
+        obj.field_raw("buckets", &format!("[{}]", buckets.join(",")));
+        obj.finish()
+    }
+}
+
+/// The named histogram set the SuDoku recovery paths populate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryHistograms {
+    /// SDR flip-and-check trials spent per successful resurrection.
+    pub sdr_trials_per_resurrection: Histogram,
+    /// Members read per RAID-Group scan.
+    pub group_scan_lines: Histogram,
+    /// Injected faulty bits per faulty line (campaign injection records).
+    pub faults_per_line: Histogram,
+    /// Estimated per-line repair latency in ns, derived from the §VII-B
+    /// cost constants (`STT_READ_NS` / `STT_WRITE_NS` / syndrome cycles).
+    pub line_recovery_ns: Histogram,
+}
+
+impl Default for RecoveryHistograms {
+    fn default() -> Self {
+        RecoveryHistograms {
+            sdr_trials_per_resurrection: Histogram::pow2(16),
+            group_scan_lines: Histogram::pow2(16),
+            faults_per_line: Histogram::pow2(10),
+            line_recovery_ns: Histogram::pow2(32),
+        }
+    }
+}
+
+impl RecoveryHistograms {
+    /// Merges another set into this one.
+    pub fn merge(&mut self, other: &RecoveryHistograms) {
+        self.sdr_trials_per_resurrection
+            .merge(&other.sdr_trials_per_resurrection);
+        self.group_scan_lines.merge(&other.group_scan_lines);
+        self.faults_per_line.merge(&other.faults_per_line);
+        self.line_recovery_ns.merge(&other.line_recovery_ns);
+    }
+
+    /// Whether every histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sdr_trials_per_resurrection.is_empty()
+            && self.group_scan_lines.is_empty()
+            && self.faults_per_line.is_empty()
+            && self.line_recovery_ns.is_empty()
+    }
+
+    /// JSON object with one entry per histogram.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_raw(
+            "sdr_trials_per_resurrection",
+            &self.sdr_trials_per_resurrection.to_json(),
+        );
+        obj.field_raw("group_scan_lines", &self.group_scan_lines.to_json());
+        obj.field_raw("faults_per_line", &self.faults_per_line.to_json());
+        obj.field_raw("line_recovery_ns", &self.line_recovery_ns.to_json());
+        obj.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_ceil_log2() {
+        let mut h = Histogram::pow2(4);
+        for v in [0, 1, 2, 3, 4, 5, 16, 17, 1000] {
+            h.record(v);
+        }
+        // 0,1 → bucket 0; 2 → 1; 3,4 → 2; 5 → 3; 16 → 4; 17,1000 → overflow.
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(1, 2), (2, 1), (4, 2), (8, 1), (16, 1), (u64::MAX, 2)]
+        );
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn quantiles_bound_the_distribution() {
+        let mut h = Histogram::pow2(10);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert!(h.quantile(0.5) >= 50 && h.quantile(0.5) <= 64);
+        assert_eq!(h.quantile(1.0), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::pow2(8);
+        let mut b = Histogram::pow2(8);
+        let mut c = Histogram::pow2(8);
+        for v in [1u64, 5, 9, 200] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [3u64, 300, 4] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::pow2(8);
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        let json = h.to_json();
+        assert!(json.contains("\"count\":0"), "{json}");
+    }
+
+    #[test]
+    fn recovery_set_merge_and_json() {
+        let mut a = RecoveryHistograms::default();
+        assert!(a.is_empty());
+        a.sdr_trials_per_resurrection.record(5);
+        a.line_recovery_ns.record(4_600);
+        let mut b = RecoveryHistograms::default();
+        b.sdr_trials_per_resurrection.record(7);
+        a.merge(&b);
+        assert_eq!(a.sdr_trials_per_resurrection.count(), 2);
+        assert!(a.to_json().contains("sdr_trials_per_resurrection"));
+    }
+}

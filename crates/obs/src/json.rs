@@ -1,0 +1,126 @@
+//! Minimal JSON rendering helpers.
+//!
+//! The workspace's `serde` is an offline no-op shim (see `compat/serde`),
+//! so machine-readable output is hand-rendered. These helpers keep every
+//! producer consistent: stable field order, escaped strings, `null` for
+//! non-finite floats.
+
+/// Escapes a string for inclusion in a JSON document (quotes not included).
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON value (`null` for NaN/∞, which raw JSON
+/// cannot represent).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental JSON object builder with stable insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&esc(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.push_key(key);
+        self.buf.push('"');
+        self.buf.push_str(&esc(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.push_key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.push_key(key);
+        self.buf.push_str(&num(value));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object, array, or literal) verbatim.
+    pub fn field_raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.push_key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns the rendered JSON.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("plain"), "plain");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn object_builder_renders_in_order() {
+        let mut obj = JsonObject::new();
+        obj.field_str("name", "x");
+        obj.field_u64("n", 3);
+        obj.field_f64("rate", 0.5);
+        obj.field_raw("inner", "{\"a\":1}");
+        assert_eq!(
+            obj.finish(),
+            "{\"name\":\"x\",\"n\":3,\"rate\":0.5,\"inner\":{\"a\":1}}"
+        );
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

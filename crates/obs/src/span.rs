@@ -1,0 +1,149 @@
+//! Span timing for campaign phases.
+
+use crate::json::JsonObject;
+use std::fmt;
+
+/// The four phases a Monte-Carlo campaign trial cycles through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Sampling the fault plan and flipping the planned bits.
+    Inject,
+    /// The scrub pass over hinted lines (includes recovery — see
+    /// [`Phase::Recover`], which is the nested portion).
+    Scrub,
+    /// Group recovery (RAID-4 / SDR / cross-hash), a sub-span of `Scrub`
+    /// timed inside the cache.
+    Recover,
+    /// Returning the reused arena to the golden-zero state.
+    Reset,
+}
+
+/// All phases, in display order.
+pub const PHASES: [Phase; 4] = [Phase::Inject, Phase::Scrub, Phase::Recover, Phase::Reset];
+
+impl Phase {
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            Phase::Inject => 0,
+            Phase::Scrub => 1,
+            Phase::Recover => 2,
+            Phase::Reset => 3,
+        }
+    }
+
+    /// Lower-case phase name (JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Inject => "inject",
+            Phase::Scrub => "scrub",
+            Phase::Recover => "recover",
+            Phase::Reset => "reset",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Accumulated wall-clock per phase (seconds) and span counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimes {
+    secs: [f64; 4],
+    spans: [u64; 4],
+}
+
+impl PhaseTimes {
+    /// Adds one span of `secs` seconds to a phase.
+    #[inline]
+    pub fn add(&mut self, phase: Phase, secs: f64) {
+        self.secs[phase.idx()] += secs;
+        self.spans[phase.idx()] += 1;
+    }
+
+    /// Total seconds recorded for a phase.
+    pub fn secs(&self, phase: Phase) -> f64 {
+        self.secs[phase.idx()]
+    }
+
+    /// Number of spans recorded for a phase.
+    pub fn spans(&self, phase: Phase) -> u64 {
+        self.spans[phase.idx()]
+    }
+
+    /// Sum over the top-level phases. `Recover` is excluded: it is nested
+    /// inside `Scrub` and would double-count.
+    pub fn total_secs(&self) -> f64 {
+        self.secs(Phase::Inject) + self.secs(Phase::Scrub) + self.secs(Phase::Reset)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.iter().all(|&s| s == 0)
+    }
+
+    /// Merges another accumulator (e.g. a worker's) into this one.
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        for i in 0..4 {
+            self.secs[i] += other.secs[i];
+            self.spans[i] += other.spans[i];
+        }
+    }
+
+    /// JSON object `{"inject_s":…, "scrub_s":…, …, "inject_spans":…, …}`.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        for phase in PHASES {
+            obj.field_f64(&format!("{}_s", phase.name()), self.secs(phase));
+        }
+        for phase in PHASES {
+            obj.field_u64(&format!("{}_spans", phase.name()), self.spans(phase));
+        }
+        obj.finish()
+    }
+
+    /// One-line human-readable rendering.
+    pub fn render(&self) -> String {
+        PHASES
+            .iter()
+            .map(|&p| format!("{} {:.4}s/{}", p.name(), self.secs(p), self.spans(p)))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_merge_accumulate() {
+        let mut a = PhaseTimes::default();
+        a.add(Phase::Inject, 0.5);
+        a.add(Phase::Scrub, 1.0);
+        a.add(Phase::Recover, 0.25);
+        let mut b = PhaseTimes::default();
+        b.add(Phase::Scrub, 2.0);
+        b.add(Phase::Reset, 0.1);
+        a.merge(&b);
+        assert_eq!(a.secs(Phase::Scrub), 3.0);
+        assert_eq!(a.spans(Phase::Scrub), 2);
+        // Recover excluded from the top-level total.
+        assert!((a.total_secs() - 3.6).abs() < 1e-12);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn json_has_every_phase() {
+        let mut t = PhaseTimes::default();
+        t.add(Phase::Reset, 0.25);
+        let json = t.to_json();
+        for phase in PHASES {
+            assert!(json.contains(&format!("\"{}_s\"", phase.name())), "{json}");
+        }
+        assert!(json.contains("\"reset_spans\":1"));
+    }
+}

@@ -39,8 +39,11 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use sudoku_codes::TOTAL_BITS;
-use sudoku_core::{CacheGeometry, Scheme, SparseStore, SudokuCache, SudokuConfig};
-use sudoku_fault::{choose_distinct, FaultInjector, ScrubSchedule};
+use sudoku_core::{
+    CacheGeometry, Phase, PhaseTimes, Recorder, RecoveryEvent, RecoveryHistograms, Scheme,
+    SparseStore, SudokuCache, SudokuConfig,
+};
+use sudoku_fault::{choose_distinct, observe_plan, FaultInjector, LineFaults, ScrubSchedule};
 
 /// Trials claimed per worker fetch: large enough that the atomic counter is
 /// off the hot path, small enough that the tail imbalance stays bounded.
@@ -121,6 +124,93 @@ impl ThroughputReport {
             "[{label}] {:.2} trials/s | {} lines scrubbed | {} CRC checks | reset cost {:.4} s",
             self.trials_per_sec, self.lines_scrubbed, self.crc_checks, self.reset_cost
         );
+    }
+
+    /// JSON object with every field, stable order.
+    pub fn to_json(&self) -> String {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_f64("trials_per_sec", self.trials_per_sec);
+        obj.field_u64("lines_scrubbed", self.lines_scrubbed);
+        obj.field_u64("crc_checks", self.crc_checks);
+        obj.field_f64("reset_cost_s", self.reset_cost);
+        obj.finish()
+    }
+}
+
+/// Telemetry depth of an observed campaign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Observe {
+    /// No telemetry: workers run with disabled recorders (the zero-cost
+    /// path — one predictable branch per would-be emission).
+    Off,
+    /// Keep the most recent `N` events *per trial*; histograms and phase
+    /// spans are always complete.
+    Ring(usize),
+    /// Keep every event of every trial (memory grows with the fault count).
+    Unbounded,
+}
+
+impl Observe {
+    /// Whether any collection happens.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, Observe::Off)
+    }
+
+    fn recorder(&self) -> Recorder {
+        match self {
+            Observe::Off => Recorder::disabled(),
+            Observe::Ring(capacity) => Recorder::ring(*capacity),
+            Observe::Unbounded => Recorder::unbounded(),
+        }
+    }
+}
+
+/// Telemetry harvested from an observed campaign: the merged event log
+/// (sorted by interval, intra-interval emission order preserved), the
+/// merged recovery histograms, and the per-phase wall-clock totals summed
+/// over workers.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignTelemetry {
+    /// Recovery events, sorted by interval.
+    pub events: Vec<RecoveryEvent>,
+    /// Merged recovery histograms.
+    pub hists: RecoveryHistograms,
+    /// Per-phase wall-clock totals (CPU-seconds: workers run concurrently,
+    /// so phase totals can exceed the campaign's wall-clock time).
+    pub phases: PhaseTimes,
+}
+
+impl CampaignTelemetry {
+    fn merge(&mut self, other: CampaignTelemetry) {
+        self.events.extend(other.events);
+        self.hists.merge(&other.hists);
+        self.phases.merge(&other.phases);
+    }
+
+    /// Each trial runs on exactly one worker, so a stable sort by interval
+    /// restores a deterministic, emission-ordered log regardless of how
+    /// the scheduler interleaved workers.
+    fn finish(&mut self) {
+        self.events.sort_by_key(|e| e.interval);
+    }
+
+    /// The event log as JSON Lines (one event per line, trailing newline).
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON object with the histogram set, phase times, and event count.
+    pub fn to_json(&self) -> String {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_u64("events", self.events.len() as u64);
+        obj.field_raw("histograms", &self.hists.to_json());
+        obj.field_raw("phases", &self.phases.to_json());
+        obj.finish()
     }
 }
 
@@ -241,8 +331,16 @@ pub fn run_interval_in(
     cfg: &McConfig,
     trial_seed: u64,
 ) -> IntervalOutcome {
+    // Telemetry is observational only: neither the span clocks nor
+    // `observe_plan` touch the RNG, so observed and unobserved trials are
+    // bit-identical.
+    let observing = cache.recorder().enabled();
+    let inject_start = observing.then(Instant::now);
     injector.reseed(trial_seed);
     let plan = injector.cache_plan(cfg.lines);
+    if observing {
+        observe_plan(&plan, cache.recorder_mut());
+    }
     let mut hints = Vec::with_capacity(plan.len());
     let mut faulty_bits = 0u32;
     for lf in &plan {
@@ -253,7 +351,20 @@ pub fn run_interval_in(
         faulty_bits += lf.faults;
         hints.push(lf.line);
     }
+    if let Some(start) = inject_start {
+        cache
+            .recorder_mut()
+            .phases
+            .add(Phase::Inject, start.elapsed().as_secs_f64());
+    }
+    let scrub_start = observing.then(Instant::now);
     let report = cache.scrub_lines(&hints);
+    if let Some(start) = scrub_start {
+        cache
+            .recorder_mut()
+            .phases
+            .add(Phase::Scrub, start.elapsed().as_secs_f64());
+    }
     IntervalOutcome {
         faulty_lines: plan.len() as u32,
         faulty_bits,
@@ -284,21 +395,30 @@ fn worker_threads(requested: usize) -> usize {
     }
 }
 
-/// Runs `cfg.trials` independent intervals with per-worker reused arenas
-/// and reports campaign throughput alongside the summary.
-pub fn run_interval_campaign_timed(cfg: &McConfig) -> (CampaignSummary, ThroughputReport) {
+/// Runs `cfg.trials` independent intervals with per-worker reused arenas,
+/// collecting telemetry at the requested depth. The summary and throughput
+/// accounting are bit-identical across `observe` settings — telemetry
+/// never perturbs the trial RNG streams.
+pub fn run_interval_campaign_observed(
+    cfg: &McConfig,
+    observe: Observe,
+) -> (CampaignSummary, ThroughputReport, CampaignTelemetry) {
     let threads = worker_threads(cfg.threads).min(cfg.trials.max(1) as usize);
     let next = AtomicU64::new(0);
     let start = Instant::now();
-    let results: Vec<(CampaignSummary, u64, u64, f64)> = std::thread::scope(|scope| {
+    type WorkerResult = (CampaignSummary, u64, u64, f64, CampaignTelemetry);
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
                 scope.spawn(move || {
                     let mut cache = SudokuCache::new_sparse(cfg.sudoku_config())
                         .expect("valid Monte-Carlo configuration");
+                    let _ = cache.set_recorder(observe.recorder());
+                    let observing = observe.enabled();
                     let mut injector = FaultInjector::new(cfg.ber, cfg.seed);
                     let mut local = CampaignSummary::default();
+                    let mut events: Vec<RecoveryEvent> = Vec::new();
                     let mut reset_cost = 0.0f64;
                     loop {
                         let chunk = next.fetch_add(TRIAL_CHUNK, Ordering::Relaxed);
@@ -306,6 +426,9 @@ pub fn run_interval_campaign_timed(cfg: &McConfig) -> (CampaignSummary, Throughp
                             break;
                         }
                         for i in chunk..(chunk + TRIAL_CHUNK).min(cfg.trials) {
+                            if observing {
+                                cache.recorder_mut().set_interval(i);
+                            }
                             let o = run_interval_in(
                                 &mut cache,
                                 &mut injector,
@@ -313,13 +436,33 @@ pub fn run_interval_campaign_timed(cfg: &McConfig) -> (CampaignSummary, Throughp
                                 cfg.seed.wrapping_add(i),
                             );
                             local.absorb(&o);
+                            if observing {
+                                // Harvest before the reset clears the ring.
+                                events.extend(cache.drain_events());
+                            }
                             let t = Instant::now();
                             cache.reset_to_golden_zero();
-                            reset_cost += t.elapsed().as_secs_f64();
+                            let dt = t.elapsed().as_secs_f64();
+                            reset_cost += dt;
+                            if observing {
+                                cache.recorder_mut().phases.add(Phase::Reset, dt);
+                            }
                         }
                     }
                     let stats = *cache.stats();
-                    (local, stats.lines_scrubbed, stats.crc_checks, reset_cost)
+                    let recorder = cache.set_recorder(Recorder::disabled());
+                    let telemetry = CampaignTelemetry {
+                        events,
+                        hists: recorder.hists,
+                        phases: recorder.phases,
+                    };
+                    (
+                        local,
+                        stats.lines_scrubbed,
+                        stats.crc_checks,
+                        reset_cost,
+                        telemetry,
+                    )
                 })
             })
             .collect();
@@ -331,18 +474,28 @@ pub fn run_interval_campaign_timed(cfg: &McConfig) -> (CampaignSummary, Throughp
     let elapsed = start.elapsed().as_secs_f64();
     let mut total = CampaignSummary::default();
     let mut report = ThroughputReport::default();
-    for (local, lines_scrubbed, crc_checks, reset_cost) in &results {
-        total.merge(local);
+    let mut telemetry = CampaignTelemetry::default();
+    for (local, lines_scrubbed, crc_checks, reset_cost, worker_telemetry) in results {
+        total.merge(&local);
         report.lines_scrubbed += lines_scrubbed;
         report.crc_checks += crc_checks;
         report.reset_cost += reset_cost;
+        telemetry.merge(worker_telemetry);
     }
+    telemetry.finish();
     report.trials_per_sec = if elapsed > 0.0 {
         total.trials as f64 / elapsed
     } else {
         f64::INFINITY
     };
-    (total, report)
+    (total, report, telemetry)
+}
+
+/// Runs `cfg.trials` independent intervals with per-worker reused arenas
+/// and reports campaign throughput alongside the summary (no telemetry).
+pub fn run_interval_campaign_timed(cfg: &McConfig) -> (CampaignSummary, ThroughputReport) {
+    let (summary, report, _) = run_interval_campaign_observed(cfg, Observe::Off);
+    (summary, report)
 }
 
 /// Runs `cfg.trials` independent intervals, sharded across threads.
@@ -557,6 +710,8 @@ pub fn run_group_trial_in(
     scenario: &GroupScenario,
     trial_seed: u64,
 ) -> IntervalOutcome {
+    let observing = cache.recorder().enabled();
+    let inject_start = observing.then(Instant::now);
     let mut rng = StdRng::seed_from_u64(trial_seed);
     // Pick a random Hash-1 group and distinct victim offsets within it.
     let n_groups = scenario.lines_needed() / scenario.group as u64;
@@ -576,7 +731,28 @@ pub fn run_group_trial_in(
         faulty_bits += count;
         hints.push(line);
     }
+    if observing {
+        let plan: Vec<LineFaults> = hints
+            .iter()
+            .zip(scenario.fault_counts.iter())
+            .map(|(&line, &faults)| LineFaults { line, faults })
+            .collect();
+        observe_plan(&plan, cache.recorder_mut());
+        if let Some(start) = inject_start {
+            cache
+                .recorder_mut()
+                .phases
+                .add(Phase::Inject, start.elapsed().as_secs_f64());
+        }
+    }
+    let scrub_start = observing.then(Instant::now);
     let report = cache.scrub_lines(&hints);
+    if let Some(start) = scrub_start {
+        cache
+            .recorder_mut()
+            .phases
+            .add(Phase::Scrub, start.elapsed().as_secs_f64());
+    }
     IntervalOutcome {
         faulty_lines: scenario.fault_counts.len() as u32,
         faulty_bits,
@@ -597,17 +773,20 @@ pub fn run_group_trial(scenario: &GroupScenario, trial_seed: u64) -> IntervalOut
 }
 
 /// Runs a conditional campaign over `trials` seeds with per-worker reused
-/// arenas, reporting throughput alongside the summary.
-pub fn run_group_campaign_timed(
+/// arenas, collecting telemetry at the requested depth. As with interval
+/// campaigns, the summary is bit-identical across `observe` settings.
+pub fn run_group_campaign_observed(
     scenario: &GroupScenario,
     trials: u64,
     seed: u64,
     threads: usize,
-) -> (GroupCampaignSummary, ThroughputReport) {
+    observe: Observe,
+) -> (GroupCampaignSummary, ThroughputReport, CampaignTelemetry) {
     let threads = worker_threads(threads).min(trials.max(1) as usize);
     let next = AtomicU64::new(0);
     let start = Instant::now();
-    let results: Vec<(GroupCampaignSummary, u64, u64, f64)> = std::thread::scope(|scope| {
+    type WorkerResult = (GroupCampaignSummary, u64, u64, f64, CampaignTelemetry);
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
@@ -615,7 +794,10 @@ pub fn run_group_campaign_timed(
                 scope.spawn(move || {
                     let mut cache = SudokuCache::new_sparse(scenario.sudoku_config())
                         .expect("valid scenario configuration");
+                    let _ = cache.set_recorder(observe.recorder());
+                    let observing = observe.enabled();
                     let mut local = GroupCampaignSummary::default();
+                    let mut events: Vec<RecoveryEvent> = Vec::new();
                     let mut reset_cost = 0.0f64;
                     loop {
                         let chunk = next.fetch_add(TRIAL_CHUNK, Ordering::Relaxed);
@@ -623,15 +805,37 @@ pub fn run_group_campaign_timed(
                             break;
                         }
                         for i in chunk..(chunk + TRIAL_CHUNK).min(trials) {
+                            if observing {
+                                cache.recorder_mut().set_interval(i);
+                            }
                             let o = run_group_trial_in(&mut cache, &scenario, seed.wrapping_add(i));
                             local.absorb(&o);
+                            if observing {
+                                events.extend(cache.drain_events());
+                            }
                             let t = Instant::now();
                             cache.reset_to_golden_zero();
-                            reset_cost += t.elapsed().as_secs_f64();
+                            let dt = t.elapsed().as_secs_f64();
+                            reset_cost += dt;
+                            if observing {
+                                cache.recorder_mut().phases.add(Phase::Reset, dt);
+                            }
                         }
                     }
                     let stats = *cache.stats();
-                    (local, stats.lines_scrubbed, stats.crc_checks, reset_cost)
+                    let recorder = cache.set_recorder(Recorder::disabled());
+                    let telemetry = CampaignTelemetry {
+                        events,
+                        hists: recorder.hists,
+                        phases: recorder.phases,
+                    };
+                    (
+                        local,
+                        stats.lines_scrubbed,
+                        stats.crc_checks,
+                        reset_cost,
+                        telemetry,
+                    )
                 })
             })
             .collect();
@@ -643,7 +847,8 @@ pub fn run_group_campaign_timed(
     let elapsed = start.elapsed().as_secs_f64();
     let mut total = GroupCampaignSummary::default();
     let mut report = ThroughputReport::default();
-    for (local, lines_scrubbed, crc_checks, reset_cost) in &results {
+    let mut telemetry = CampaignTelemetry::default();
+    for (local, lines_scrubbed, crc_checks, reset_cost, worker_telemetry) in results {
         total.trials += local.trials;
         total.repaired += local.repaired;
         total.due += local.due;
@@ -651,13 +856,28 @@ pub fn run_group_campaign_timed(
         report.lines_scrubbed += lines_scrubbed;
         report.crc_checks += crc_checks;
         report.reset_cost += reset_cost;
+        telemetry.merge(worker_telemetry);
     }
+    telemetry.finish();
     report.trials_per_sec = if elapsed > 0.0 {
         total.trials as f64 / elapsed
     } else {
         f64::INFINITY
     };
-    (total, report)
+    (total, report, telemetry)
+}
+
+/// Runs a conditional campaign over `trials` seeds with per-worker reused
+/// arenas, reporting throughput alongside the summary (no telemetry).
+pub fn run_group_campaign_timed(
+    scenario: &GroupScenario,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> (GroupCampaignSummary, ThroughputReport) {
+    let (summary, report, _) =
+        run_group_campaign_observed(scenario, trials, seed, threads, Observe::Off);
+    (summary, report)
 }
 
 /// Runs a conditional campaign over `trials` seeds.

@@ -1,0 +1,237 @@
+//! Cross-checks between the recovery event log and the cache's counters,
+//! and the zero-perturbation guarantee of campaign telemetry.
+
+use proptest::prelude::*;
+use sudoku_core::{Dim, Mechanism, Outcome, Scheme};
+use sudoku_fault::ScrubSchedule;
+use sudoku_obs::forensics;
+use sudoku_reliability::montecarlo::{
+    run_group_campaign_observed, run_interval_campaign_observed, GroupScenario, McConfig, Observe,
+};
+
+fn small_cfg(scheme: Scheme, trials: u64) -> McConfig {
+    McConfig {
+        scheme,
+        lines: 1 << 12,
+        group: 64,
+        ber: 2e-4, // elevated so every mechanism fires
+        trials,
+        seed: 7,
+        threads: 2,
+        scrub: ScrubSchedule::paper_default(),
+    }
+}
+
+/// Summing recovery events by mechanism must exactly reproduce the engine's
+/// own `CacheStats`-derived campaign counters: the event log is a faithful
+/// decomposition, not a parallel estimate.
+#[test]
+fn event_counts_reproduce_campaign_counters() {
+    for scheme in [Scheme::X, Scheme::Y, Scheme::Z] {
+        let cfg = small_cfg(scheme, 40);
+        let (summary, _, telemetry) = run_interval_campaign_observed(&cfg, Observe::Unbounded);
+        let events = &telemetry.events;
+
+        let count = |m: Mechanism, o: Outcome| -> u64 {
+            events
+                .iter()
+                .filter(|e| e.mechanism == m && e.outcome == o)
+                .count() as u64
+        };
+
+        // Per-interval DUE lines: every unresolved line emits one Due event.
+        let due_events = count(Mechanism::Due, Outcome::Failed);
+        let due_intervals_from_events = {
+            let mut intervals: Vec<u64> = events
+                .iter()
+                .filter(|e| e.mechanism == Mechanism::Due)
+                .map(|e| e.interval)
+                .collect();
+            intervals.sort_unstable();
+            intervals.dedup();
+            intervals.len() as u64
+        };
+        assert_eq!(
+            due_intervals_from_events, summary.due_intervals,
+            "{scheme:?}"
+        );
+        assert!(due_events >= summary.due_intervals, "{scheme:?}");
+
+        // Repair mechanisms, line for line.
+        assert_eq!(
+            count(Mechanism::Raid4, Outcome::Repaired),
+            summary.raid4_repairs,
+            "{scheme:?}"
+        );
+        assert_eq!(
+            count(Mechanism::Sdr, Outcome::Repaired),
+            summary.sdr_repairs,
+            "{scheme:?}"
+        );
+        let hash2_repaired = events
+            .iter()
+            .filter(|e| e.outcome == Outcome::Repaired && e.hash_dim == Some(Dim::H2))
+            .count() as u64;
+        assert_eq!(hash2_repaired, summary.hash2_repairs, "{scheme:?}");
+
+        // Injection records decompose the faulty-bit total.
+        let injected_bits: u64 = events
+            .iter()
+            .filter(|e| e.mechanism == Mechanism::Inject)
+            .map(|e| e.trials as u64)
+            .sum();
+        assert_eq!(injected_bits, summary.faulty_bits, "{scheme:?}");
+
+        // Histograms agree with the event stream.
+        assert_eq!(
+            telemetry.hists.faults_per_line.count(),
+            count(Mechanism::Inject, Outcome::Injected),
+            "{scheme:?}"
+        );
+        assert_eq!(
+            telemetry.hists.sdr_trials_per_resurrection.count(),
+            summary.sdr_repairs,
+            "{scheme:?}"
+        );
+    }
+}
+
+/// The multibit-detection counter equals the CrcDetect event count, and
+/// ECC-1/ECC-field repairs match their events — checked against the raw
+/// `CacheStats` of a single-arena observed campaign.
+#[test]
+fn event_counts_reproduce_cache_stats_single_arena() {
+    use sudoku_core::{Recorder, SudokuCache};
+    use sudoku_fault::FaultInjector;
+    use sudoku_reliability::montecarlo::run_interval_in;
+
+    let cfg = McConfig {
+        threads: 1,
+        ..small_cfg(Scheme::Z, 30)
+    };
+    let mut cache = SudokuCache::new_sparse(SudokuConfigFor::config(&cfg)).unwrap();
+    let _ = cache.set_recorder(Recorder::unbounded());
+    let mut injector = FaultInjector::new(cfg.ber, cfg.seed);
+    let mut events = Vec::new();
+    for i in 0..cfg.trials {
+        cache.recorder_mut().set_interval(i);
+        let _ = run_interval_in(&mut cache, &mut injector, &cfg, cfg.seed.wrapping_add(i));
+        events.extend(cache.drain_events());
+        cache.reset_to_golden_zero();
+    }
+    let stats = *cache.stats();
+
+    let count = |m: Mechanism, o: Outcome| -> u64 {
+        events
+            .iter()
+            .filter(|e| e.mechanism == m && e.outcome == o)
+            .count() as u64
+    };
+    assert_eq!(
+        count(Mechanism::Ecc1, Outcome::Repaired),
+        stats.ecc1_repairs
+    );
+    assert_eq!(
+        count(Mechanism::EccField, Outcome::Repaired),
+        stats.meta_repairs
+    );
+    assert_eq!(
+        count(Mechanism::CrcDetect, Outcome::Detected),
+        stats.multibit_detections
+    );
+    assert_eq!(
+        count(Mechanism::Raid4, Outcome::Repaired),
+        stats.raid4_repairs
+    );
+    assert_eq!(count(Mechanism::Sdr, Outcome::Repaired), stats.sdr_repairs);
+    assert_eq!(count(Mechanism::Due, Outcome::Failed), stats.due_lines);
+    let hash2: u64 = events
+        .iter()
+        .filter(|e| e.outcome == Outcome::Repaired && e.hash_dim == Some(Dim::H2))
+        .count() as u64;
+    assert_eq!(hash2, stats.hash2_repairs);
+    // SDR trial accounting decomposes exactly across Repaired/Failed events.
+    let sdr_trials: u64 = events
+        .iter()
+        .filter(|e| e.mechanism == Mechanism::Sdr)
+        .map(|e| e.trials as u64)
+        .sum();
+    assert_eq!(sdr_trials, stats.sdr_trials);
+}
+
+/// `McConfig::sudoku_config` is private; rebuild the equivalent here.
+struct SudokuConfigFor;
+impl SudokuConfigFor {
+    fn config(cfg: &McConfig) -> sudoku_core::SudokuConfig {
+        sudoku_core::SudokuConfig {
+            geometry: sudoku_core::CacheGeometry::with_lines(cfg.lines),
+            scheme: cfg.scheme,
+            group_lines: cfg.group,
+            max_sdr_mismatches: 6,
+            sdr_pair_trials: false,
+            scrub: cfg.scrub,
+        }
+    }
+}
+
+/// A forensic reconstruction of an observed campaign's event log contains
+/// complete escalation chains for SDR resurrections and (under Z) repairs
+/// that crossed into the Hash-2 dimension.
+#[test]
+fn campaign_event_log_reconstructs_chains() {
+    let cfg = small_cfg(Scheme::Z, 60);
+    let (summary, _, telemetry) = run_interval_campaign_observed(&cfg, Observe::Unbounded);
+    assert!(
+        summary.sdr_repairs > 0,
+        "premise: SDR must fire ({summary:?})"
+    );
+    let chains = forensics::chains(&telemetry.events);
+    let sdr_chain = chains
+        .iter()
+        .find(|c| c.resolved_by_sdr() && c.is_complete());
+    assert!(sdr_chain.is_some(), "no complete SDR chain reconstructed");
+    if summary.hash2_repairs > 0 {
+        assert!(
+            chains.iter().any(|c| c.resolved_via_hash2()),
+            "hash2 repairs happened but no chain shows them"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Telemetry must be purely observational: enabled and disabled
+    /// campaigns over the same seed produce identical summaries.
+    #[test]
+    fn observed_campaign_matches_unobserved(seed in 0u64..1000, trials in 5u64..20) {
+        let cfg = McConfig { seed, ..small_cfg(Scheme::Z, trials) };
+        let (on, _, telemetry) = run_interval_campaign_observed(&cfg, Observe::Unbounded);
+        let (off, _, no_telemetry) = run_interval_campaign_observed(&cfg, Observe::Off);
+        prop_assert_eq!(on, off);
+        prop_assert!(no_telemetry.events.is_empty());
+        prop_assert!(no_telemetry.hists.is_empty());
+        prop_assert!(no_telemetry.phases.is_empty());
+        // Interval stamps stay within range and sorted.
+        prop_assert!(telemetry.events.iter().all(|e| e.interval < trials));
+        prop_assert!(telemetry.events.windows(2).all(|w| w[0].interval <= w[1].interval));
+    }
+
+    /// The same guarantee for conditional group campaigns.
+    #[test]
+    fn observed_group_campaign_matches_unobserved(seed in 0u64..1000) {
+        let scenario = GroupScenario::two_by_two(Scheme::Y, 64);
+        let (on, _, telemetry) = run_group_campaign_observed(&scenario, 12, seed, 2, Observe::Unbounded);
+        let (off, _, _) = run_group_campaign_observed(&scenario, 12, seed, 2, Observe::Off);
+        prop_assert_eq!(on, off);
+        // Every trial injected two 2-fault lines; the injection records
+        // must say exactly that.
+        let injects: Vec<_> = telemetry
+            .events
+            .iter()
+            .filter(|e| e.mechanism == Mechanism::Inject)
+            .collect();
+        prop_assert_eq!(injects.len() as u64, 2 * on.trials);
+        prop_assert!(injects.iter().all(|e| e.trials == 2));
+    }
+}

@@ -39,6 +39,20 @@ impl EnergyBreakdown {
     pub fn edp(&self, exec_time_ns: f64) -> f64 {
         self.total_j() * exec_time_ns * 1e-9
     }
+
+    /// Serializes the breakdown (plus the derived total) as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_f64("cores_j", self.cores_j)
+            .field_f64("llc_dynamic_j", self.llc_dynamic_j)
+            .field_f64("llc_static_j", self.llc_static_j)
+            .field_f64("plt_j", self.plt_j)
+            .field_f64("codec_j", self.codec_j)
+            .field_f64("dram_j", self.dram_j)
+            .field_f64("scrub_j", self.scrub_j)
+            .field_f64("total_j", self.total_j());
+        obj.finish()
+    }
 }
 
 /// Computes the energy breakdown for a run's metrics.

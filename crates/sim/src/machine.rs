@@ -105,6 +105,26 @@ impl Metrics {
     pub fn hit_rate(&self) -> f64 {
         self.llc_hits as f64 / self.llc_accesses().max(1) as f64
     }
+
+    /// Serializes every counter (plus the derived hit rate) as a JSON
+    /// object, for the bench bins' `--metrics-json` export.
+    pub fn to_json(&self) -> String {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_u64("instructions", self.instructions)
+            .field_f64("exec_time_ns", self.exec_time_ns)
+            .field_u64("llc_reads", self.llc_reads)
+            .field_u64("llc_writes", self.llc_writes)
+            .field_u64("llc_hits", self.llc_hits)
+            .field_u64("llc_misses", self.llc_misses)
+            .field_f64("llc_hit_rate", self.hit_rate())
+            .field_u64("writebacks", self.writebacks)
+            .field_u64("dram_row_hits", self.dram_row_hits)
+            .field_u64("plt_writes", self.plt_writes)
+            .field_f64("scrub_stall_ns", self.scrub_stall_ns)
+            .field_f64("repair_stall_ns", self.repair_stall_ns)
+            .field_f64("syndrome_ns", self.syndrome_ns);
+        obj.finish()
+    }
 }
 
 /// One functionally resolved access, ready for timing replay.

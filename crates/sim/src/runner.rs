@@ -24,6 +24,15 @@ impl RunResult {
     pub fn edp(&self) -> f64 {
         self.energy.edp(self.metrics.exec_time_ns)
     }
+
+    /// Serializes the run (metrics, energy, derived EDP) as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_raw("metrics", &self.metrics.to_json())
+            .field_raw("energy", &self.energy.to_json())
+            .field_f64("edp", self.edp());
+        obj.finish()
+    }
 }
 
 /// The Figure 8/9 data point for one workload.
@@ -46,6 +55,18 @@ impl Comparison {
     /// System-EDP of SuDoku-Z normalized to ideal (Figure 9).
     pub fn edp_ratio(&self) -> f64 {
         self.sudoku.edp() / self.ideal.edp()
+    }
+
+    /// Serializes the data point (both runs plus the Figure 8/9 ratios)
+    /// as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_str("name", &self.name)
+            .field_raw("ideal", &self.ideal.to_json())
+            .field_raw("sudoku", &self.sudoku.to_json())
+            .field_f64("time_ratio", self.time_ratio())
+            .field_f64("edp_ratio", self.edp_ratio());
+        obj.finish()
     }
 }
 

@@ -1,7 +1,8 @@
 //! Observability demo: run a small SuDoku-Z cache at an elevated fault
-//! rate and reconstruct, from the repair-event log, which mechanism earned
-//! its keep — the per-mechanism histogram behind the paper's "optimize for
-//! the common case" argument (§II-E).
+//! rate and reconstruct, from the recovery-event log, which mechanism
+//! earned its keep — the per-mechanism histogram behind the paper's
+//! "optimize for the common case" argument (§II-E) — plus the escalation
+//! chains of the rare lines that needed the exotic machinery.
 //!
 //! ```sh
 //! cargo run --release --example repair_observatory
@@ -9,13 +10,15 @@
 
 use std::collections::BTreeMap;
 use sudoku_sttram::codes::{LineData, TOTAL_BITS};
-use sudoku_sttram::core::{RepairMechanism, Scheme, SudokuCache, SudokuConfig};
+use sudoku_sttram::core::{Mechanism, Outcome, Recorder, Scheme, SudokuCache, SudokuConfig};
 use sudoku_sttram::fault::{choose_distinct, FaultInjector};
+use sudoku_sttram::obs::{forensics, Dim};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lines = 1u64 << 12;
     let ber = 3e-4; // ~6.8 faults per million bits per interval, scaled up
     let mut cache = SudokuCache::new(SudokuConfig::small(Scheme::Z, lines, 64))?;
+    let _ = cache.set_recorder(Recorder::unbounded());
     for i in 0..lines {
         let mut d = LineData::zero();
         d.set_bit((i as usize * 11) % 512, true);
@@ -24,7 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut injector = FaultInjector::new(ber, 2026);
     let intervals = 40;
-    for _ in 0..intervals {
+    for interval in 0..intervals {
+        cache.recorder_mut().set_interval(interval);
         let plan = injector.cache_plan(lines);
         let mut hints = Vec::with_capacity(plan.len());
         for lf in &plan {
@@ -38,16 +42,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut histogram: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut hash2 = 0u64;
-    for event in cache.events().iter() {
-        let name = match event.mechanism {
-            RepairMechanism::Ecc1 => "ECC-1 (single bit)",
-            RepairMechanism::EccField => "ECC-field regen",
-            RepairMechanism::Raid4 => "RAID-4 reconstruction",
-            RepairMechanism::Sdr => "SDR resurrection",
-            RepairMechanism::Due => "DUE (unrecovered)",
+    for event in cache.events() {
+        let name = match (event.mechanism, event.outcome) {
+            (Mechanism::Ecc1, Outcome::Repaired) => "ECC-1 (single bit)",
+            (Mechanism::EccField, Outcome::Repaired) => "ECC-field regen",
+            (Mechanism::CrcDetect, _) => "CRC multi-bit detect",
+            (Mechanism::Raid4, Outcome::Repaired) => "RAID-4 reconstruction",
+            (Mechanism::Sdr, Outcome::Repaired) => "SDR resurrection",
+            (Mechanism::Due, _) => "DUE (unrecovered)",
+            _ => continue, // blocked / failed intermediate steps
         };
         *histogram.entry(name).or_default() += 1;
-        if event.dim == Some(sudoku_sttram::core::HashDim::H2) {
+        if event.outcome == Outcome::Repaired && event.hash_dim == Some(Dim::H2) {
             hash2 += 1;
         }
     }
@@ -64,11 +70,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("  of which via Hash-2:     {hash2:>6}");
+
+    // Replay the event log as per-line escalation chains and show the
+    // most interesting ones: the lines ECC-1 could not save.
+    let events: Vec<_> = cache.events().copied().collect();
+    let chains = forensics::chains(&events);
+    let exotic: Vec<_> = chains
+        .iter()
+        .filter(|c| c.events.len() > 1 && c.resolution().is_some())
+        .collect();
     println!(
-        "\n(events retained: {}, dropped beyond the 4096-entry window: {})",
-        cache.events().len(),
-        cache.events().dropped()
+        "\nescalation chains beyond ECC-1 ({} of {}):",
+        exotic.len(),
+        chains.len()
     );
+    for chain in exotic.iter().take(8) {
+        println!(
+            "  interval {:>2}, line {:>5}: {}",
+            chain.interval,
+            chain.line,
+            chain.signature()
+        );
+    }
     println!(
         "\nthe shape is the paper's §II-E insight: single-bit ECC-1 repairs\n\
          dominate by orders of magnitude; the exotic machinery exists for\n\

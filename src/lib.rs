@@ -14,7 +14,9 @@
 //! * [`reliability`] — analytic FIT/MTTF models and Monte-Carlo campaigns
 //!   over the real engines;
 //! * [`sim`] — the trace-driven performance and energy simulator behind
-//!   Figures 8 and 9.
+//!   Figures 8 and 9;
+//! * [`obs`] — recovery-event telemetry: the escalation-chain event log,
+//!   allocation-free histograms, phase spans, and forensic replay.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! per-table/figure reproduction record. The `sudoku-bench` crate
@@ -43,5 +45,6 @@
 pub use sudoku_codes as codes;
 pub use sudoku_core as core;
 pub use sudoku_fault as fault;
+pub use sudoku_obs as obs;
 pub use sudoku_reliability as reliability;
 pub use sudoku_sim as sim;

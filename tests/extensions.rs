@@ -4,7 +4,7 @@
 //! workspace facade.
 
 use sudoku_sttram::codes::{Line2Codec, LineData, ProtectedLine2};
-use sudoku_sttram::core::{RepairMechanism, Scheme, SudokuCache, SudokuConfig, VminCache};
+use sudoku_sttram::core::{Mechanism, Outcome, Scheme, SudokuCache, SudokuConfig, VminCache};
 use sudoku_sttram::fault::{FaultInjector, ScrubSchedule, StuckBitMap};
 use sudoku_sttram::reliability::ecc2::{run_ecc2_campaign, Ecc2Scenario};
 use sudoku_sttram::reliability::montecarlo::{run_lifetime_campaign, McConfig};
@@ -133,12 +133,11 @@ fn event_log_through_facade() {
     let _ = cache.read(9);
     let raid4: Vec<_> = cache
         .events()
-        .iter()
-        .filter(|e| e.mechanism == RepairMechanism::Raid4)
+        .filter(|e| e.mechanism == Mechanism::Raid4 && e.outcome == Outcome::Repaired)
         .collect();
     assert_eq!(raid4.len(), 1);
     assert_eq!(raid4[0].line, 9);
-    assert!(raid4[0].dim.is_some());
+    assert!(raid4[0].hash_dim.is_some());
 }
 
 /// Lifetime (consecutive intervals) agrees with the independent-interval
