@@ -1,0 +1,162 @@
+//! Service-layer load generator: concurrent demand traffic against the
+//! sharded cache service with the scrub daemon running and faults being
+//! injected — the paper's "recovery coexists with demand traffic"
+//! operating point (§VII-B), measured end to end.
+//!
+//! ```text
+//! cargo run --release -p sudoku-bench --bin loadgen -- --shards 4
+//! cargo run --release -p sudoku-bench --bin loadgen -- \
+//!     --shards 4 --clients 4 --requests 20000 --ber 1e-4 --json
+//! cargo run --release -p sudoku-bench --bin loadgen -- --rate 50000 --theta 0.9
+//! ```
+//!
+//! `--json` additionally writes `BENCH_svc.json`, the service-layer
+//! counterpart of `BENCH_kernels.json`: achieved req/sec, read-latency
+//! quantiles, shard count, seed, and git revision.
+//!
+//! The process exits non-zero if any read returned silently corrupted
+//! data (SDC) — the one outcome the SuDoku ladder must never allow — so
+//! CI can gate on it directly.
+
+use std::time::Duration;
+use sudoku_bench::{flag, header};
+use sudoku_core::{Scheme, SudokuConfig};
+use sudoku_svc::{AddrMode, LoadgenConfig, Service, ServiceConfig};
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+struct Opts {
+    shards: usize,
+    clients: usize,
+    requests: u64,
+    rate: u64,
+    lines: u64,
+    ber: f64,
+    theta: f64,
+    write_frac: f64,
+    tick_ms: u64,
+    queue: usize,
+    seed: u64,
+}
+
+impl Opts {
+    fn parse() -> Opts {
+        let argv: Vec<String> = std::env::args().collect();
+        let get = |flag: &str| -> Option<&str> {
+            argv.iter()
+                .position(|a| a == flag)
+                .and_then(|i| argv.get(i + 1))
+                .map(String::as_str)
+        };
+        let u =
+            |flag: &str, default: u64| get(flag).and_then(|v| v.parse().ok()).unwrap_or(default);
+        let f =
+            |flag: &str, default: f64| get(flag).and_then(|v| v.parse().ok()).unwrap_or(default);
+        Opts {
+            shards: u("--shards", 4) as usize,
+            clients: u("--clients", 4) as usize,
+            requests: u("--requests", 10_000),
+            rate: u("--rate", 0),
+            lines: u("--lines", 1 << 14),
+            ber: f("--ber", 1e-4),
+            theta: f("--theta", 0.8),
+            write_frac: f("--write-frac", 0.3),
+            tick_ms: u("--tick-ms", 1),
+            queue: u("--queue", 64) as usize,
+            seed: u("--seed", 42),
+        }
+    }
+}
+
+fn main() {
+    let opts = Opts::parse();
+    header("Service load generator (sharded cache + scrub daemon)");
+    println!(
+        "shards = {}, clients = {}, requests/client = {}, lines = {}, ber = {:.2e}, \
+         zipf theta = {}, seed = {}",
+        opts.shards, opts.clients, opts.requests, opts.lines, opts.ber, opts.theta, opts.seed
+    );
+
+    let service_config = ServiceConfig {
+        cache: SudokuConfig::small(Scheme::Z, opts.lines, 16),
+        n_shards: opts.shards,
+        queue_depth: opts.queue,
+        scrub_every: Some(Duration::from_millis(opts.tick_ms.max(1))),
+        ber: opts.ber,
+        seed: opts.seed,
+    };
+    let load_config = LoadgenConfig {
+        workers: opts.clients,
+        requests_per_worker: opts.requests,
+        target_rps: opts.rate,
+        write_frac: opts.write_frac,
+        mode: AddrMode::Zipf { theta: opts.theta },
+        seed: opts.seed,
+    };
+    let service = Service::start(service_config).expect("valid service config");
+    let report = sudoku_svc::loadgen::run(service, &load_config);
+
+    let lat = &report.service.hists.read_latency_ns;
+    println!(
+        "requests = {} ({} reads, {} writes), elapsed = {:.3} s, req/sec = {:.0}",
+        report.requests,
+        report.reads,
+        report.writes,
+        report.elapsed.as_secs_f64(),
+        report.req_per_sec
+    );
+    println!(
+        "read latency: p50 = {} ns, p99 = {} ns, p999 = {} ns",
+        lat.quantile(0.50),
+        lat.quantile(0.99),
+        lat.quantile(0.999)
+    );
+    println!(
+        "scrub: {} ticks, {} lines injected, {} escalations ({} lines), {} unresolved",
+        report.service.scrub_ticks,
+        report.service.injected_lines,
+        report.service.escalations,
+        report.service.escalated_lines,
+        report.service.unresolved_lines
+    );
+    println!(
+        "integrity: sdc = {}, due = {} (demand) + {} (scrub)",
+        report.sdc, report.due, report.service.unresolved_lines
+    );
+
+    if flag("--json") {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_str("name", "svc_loadgen")
+            .field_u64("shards", opts.shards as u64)
+            .field_u64("clients", opts.clients as u64)
+            .field_u64("requests", report.requests)
+            .field_f64("req_per_sec", report.req_per_sec)
+            .field_u64("p50_read_ns", lat.quantile(0.50))
+            .field_u64("p99_read_ns", lat.quantile(0.99))
+            .field_u64("p999_read_ns", lat.quantile(0.999))
+            .field_u64("sdc", report.sdc)
+            .field_u64("due", report.due)
+            .field_u64("scrub_ticks", report.service.scrub_ticks)
+            .field_u64("injected_lines", report.service.injected_lines)
+            .field_u64("escalations", report.service.escalations)
+            .field_u64("unresolved_lines", report.service.unresolved_lines)
+            .field_u64("seed", opts.seed)
+            .field_str("git_rev", &git_rev());
+        std::fs::write("BENCH_svc.json", obj.finish() + "\n").expect("write BENCH_svc.json");
+        println!("wrote BENCH_svc.json");
+    }
+
+    if report.sdc > 0 {
+        eprintln!("FAIL: {} silently corrupted reads", report.sdc);
+        std::process::exit(1);
+    }
+}

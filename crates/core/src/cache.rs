@@ -17,21 +17,13 @@
 use crate::config::{ConfigError, Scheme, SudokuConfig};
 use crate::hashing::{HashDim, SkewedHashes};
 use crate::plt::ParityTable;
-use crate::stats::{CacheStats, ScrubReport, STT_READ_NS, STT_WRITE_NS, SYNDROME_CHECK_NS};
+use crate::recovery::{self, GroupScratch, GroupView, MemberState, RepairEngine, RepairParams};
+use crate::stats::{CacheStats, ScrubReport};
 use crate::store::{DenseStore, LineStore, SparseStore};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use sudoku_codes::{LineCodec, LineData, ProtectedLine, ReadCheck, RepairKind};
-use sudoku_obs::{Dim, Mechanism, Outcome, Phase, Recorder, RecoveryEvent};
-
-/// Telemetry dimension tag for a hash dimension.
-#[inline]
-fn obs_dim(dim: HashDim) -> Dim {
-    match dim {
-        HashDim::H1 => Dim::H1,
-        HashDim::H2 => Dim::H2,
-    }
-}
+use sudoku_obs::{Mechanism, Outcome, Phase, Recorder, RecoveryEvent};
 
 /// Error returned when a read hits a detectably uncorrectable line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,17 +71,53 @@ pub struct SudokuCache<S = DenseStore> {
     stats: CacheStats,
     recorder: Recorder,
     scratch: GroupScratch,
+    members_scratch: Vec<u64>,
 }
 
-/// Reusable buffers for [`SudokuCache::repair_group`]: one group scan needs
-/// the member list, the corrected view, and the faulty-index list, and
-/// recovery visits many groups per scrub — reusing the allocations keeps
-/// the per-group cost at the actual line reads.
-#[derive(Default)]
-struct GroupScratch {
-    members: Vec<u64>,
-    view: Vec<ProtectedLine>,
-    faulty: Vec<usize>,
+/// Adapts one group of a cache's own store (plus the in-flight
+/// recovered-value map) to the [`GroupView`] the shared repair engine
+/// drives. The parity is snapshotted by the caller — the PLT is only
+/// written by demand writes, never by recovery.
+struct CacheGroupView<'a, S> {
+    store: &'a mut S,
+    recovered: &'a mut BTreeMap<u64, ProtectedLine>,
+    members: &'a [u64],
+    parity: ProtectedLine,
+}
+
+impl<S: LineStore> GroupView for CacheGroupView<'_, S> {
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    fn line_id(&self, i: usize) -> u64 {
+        self.members[i]
+    }
+
+    fn state(&self, i: usize) -> MemberState {
+        let m = self.members[i];
+        if let Some(&r) = self.recovered.get(&m) {
+            MemberState::Recovered(r)
+        } else if !self.store.is_materialized(m) {
+            MemberState::Zero
+        } else {
+            MemberState::Stored(self.store.line(m))
+        }
+    }
+
+    fn commit_repair(&mut self, i: usize, line: ProtectedLine) {
+        self.store.set_line(self.members[i], line);
+    }
+
+    fn commit_reconstruction(&mut self, i: usize, line: ProtectedLine) {
+        let m = self.members[i];
+        self.store.set_line(m, line);
+        self.recovered.insert(m, line);
+    }
+
+    fn parity(&self) -> ProtectedLine {
+        self.parity
+    }
 }
 
 impl SudokuCache<DenseStore> {
@@ -164,6 +192,7 @@ impl<S: LineStore> SudokuCache<S> {
             stats: CacheStats::default(),
             recorder: Recorder::ring(4096),
             scratch: GroupScratch::default(),
+            members_scratch: Vec::new(),
         })
     }
 
@@ -250,7 +279,7 @@ impl<S: LineStore> SudokuCache<S> {
     }
 
     fn dims(&self) -> &'static [HashDim] {
-        if self.config.scheme.second_hash_enabled() {
+        if self.config.scheme.second_hash_enabled() && !self.config.defer_hash2 {
             &[HashDim::H1, HashDim::H2]
         } else {
             &[HashDim::H1]
@@ -269,15 +298,7 @@ impl<S: LineStore> SudokuCache<S> {
         outcome: Outcome,
         trials: u32,
     ) {
-        self.recorder.emit(RecoveryEvent {
-            interval: 0, // stamped by the recorder
-            line,
-            group: group.map(|(_, g)| g),
-            hash_dim: group.map(|(d, _)| obs_dim(d)),
-            mechanism,
-            outcome,
-            trials,
-        });
+        recovery::emit_event(&mut self.recorder, line, group, mechanism, outcome, trials);
     }
 
     /// Writes `data` to line `idx`, updating every enabled PLT (the two
@@ -392,24 +413,7 @@ impl<S: LineStore> SudokuCache<S> {
     }
 
     fn count_repair(&mut self, line: u64, kind: RepairKind) {
-        let mechanism = match kind {
-            RepairKind::PayloadBit(_) => {
-                self.stats.ecc1_repairs += 1;
-                Mechanism::Ecc1
-            }
-            RepairKind::EccField => {
-                self.stats.meta_repairs += 1;
-                Mechanism::EccField
-            }
-        };
-        if self.recorder.enabled() {
-            self.emit(line, None, mechanism, Outcome::Repaired, 0);
-            // §VII-B: one line read, a syndrome check, one write-back.
-            self.recorder
-                .hists
-                .line_recovery_ns
-                .record((STT_READ_NS + SYNDROME_CHECK_NS + STT_WRITE_NS) as u64);
-        }
+        recovery::record_repair(&mut self.stats, &mut self.recorder, line, kind);
     }
 
     /// Scrubs the entire cache (paper §II-D): every line is checked and
@@ -442,6 +446,36 @@ impl<S: LineStore> SudokuCache<S> {
 
     fn scrub_lines_impl(&mut self, lines: BTreeSet<u64>, fast: bool) -> ScrubReport {
         let mut report = ScrubReport::default();
+        let multibit = self.scan_lines(lines, fast, &mut report);
+        report.multibit_lines = multibit.len() as u64;
+        self.group_recovery_impl(multibit, &mut report, fast);
+        self.finish_scrub(&mut report);
+        report
+    }
+
+    /// The per-line scan half of a scrub: check (and locally repair) every
+    /// listed line, returning the multi-bit casualties that need group
+    /// recovery. This is the shard-local phase of a sharded scrub — the
+    /// caller then drives [`SudokuCache::recovery_pass`] /
+    /// [`SudokuCache::finish_scrub`] explicitly.
+    pub fn scrub_scan(
+        &mut self,
+        lines: impl IntoIterator<Item = u64>,
+        fast: bool,
+        report: &mut ScrubReport,
+    ) -> BTreeSet<u64> {
+        let set: BTreeSet<u64> = lines.into_iter().collect();
+        let multibit = self.scan_lines(set, fast, report);
+        report.multibit_lines += multibit.len() as u64;
+        multibit
+    }
+
+    fn scan_lines(
+        &mut self,
+        lines: BTreeSet<u64>,
+        fast: bool,
+        report: &mut ScrubReport,
+    ) -> BTreeSet<u64> {
         let mut multibit: BTreeSet<u64> = BTreeSet::new();
         for idx in lines {
             report.lines_checked += 1;
@@ -473,8 +507,13 @@ impl<S: LineStore> SudokuCache<S> {
                 }
             }
         }
-        report.multibit_lines = multibit.len() as u64;
-        self.group_recovery_impl(multibit, &mut report, fast);
+        multibit
+    }
+
+    /// Ends a scrub whose group recovery was driven externally: counts the
+    /// lines left in `report.unresolved` as DUEs and records their events
+    /// — the accounting [`SudokuCache::scrub`] performs internally.
+    pub fn finish_scrub(&mut self, report: &mut ScrubReport) {
         self.stats.due_lines += report.unresolved.len() as u64;
         if self.recorder.enabled() {
             for i in 0..report.unresolved.len() {
@@ -487,7 +526,6 @@ impl<S: LineStore> SudokuCache<S> {
                 );
             }
         }
-        report
     }
 
     /// Drives the X/Y/Z recovery ladder to a fixpoint over a set of
@@ -528,23 +566,7 @@ impl<S: LineStore> SudokuCache<S> {
                 if faulty.is_empty() {
                     break;
                 }
-                let groups: BTreeSet<u64> = faulty
-                    .iter()
-                    .map(|&l| self.hashes.group_of(dim, l))
-                    .collect();
-                for group in groups {
-                    self.repair_group(dim, group, report, &mut recovered, fast);
-                }
-                faulty.retain(|&l| {
-                    if recovered.contains_key(&l) {
-                        return false;
-                    }
-                    self.stats.crc_checks += 1;
-                    matches!(
-                        self.codec.scrub_check(&self.store.line(l)),
-                        ReadCheck::MultiBit
-                    )
-                });
+                self.recovery_pass(dim, &mut faulty, &mut recovered, report, fast);
             }
             if faulty.len() >= before {
                 break;
@@ -559,9 +581,56 @@ impl<S: LineStore> SudokuCache<S> {
         recovered
     }
 
-    /// Repairs one RAID-Group: read every member into a corrected buffer
-    /// (fixing singles, paper §III-C.2), then RAID-4 or SDR over the
-    /// buffer.
+    /// One recovery pass over `faulty` in one hash dimension: repair every
+    /// implicated group (ascending group order, exactly like the
+    /// single-threaded ladder), then drop lines that are now clean or
+    /// reconstructed. One iteration of the SuDoku-Z fixpoint — exposed so a
+    /// sharded driver can interleave shard-local Hash-1 passes with
+    /// coordinator-run Hash-2 passes.
+    pub fn recovery_pass(
+        &mut self,
+        dim: HashDim,
+        faulty: &mut BTreeSet<u64>,
+        recovered: &mut BTreeMap<u64, ProtectedLine>,
+        report: &mut ScrubReport,
+        fast: bool,
+    ) {
+        if faulty.is_empty() {
+            return;
+        }
+        let groups: BTreeSet<u64> = faulty
+            .iter()
+            .map(|&l| self.hashes.group_of(dim, l))
+            .collect();
+        for group in groups {
+            self.repair_group(dim, group, report, recovered, fast);
+        }
+        self.retain_multibit(faulty, recovered);
+    }
+
+    /// Drops every line from `faulty` that is reconstructed (present in
+    /// `recovered`) or whose stored copy no longer scrubs as multi-bit —
+    /// the post-pass filter of the recovery fixpoint, with the same
+    /// `crc_checks` accounting.
+    pub fn retain_multibit(
+        &mut self,
+        faulty: &mut BTreeSet<u64>,
+        recovered: &BTreeMap<u64, ProtectedLine>,
+    ) {
+        faulty.retain(|&l| {
+            if recovered.contains_key(&l) {
+                return false;
+            }
+            self.stats.crc_checks += 1;
+            matches!(
+                self.codec.scrub_check(&self.store.line(l)),
+                ReadCheck::MultiBit
+            )
+        });
+    }
+
+    /// Repairs one RAID-Group by driving the shared [`RepairEngine`] over
+    /// this cache's store (paper §III-C.2 pass 1, then RAID-4 or SDR).
     fn repair_group(
         &mut self,
         dim: HashDim,
@@ -570,274 +639,45 @@ impl<S: LineStore> SudokuCache<S> {
         recovered: &mut BTreeMap<u64, ProtectedLine>,
         fast: bool,
     ) {
-        self.stats.group_scans += 1;
         // Borrow the scratch buffers out of `self` for the duration of the
         // scan (restored below) so the per-group Vec allocations happen
         // only once per cache.
+        let mut members = std::mem::take(&mut self.members_scratch);
+        members.clear();
+        members.extend(self.hashes.members(dim, group));
         let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.members.clear();
-        scratch.members.extend(self.hashes.members(dim, group));
-        scratch.view.clear();
-        scratch.faulty.clear();
-        let GroupScratch {
-            members,
-            view,
-            faulty,
-        } = &mut scratch;
-        // Pass 1: the corrected view. Previously reconstructed values take
-        // precedence over the (possibly re-corrupted) stored copies.
-        for (i, &m) in members.iter().enumerate() {
-            if let Some(&r) = recovered.get(&m) {
-                view.push(r);
-                continue;
-            }
-            if !self.store.is_materialized(m) {
-                view.push(ProtectedLine::zero()); // valid by construction
-                continue;
-            }
-            let raw = self.store.line(m);
-            if fast && raw.is_zero() {
-                view.push(raw); // the zero codeword is valid by linearity
-                continue;
-            }
-            self.stats.crc_checks += 1;
-            match self.codec.scrub_check(&raw) {
-                ReadCheck::Clean => view.push(raw),
-                ReadCheck::Corrected { repaired, kind } => {
-                    self.count_repair(m, kind);
-                    self.store.set_line(m, repaired);
-                    view.push(repaired);
-                }
-                ReadCheck::MultiBit => {
-                    view.push(raw);
-                    faulty.push(i);
-                }
-            }
-        }
-        if self.recorder.enabled() {
-            self.recorder
-                .hists
-                .group_scan_lines
-                .record(members.len() as u64);
-        }
-        if !faulty.is_empty() {
-            // Plain RAID-4 reconstructs exactly one erased member; two or
-            // more casualties block it and escalate to SDR.
-            if faulty.len() >= 2 && self.recorder.enabled() {
-                for &fi in faulty.iter() {
-                    self.emit(
-                        members[fi],
-                        Some((dim, group)),
-                        Mechanism::Raid4,
-                        Outcome::Blocked,
-                        faulty.len() as u32,
-                    );
-                }
-            }
-            // Pass 2: Sequential Data Resurrection while >= 2 lines are
-            // faulty.
-            if faulty.len() >= 2 && self.config.scheme.sdr_enabled() {
-                self.run_sdr(dim, group, members, view, faulty, report, recovered);
-            }
-            // Pass 3: a single remaining casualty falls to plain RAID-4.
-            if faulty.len() == 1 {
-                let vi = faulty[0];
-                if self.try_raid4(dim, group, vi, members, view, recovered) {
-                    report.raid4_repairs += 1;
-                    if dim == HashDim::H2 {
-                        report.hash2_repairs += 1;
-                        self.stats.hash2_repairs += 1;
-                    }
-                }
-            }
-        }
+        let parity = *self.plt(dim).parity(group);
+        let mut view = CacheGroupView {
+            store: &mut self.store,
+            recovered,
+            members: &members,
+            parity,
+        };
+        let mut engine = RepairEngine {
+            codec: self.codec,
+            params: RepairParams::from_config(&self.config),
+            stats: &mut self.stats,
+            recorder: &mut self.recorder,
+        };
+        engine.repair_group(dim, group, &mut view, &mut scratch, report, fast);
         self.scratch = scratch;
+        self.members_scratch = members;
     }
 
-    /// RAID-4 reconstruction of the member at view index `vi` from the
-    /// group parity and the corrected view of the remaining members; the
-    /// candidate must re-validate (CRC + ECC).
-    fn try_raid4(
-        &mut self,
-        dim: HashDim,
-        group: u64,
-        vi: usize,
-        members: &[u64],
-        view: &[ProtectedLine],
-        recovered: &mut BTreeMap<u64, ProtectedLine>,
-    ) -> bool {
-        let mut candidate = *self.plt(dim).parity(group);
-        for (i, line) in view.iter().enumerate() {
-            if i != vi {
-                candidate.xor_assign(line);
-            }
-        }
-        self.stats.crc_checks += 1;
-        if self.codec.validate(&candidate) {
-            self.store.set_line(members[vi], candidate);
-            recovered.insert(members[vi], candidate);
-            self.stats.raid4_repairs += 1;
-            if self.recorder.enabled() {
-                self.emit(
-                    members[vi],
-                    Some((dim, group)),
-                    Mechanism::Raid4,
-                    Outcome::Repaired,
-                    0,
-                );
-                // §VII-B: read every group member, write the victim back.
-                self.recorder
-                    .hists
-                    .line_recovery_ns
-                    .record((view.len() as f64 * STT_READ_NS + STT_WRITE_NS) as u64);
-            }
-            true
-        } else {
-            if self.recorder.enabled() {
-                self.emit(
-                    members[vi],
-                    Some((dim, group)),
-                    Mechanism::Raid4,
-                    Outcome::Failed,
-                    0,
-                );
-            }
-            false
-        }
+    /// Snapshot of a group's parity line (the PLT is only written by
+    /// demand writes, so this is stable across a recovery). Cross-shard
+    /// Hash-2 recovery XORs these snapshots across shards — parity is
+    /// linear, so per-shard tables compose.
+    pub fn group_parity(&self, dim: HashDim, group: u64) -> ProtectedLine {
+        *self.plt(dim).parity(group)
     }
 
-    /// Validates an SDR candidate: the flip must leave at most a single
-    /// ECC-1-correctable fault and pass the CRC re-check.
-    fn sdr_accept(&self, candidate: &ProtectedLine) -> Option<ProtectedLine> {
-        match self.codec.scrub_check(candidate) {
-            ReadCheck::Clean => Some(*candidate),
-            ReadCheck::Corrected { repaired, .. } => Some(repaired),
-            ReadCheck::MultiBit => None,
-        }
-    }
-
-    /// SDR (paper §IV): compute the parity-mismatch positions over the
-    /// corrected view, then for each faulty line sequentially flip a
-    /// mismatched bit, apply ECC-1, and accept if the CRC validates.
-    /// Repairing one line shrinks the mismatch set and may unlock the
-    /// others; a final survivor goes to RAID-4 in the caller.
-    #[allow(clippy::too_many_arguments)]
-    fn run_sdr(
-        &mut self,
-        dim: HashDim,
-        group: u64,
-        members: &[u64],
-        view: &mut [ProtectedLine],
-        faulty: &mut Vec<usize>,
-        report: &mut ScrubReport,
-        recovered: &mut BTreeMap<u64, ProtectedLine>,
-    ) {
-        loop {
-            if faulty.len() < 2 {
-                return;
-            }
-            let mut computed = ProtectedLine::zero();
-            for line in view.iter() {
-                computed.xor_assign(line);
-            }
-            let mismatches = computed.diff_positions(self.plt(dim).parity(group));
-            if mismatches.is_empty() || mismatches.len() > self.config.max_sdr_mismatches as usize {
-                // Fully overlapping faults (no mismatch) or too many
-                // candidates (paper SIV-C caps SDR at six positions).
-                if self.recorder.enabled() {
-                    for &fi in faulty.iter() {
-                        self.emit(
-                            members[fi],
-                            Some((dim, group)),
-                            Mechanism::Sdr,
-                            Outcome::Failed,
-                            0,
-                        );
-                    }
-                }
-                return;
-            }
-            let round_start_trials = self.stats.sdr_trials;
-            let mut fixed_victim: Option<(usize, ProtectedLine)> = None;
-            'victims: for &vi in faulty.iter() {
-                let stored = view[vi];
-                for &pos in &mismatches {
-                    self.stats.sdr_trials += 1;
-                    self.stats.crc_checks += 1;
-                    let mut candidate = stored;
-                    candidate.flip_bit(pos);
-                    if let Some(fixed) = self.sdr_accept(&candidate) {
-                        fixed_victim = Some((vi, fixed));
-                        break 'victims; // recompute mismatches
-                    }
-                }
-                if self.config.sdr_pair_trials {
-                    // Extension: a line with t+2 faults needs *two* known
-                    // positions flipped before ECC-t can finish the job.
-                    for a in 0..mismatches.len() {
-                        for b in a + 1..mismatches.len() {
-                            self.stats.sdr_trials += 1;
-                            self.stats.crc_checks += 1;
-                            let mut candidate = stored;
-                            candidate.flip_bit(mismatches[a]);
-                            candidate.flip_bit(mismatches[b]);
-                            if let Some(fixed) = self.sdr_accept(&candidate) {
-                                fixed_victim = Some((vi, fixed));
-                                break 'victims;
-                            }
-                        }
-                    }
-                }
-            }
-            let Some((vi, fixed)) = fixed_victim else {
-                if self.recorder.enabled() {
-                    // A failed round spends the same trial count on every
-                    // victim, so the per-line share is exact.
-                    let per_line =
-                        (self.stats.sdr_trials - round_start_trials) / faulty.len() as u64;
-                    for &fi in faulty.iter() {
-                        self.emit(
-                            members[fi],
-                            Some((dim, group)),
-                            Mechanism::Sdr,
-                            Outcome::Failed,
-                            per_line as u32,
-                        );
-                    }
-                }
-                return;
-            };
-            self.store.set_line(members[vi], fixed);
-            recovered.insert(members[vi], fixed);
-            view[vi] = fixed;
-            faulty.retain(|&f| f != vi);
-            self.stats.sdr_repairs += 1;
-            if self.recorder.enabled() {
-                let round_trials = self.stats.sdr_trials - round_start_trials;
-                self.emit(
-                    members[vi],
-                    Some((dim, group)),
-                    Mechanism::Sdr,
-                    Outcome::Repaired,
-                    round_trials as u32,
-                );
-                self.recorder
-                    .hists
-                    .sdr_trials_per_resurrection
-                    .record(round_trials);
-                // §VII-B: the group scan, the flip-and-check trials (a few
-                // cycles each), the victim's write-back.
-                let ns = members.len() as f64 * STT_READ_NS
-                    + round_trials as f64 * 4.0 * SYNDROME_CHECK_NS
-                    + STT_WRITE_NS;
-                self.recorder.hists.line_recovery_ns.record(ns as u64);
-            }
-            report.sdr_repairs += 1;
-            if dim == HashDim::H2 {
-                report.hash2_repairs += 1;
-                self.stats.hash2_repairs += 1;
-            }
-        }
+    /// Raw store write-back of a recovered line, deliberately skipping the
+    /// parity update (recovery restores the as-written value; the PLT
+    /// already reflects it). Used by cross-shard coordinators to commit
+    /// reconstructions into the owning shard.
+    pub fn set_stored_line(&mut self, idx: u64, line: ProtectedLine) {
+        self.store.set_line(idx, line);
     }
 }
 

@@ -95,6 +95,14 @@ pub enum ConfigError {
         /// Configured group size.
         group: u32,
     },
+    /// A shard plan needs at least one shard and no more shards than
+    /// Hash-1 RAID-Groups (each shard must own at least one whole group).
+    BadShardCount {
+        /// Requested shard count.
+        shards: usize,
+        /// Available Hash-1 groups.
+        groups: u64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -114,6 +122,13 @@ impl fmt::Display for ConfigError {
                     f,
                     "{lines} lines is not a positive multiple of group² = {}",
                     (*group as u64) * (*group as u64)
+                )
+            }
+            ConfigError::BadShardCount { shards, groups } => {
+                write!(
+                    f,
+                    "{shards} shards cannot partition {groups} Hash-1 groups \
+                     (need 1 <= shards <= groups)"
                 )
             }
         }
@@ -151,6 +166,13 @@ pub struct SudokuConfig {
     /// lines with t+2 faults (e.g. two 3-fault lines under ECC-1) at the
     /// cost of O(mismatches²) extra trials. Off in the paper's design.
     pub sdr_pair_trials: bool,
+    /// Defer Hash-2 recovery to an external coordinator: the Hash-2 PLT is
+    /// still maintained on writes, but this cache's own recovery ladder
+    /// stops after Hash-1 (SDR included) and reports the leftovers as
+    /// unresolved. A sharded service sets this on its per-shard caches —
+    /// Hash-2 groups span shards, so their recovery runs in the cross-shard
+    /// coordinator instead.
+    pub defer_hash2: bool,
     /// Scrub schedule.
     pub scrub: ScrubSchedule,
 }
@@ -165,6 +187,7 @@ impl SudokuConfig {
             group_lines: 512,
             max_sdr_mismatches: 6,
             sdr_pair_trials: false,
+            defer_hash2: false,
             scrub: ScrubSchedule::paper_default(),
         }
     }
@@ -178,6 +201,7 @@ impl SudokuConfig {
             group_lines,
             max_sdr_mismatches: 6,
             sdr_pair_trials: false,
+            defer_hash2: false,
             scrub: ScrubSchedule::paper_default(),
         }
     }
@@ -186,6 +210,13 @@ impl SudokuConfig {
     /// [`SudokuConfig::sdr_pair_trials`]).
     pub fn with_pair_sdr(mut self) -> Self {
         self.sdr_pair_trials = true;
+        self
+    }
+
+    /// Defers Hash-2 recovery to an external coordinator (see
+    /// [`SudokuConfig::defer_hash2`]).
+    pub fn with_deferred_hash2(mut self) -> Self {
+        self.defer_hash2 = true;
         self
     }
 

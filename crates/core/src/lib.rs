@@ -34,6 +34,8 @@ mod cache;
 mod config;
 mod hashing;
 mod plt;
+pub mod recovery;
+mod shard;
 mod stats;
 mod store;
 mod vmin;
@@ -42,6 +44,8 @@ pub use cache::{scheme_supported, SudokuCache, UncorrectableError};
 pub use config::{CacheGeometry, ConfigError, Scheme, SudokuConfig};
 pub use hashing::{HashDim, SkewedHashes};
 pub use plt::ParityTable;
+pub use recovery::{GroupScratch, GroupView, MemberState, RepairEngine, RepairParams};
+pub use shard::ShardPlan;
 pub use stats::{CacheStats, ScrubReport, STT_READ_NS, STT_WRITE_NS, SYNDROME_CHECK_NS};
 pub use store::{DenseStore, LineStore, SparseStore};
 pub use vmin::VminCache;

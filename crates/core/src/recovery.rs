@@ -1,0 +1,452 @@
+//! The group-repair engine, factored out of [`SudokuCache`] so that every
+//! consumer drives *identical* correction logic.
+//!
+//! The engine implements the per-group half of the recovery ladder (paper
+//! §III-C–§V): build a corrected view of the group members (fixing
+//! ECC-1-correctable singles on the way), then RAID-4 when exactly one
+//! casualty remains, with Sequential Data Resurrection bridging the
+//! multi-casualty gap. What varies between consumers is *where the members
+//! live*:
+//!
+//! * [`SudokuCache`] repairs groups of its own store (the single-threaded
+//!   paper machine);
+//! * a sharded service repairs Hash-1 groups inside one shard and Hash-2
+//!   groups through a cross-shard coordinator that gathers members from
+//!   their owning shards.
+//!
+//! Both paths go through [`RepairEngine::repair_group`] over a
+//! [`GroupView`], so stats accounting, event emission, and the repair
+//! decisions themselves cannot diverge — the property the sharded
+//! determinism tests rely on.
+//!
+//! [`SudokuCache`]: crate::SudokuCache
+
+use crate::config::SudokuConfig;
+use crate::hashing::HashDim;
+use crate::stats::{CacheStats, ScrubReport, STT_READ_NS, STT_WRITE_NS, SYNDROME_CHECK_NS};
+use sudoku_codes::{LineCodec, ProtectedLine, ReadCheck, RepairKind};
+use sudoku_obs::{Dim, Mechanism, Outcome, Recorder, RecoveryEvent};
+
+/// Telemetry dimension tag for a hash dimension.
+#[inline]
+pub fn obs_dim(dim: HashDim) -> Dim {
+    match dim {
+        HashDim::H1 => Dim::H1,
+        HashDim::H2 => Dim::H2,
+    }
+}
+
+/// Builds and emits one recovery event. Callers gate on
+/// `recorder.enabled()` so the disabled path never constructs the event.
+#[inline]
+pub fn emit_event(
+    recorder: &mut Recorder,
+    line: u64,
+    group: Option<(HashDim, u64)>,
+    mechanism: Mechanism,
+    outcome: Outcome,
+    trials: u32,
+) {
+    recorder.emit(RecoveryEvent {
+        interval: 0, // stamped by the recorder
+        line,
+        group: group.map(|(_, g)| g),
+        hash_dim: group.map(|(d, _)| obs_dim(d)),
+        mechanism,
+        outcome,
+        trials,
+    });
+}
+
+/// Counts one per-line repair (ECC-1 payload fix or ECC-field regeneration)
+/// into the stats and, when telemetry is on, the event log and latency
+/// histogram — the §VII-B accounting of one line read, a syndrome check,
+/// and one write-back.
+pub fn record_repair(stats: &mut CacheStats, recorder: &mut Recorder, line: u64, kind: RepairKind) {
+    let mechanism = match kind {
+        RepairKind::PayloadBit(_) => {
+            stats.ecc1_repairs += 1;
+            Mechanism::Ecc1
+        }
+        RepairKind::EccField => {
+            stats.meta_repairs += 1;
+            Mechanism::EccField
+        }
+    };
+    if recorder.enabled() {
+        emit_event(recorder, line, None, mechanism, Outcome::Repaired, 0);
+        recorder
+            .hists
+            .line_recovery_ns
+            .record((STT_READ_NS + SYNDROME_CHECK_NS + STT_WRITE_NS) as u64);
+    }
+}
+
+/// State of one group member as presented to the repair engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemberState {
+    /// The member was reconstructed earlier in this recovery; the
+    /// reconstructed value takes precedence over the (possibly
+    /// re-corrupted) stored copy.
+    Recovered(ProtectedLine),
+    /// The member is unmaterialized in a sparse store — the zero codeword,
+    /// valid by construction.
+    Zero,
+    /// The raw (possibly faulty) stored copy.
+    Stored(ProtectedLine),
+}
+
+/// One RAID-Group's members as seen by [`RepairEngine::repair_group`]:
+/// where they live, how to read them, and how to write repairs back.
+///
+/// Implementations exist over a cache's own store (shard-local groups) and
+/// over members gathered from peer shards (cross-shard Hash-2 groups).
+pub trait GroupView {
+    /// Number of members in the group.
+    fn len(&self) -> usize;
+
+    /// Whether the group has no members (never true for a real group).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global line id of member `i`.
+    fn line_id(&self, i: usize) -> u64;
+
+    /// Pre-repair state of member `i`.
+    fn state(&self, i: usize) -> MemberState;
+
+    /// Write-back of a pass-1 single-bit repair: the store only.
+    fn commit_repair(&mut self, i: usize, line: ProtectedLine);
+
+    /// Write-back of a group reconstruction (RAID-4 or SDR): the store
+    /// *and* the recovered-value map consulted by [`GroupView::state`].
+    fn commit_reconstruction(&mut self, i: usize, line: ProtectedLine);
+
+    /// The group's parity line under the dimension being repaired.
+    fn parity(&self) -> ProtectedLine;
+}
+
+/// Reusable buffers for [`RepairEngine::repair_group`]: one group scan
+/// needs the corrected view and the faulty-index list, and recovery visits
+/// many groups per scrub — reusing the allocations keeps the per-group
+/// cost at the actual line reads.
+#[derive(Debug, Default)]
+pub struct GroupScratch {
+    view: Vec<ProtectedLine>,
+    faulty: Vec<usize>,
+}
+
+/// The scheme knobs the repair ladder consults (paper §IV–§V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepairParams {
+    /// Whether Sequential Data Resurrection is enabled (schemes Y and Z).
+    pub sdr_enabled: bool,
+    /// SDR gives up beyond this many parity-mismatch positions.
+    pub max_sdr_mismatches: u32,
+    /// The pair-flip SDR extension (off in the paper's design).
+    pub sdr_pair_trials: bool,
+}
+
+impl RepairParams {
+    /// Extracts the repair knobs from a cache configuration.
+    pub fn from_config(config: &SudokuConfig) -> Self {
+        RepairParams {
+            sdr_enabled: config.scheme.sdr_enabled(),
+            max_sdr_mismatches: config.max_sdr_mismatches,
+            sdr_pair_trials: config.sdr_pair_trials,
+        }
+    }
+}
+
+/// The group-repair ladder bound to one consumer's accounting: stats
+/// counters, telemetry recorder, and scheme parameters.
+///
+/// Short-lived by design — borrow the stats/recorder, repair one or more
+/// groups, drop.
+pub struct RepairEngine<'a> {
+    /// The shared line codec.
+    pub codec: &'static LineCodec,
+    /// Scheme knobs.
+    pub params: RepairParams,
+    /// Counter set receiving the accounting for this repair work.
+    pub stats: &'a mut CacheStats,
+    /// Telemetry recorder receiving events and histograms.
+    pub recorder: &'a mut Recorder,
+}
+
+impl RepairEngine<'_> {
+    #[inline]
+    fn emit(
+        &mut self,
+        line: u64,
+        group: Option<(HashDim, u64)>,
+        mechanism: Mechanism,
+        outcome: Outcome,
+        trials: u32,
+    ) {
+        emit_event(self.recorder, line, group, mechanism, outcome, trials);
+    }
+
+    /// Repairs one RAID-Group: read every member into a corrected buffer
+    /// (fixing singles, paper §III-C.2), then RAID-4 or SDR over the
+    /// buffer. With `fast`, members whose raw copy is the all-zero line
+    /// skip the CRC check (the zero codeword is valid by linearity).
+    pub fn repair_group<V: GroupView>(
+        &mut self,
+        dim: HashDim,
+        group: u64,
+        src: &mut V,
+        scratch: &mut GroupScratch,
+        report: &mut ScrubReport,
+        fast: bool,
+    ) {
+        self.stats.group_scans += 1;
+        scratch.view.clear();
+        scratch.faulty.clear();
+        let n = src.len();
+        // Pass 1: the corrected view. Previously reconstructed values take
+        // precedence over the (possibly re-corrupted) stored copies.
+        for i in 0..n {
+            match src.state(i) {
+                MemberState::Recovered(r) => scratch.view.push(r),
+                MemberState::Zero => scratch.view.push(ProtectedLine::zero()),
+                MemberState::Stored(raw) => {
+                    if fast && raw.is_zero() {
+                        // The all-zero codeword is valid by linearity.
+                        scratch.view.push(raw);
+                        continue;
+                    }
+                    self.stats.crc_checks += 1;
+                    match self.codec.scrub_check(&raw) {
+                        ReadCheck::Clean => scratch.view.push(raw),
+                        ReadCheck::Corrected { repaired, kind } => {
+                            record_repair(self.stats, self.recorder, src.line_id(i), kind);
+                            src.commit_repair(i, repaired);
+                            scratch.view.push(repaired);
+                        }
+                        ReadCheck::MultiBit => {
+                            scratch.view.push(raw);
+                            scratch.faulty.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        if self.recorder.enabled() {
+            self.recorder.hists.group_scan_lines.record(n as u64);
+        }
+        if !scratch.faulty.is_empty() {
+            // Plain RAID-4 reconstructs exactly one erased member; two or
+            // more casualties block it and escalate to SDR.
+            if scratch.faulty.len() >= 2 && self.recorder.enabled() {
+                for &fi in scratch.faulty.iter() {
+                    let line = src.line_id(fi);
+                    let trials = scratch.faulty.len() as u32;
+                    self.emit(
+                        line,
+                        Some((dim, group)),
+                        Mechanism::Raid4,
+                        Outcome::Blocked,
+                        trials,
+                    );
+                }
+            }
+            // Pass 2: Sequential Data Resurrection while >= 2 lines are
+            // faulty.
+            if scratch.faulty.len() >= 2 && self.params.sdr_enabled {
+                self.run_sdr(dim, group, src, scratch, report);
+            }
+            // Pass 3: a single remaining casualty falls to plain RAID-4.
+            if scratch.faulty.len() == 1 {
+                let vi = scratch.faulty[0];
+                if self.try_raid4(dim, group, vi, src, &scratch.view) {
+                    report.raid4_repairs += 1;
+                    if dim == HashDim::H2 {
+                        report.hash2_repairs += 1;
+                        self.stats.hash2_repairs += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// RAID-4 reconstruction of the member at view index `vi` from the
+    /// group parity and the corrected view of the remaining members; the
+    /// candidate must re-validate (CRC + ECC).
+    fn try_raid4<V: GroupView>(
+        &mut self,
+        dim: HashDim,
+        group: u64,
+        vi: usize,
+        src: &mut V,
+        view: &[ProtectedLine],
+    ) -> bool {
+        let mut candidate = src.parity();
+        for (i, line) in view.iter().enumerate() {
+            if i != vi {
+                candidate.xor_assign(line);
+            }
+        }
+        self.stats.crc_checks += 1;
+        let line = src.line_id(vi);
+        if self.codec.validate(&candidate) {
+            src.commit_reconstruction(vi, candidate);
+            self.stats.raid4_repairs += 1;
+            if self.recorder.enabled() {
+                self.emit(
+                    line,
+                    Some((dim, group)),
+                    Mechanism::Raid4,
+                    Outcome::Repaired,
+                    0,
+                );
+                // §VII-B: read every group member, write the victim back.
+                self.recorder
+                    .hists
+                    .line_recovery_ns
+                    .record((view.len() as f64 * STT_READ_NS + STT_WRITE_NS) as u64);
+            }
+            true
+        } else {
+            if self.recorder.enabled() {
+                self.emit(
+                    line,
+                    Some((dim, group)),
+                    Mechanism::Raid4,
+                    Outcome::Failed,
+                    0,
+                );
+            }
+            false
+        }
+    }
+
+    /// Validates an SDR candidate: the flip must leave at most a single
+    /// ECC-1-correctable fault and pass the CRC re-check.
+    fn sdr_accept(&self, candidate: &ProtectedLine) -> Option<ProtectedLine> {
+        match self.codec.scrub_check(candidate) {
+            ReadCheck::Clean => Some(*candidate),
+            ReadCheck::Corrected { repaired, .. } => Some(repaired),
+            ReadCheck::MultiBit => None,
+        }
+    }
+
+    /// SDR (paper §IV): compute the parity-mismatch positions over the
+    /// corrected view, then for each faulty line sequentially flip a
+    /// mismatched bit, apply ECC-1, and accept if the CRC validates.
+    /// Repairing one line shrinks the mismatch set and may unlock the
+    /// others; a final survivor goes to RAID-4 in the caller.
+    fn run_sdr<V: GroupView>(
+        &mut self,
+        dim: HashDim,
+        group: u64,
+        src: &mut V,
+        scratch: &mut GroupScratch,
+        report: &mut ScrubReport,
+    ) {
+        loop {
+            if scratch.faulty.len() < 2 {
+                return;
+            }
+            let mut computed = ProtectedLine::zero();
+            for line in scratch.view.iter() {
+                computed.xor_assign(line);
+            }
+            let parity = src.parity();
+            let mismatches = computed.diff_positions(&parity);
+            if mismatches.is_empty() || mismatches.len() > self.params.max_sdr_mismatches as usize {
+                // Fully overlapping faults (no mismatch) or too many
+                // candidates (paper §IV-C caps SDR at six positions).
+                if self.recorder.enabled() {
+                    for &fi in scratch.faulty.iter() {
+                        let line = src.line_id(fi);
+                        self.emit(line, Some((dim, group)), Mechanism::Sdr, Outcome::Failed, 0);
+                    }
+                }
+                return;
+            }
+            let round_start_trials = self.stats.sdr_trials;
+            let mut fixed_victim: Option<(usize, ProtectedLine)> = None;
+            'victims: for &vi in scratch.faulty.iter() {
+                let stored = scratch.view[vi];
+                for &pos in &mismatches {
+                    self.stats.sdr_trials += 1;
+                    self.stats.crc_checks += 1;
+                    let mut candidate = stored;
+                    candidate.flip_bit(pos);
+                    if let Some(fixed) = self.sdr_accept(&candidate) {
+                        fixed_victim = Some((vi, fixed));
+                        break 'victims; // recompute mismatches
+                    }
+                }
+                if self.params.sdr_pair_trials {
+                    // Extension: a line with t+2 faults needs *two* known
+                    // positions flipped before ECC-t can finish the job.
+                    for a in 0..mismatches.len() {
+                        for b in a + 1..mismatches.len() {
+                            self.stats.sdr_trials += 1;
+                            self.stats.crc_checks += 1;
+                            let mut candidate = stored;
+                            candidate.flip_bit(mismatches[a]);
+                            candidate.flip_bit(mismatches[b]);
+                            if let Some(fixed) = self.sdr_accept(&candidate) {
+                                fixed_victim = Some((vi, fixed));
+                                break 'victims;
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((vi, fixed)) = fixed_victim else {
+                if self.recorder.enabled() {
+                    // A failed round spends the same trial count on every
+                    // victim, so the per-line share is exact.
+                    let per_line =
+                        (self.stats.sdr_trials - round_start_trials) / scratch.faulty.len() as u64;
+                    for &fi in scratch.faulty.iter() {
+                        let line = src.line_id(fi);
+                        self.emit(
+                            line,
+                            Some((dim, group)),
+                            Mechanism::Sdr,
+                            Outcome::Failed,
+                            per_line as u32,
+                        );
+                    }
+                }
+                return;
+            };
+            src.commit_reconstruction(vi, fixed);
+            scratch.view[vi] = fixed;
+            scratch.faulty.retain(|&f| f != vi);
+            self.stats.sdr_repairs += 1;
+            if self.recorder.enabled() {
+                let round_trials = self.stats.sdr_trials - round_start_trials;
+                let line = src.line_id(vi);
+                self.emit(
+                    line,
+                    Some((dim, group)),
+                    Mechanism::Sdr,
+                    Outcome::Repaired,
+                    round_trials as u32,
+                );
+                self.recorder
+                    .hists
+                    .sdr_trials_per_resurrection
+                    .record(round_trials);
+                // §VII-B: the group scan, the flip-and-check trials (a few
+                // cycles each), the victim's write-back.
+                let ns = scratch.view.len() as f64 * STT_READ_NS
+                    + round_trials as f64 * 4.0 * SYNDROME_CHECK_NS
+                    + STT_WRITE_NS;
+                self.recorder.hists.line_recovery_ns.record(ns as u64);
+            }
+            report.sdr_repairs += 1;
+            if dim == HashDim::H2 {
+                report.hash2_repairs += 1;
+                self.stats.hash2_repairs += 1;
+            }
+        }
+    }
+}

@@ -193,6 +193,7 @@ pub fn observe_plan(plan: &[LineFaults], recorder: &mut sudoku_obs::Recorder) {
 #[derive(Clone, Debug)]
 pub struct FaultInjector {
     ber: f64,
+    seed: u64,
     rng: StdRng,
 }
 
@@ -207,6 +208,7 @@ impl FaultInjector {
         assert!((0.0..1.0).contains(&ber), "ber must be in [0, 1)");
         FaultInjector {
             ber,
+            seed,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -216,13 +218,28 @@ impl FaultInjector {
         self.ber
     }
 
+    /// The seed this injector was created (or last reseeded) with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Re-seeds the injector in place, restoring the exact state of
     /// `FaultInjector::new(self.ber(), seed)` without reconstructing it.
     /// Campaign workers use this to reuse a per-worker injector across
     /// trials while keeping each trial's fault stream deterministic in its
     /// trial seed alone.
     pub fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
         self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// A fresh injector with the same BER on an independent deterministic
+    /// stream: stream `s` of seed `k` always yields the same injector, and
+    /// distinct streams decorrelate via SplitMix64 mixing. A sharded
+    /// service forks one injector per shard so concurrent injection stays
+    /// reproducible regardless of thread interleaving.
+    pub fn fork(&self, stream: u64) -> FaultInjector {
+        FaultInjector::new(self.ber, splitmix64(self.seed ^ splitmix64(stream)))
     }
 
     /// Mutable access to the underlying RNG (for composed samplers).
@@ -289,6 +306,33 @@ impl FaultInjector {
             })
             .collect()
     }
+
+    /// A cache plan with the fault *positions* already drawn: the exact
+    /// RNG stream of [`FaultInjector::cache_plan`] followed by one
+    /// `choose_distinct` per faulty line in plan order — the sequence every
+    /// Monte-Carlo campaign applies. Useful when the same faults must be
+    /// applied to several caches (e.g. a sharded replica of a
+    /// single-threaded reference).
+    pub fn resolved_plan(&mut self, n_lines: u64) -> Vec<(u64, Vec<usize>)> {
+        let plan = self.cache_plan(n_lines);
+        plan.into_iter()
+            .map(|lf| {
+                let positions = choose_distinct(&mut self.rng, TOTAL_BITS as u64, lf.faults as u64)
+                    .into_iter()
+                    .map(|p| p as usize)
+                    .collect();
+                (lf.line, positions)
+            })
+            .collect()
+    }
+}
+
+/// SplitMix64 finalizer — the standard seed-spreading mix.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]
@@ -489,5 +533,40 @@ mod tests {
     #[should_panic(expected = "ber must be")]
     fn invalid_ber_rejected() {
         FaultInjector::new(1.5, 0);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_decorrelated() {
+        let base = FaultInjector::new(1e-3, 42);
+        let mut a1 = base.fork(3);
+        let mut a2 = base.fork(3);
+        let mut b = base.fork(4);
+        assert_eq!(a1.seed(), a2.seed());
+        let p1 = a1.cache_plan(1 << 12);
+        let p2 = a2.cache_plan(1 << 12);
+        assert_eq!(p1, p2, "same stream must replay identically");
+        assert_ne!(p1, b.cache_plan(1 << 12), "streams must differ");
+        // Forking must not disturb the parent's own stream.
+        let mut parent = FaultInjector::new(1e-3, 42);
+        let _ = parent.fork(9);
+        let mut untouched = FaultInjector::new(1e-3, 42);
+        assert_eq!(parent.cache_plan(1 << 12), untouched.cache_plan(1 << 12));
+    }
+
+    #[test]
+    fn resolved_plan_matches_manual_resolution() {
+        let mut a = FaultInjector::new(2e-3, 7);
+        let mut b = FaultInjector::new(2e-3, 7);
+        let resolved = a.resolved_plan(1 << 12);
+        let plan = b.cache_plan(1 << 12);
+        assert_eq!(resolved.len(), plan.len());
+        for ((line, positions), lf) in resolved.iter().zip(plan.iter()) {
+            assert_eq!(*line, lf.line);
+            let expect: Vec<usize> = choose_distinct(b.rng(), TOTAL_BITS as u64, lf.faults as u64)
+                .into_iter()
+                .map(|p| p as usize)
+                .collect();
+            assert_eq!(*positions, expect);
+        }
     }
 }

@@ -169,7 +169,68 @@ impl Histogram {
         obj.field_u64("max", self.max);
         obj.field_u64("p50", self.quantile(0.50));
         obj.field_u64("p99", self.quantile(0.99));
+        obj.field_u64("p999", self.quantile(0.999));
         obj.field_raw("buckets", &format!("[{}]", buckets.join(",")));
+        obj.finish()
+    }
+}
+
+/// The histogram set a concurrent cache service populates: end-to-end
+/// request latencies (queueing included), scrub-tick durations, cross-shard
+/// escalation durations, and sampled per-shard queue depths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServiceHistograms {
+    /// Demand-read latency in ns, send to reply.
+    pub read_latency_ns: Histogram,
+    /// Demand-write latency in ns, send to reply.
+    pub write_latency_ns: Histogram,
+    /// Wall-clock duration of one shard scrub tick, ns.
+    pub scrub_tick_ns: Histogram,
+    /// Wall-clock duration of one cross-shard escalation, ns.
+    pub escalation_ns: Histogram,
+    /// Sampled per-shard request-queue depth.
+    pub queue_depth: Histogram,
+}
+
+impl Default for ServiceHistograms {
+    fn default() -> Self {
+        ServiceHistograms {
+            read_latency_ns: Histogram::pow2(40),
+            write_latency_ns: Histogram::pow2(40),
+            scrub_tick_ns: Histogram::pow2(40),
+            escalation_ns: Histogram::pow2(40),
+            queue_depth: Histogram::pow2(20),
+        }
+    }
+}
+
+impl ServiceHistograms {
+    /// Merges another set (e.g. a worker's) into this one.
+    pub fn merge(&mut self, other: &ServiceHistograms) {
+        self.read_latency_ns.merge(&other.read_latency_ns);
+        self.write_latency_ns.merge(&other.write_latency_ns);
+        self.scrub_tick_ns.merge(&other.scrub_tick_ns);
+        self.escalation_ns.merge(&other.escalation_ns);
+        self.queue_depth.merge(&other.queue_depth);
+    }
+
+    /// Whether every histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.read_latency_ns.is_empty()
+            && self.write_latency_ns.is_empty()
+            && self.scrub_tick_ns.is_empty()
+            && self.escalation_ns.is_empty()
+            && self.queue_depth.is_empty()
+    }
+
+    /// JSON object with one entry per histogram.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_raw("read_latency_ns", &self.read_latency_ns.to_json());
+        obj.field_raw("write_latency_ns", &self.write_latency_ns.to_json());
+        obj.field_raw("scrub_tick_ns", &self.scrub_tick_ns.to_json());
+        obj.field_raw("escalation_ns", &self.escalation_ns.to_json());
+        obj.field_raw("queue_depth", &self.queue_depth.to_json());
         obj.finish()
     }
 }
@@ -288,6 +349,22 @@ mod tests {
         assert_eq!(h.min(), 0);
         let json = h.to_json();
         assert!(json.contains("\"count\":0"), "{json}");
+    }
+
+    #[test]
+    fn service_set_merge_and_json() {
+        let mut a = ServiceHistograms::default();
+        assert!(a.is_empty());
+        a.read_latency_ns.record(1_500);
+        a.queue_depth.record(3);
+        let mut b = ServiceHistograms::default();
+        b.read_latency_ns.record(9_000);
+        a.merge(&b);
+        assert_eq!(a.read_latency_ns.count(), 2);
+        assert!(!a.is_empty());
+        let json = a.to_json();
+        assert!(json.contains("read_latency_ns") && json.contains("queue_depth"));
+        assert!(json.contains("\"p999\""));
     }
 
     #[test]

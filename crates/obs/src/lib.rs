@@ -35,6 +35,6 @@ mod sink;
 mod span;
 
 pub use event::{Dim, Mechanism, Outcome, RecoveryEvent};
-pub use hist::{Histogram, RecoveryHistograms};
+pub use hist::{Histogram, RecoveryHistograms, ServiceHistograms};
 pub use sink::{EventSink, JsonlSink, MemorySink, NullSink, Recorder};
 pub use span::{Phase, PhaseTimes, PHASES};

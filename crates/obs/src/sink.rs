@@ -309,6 +309,27 @@ impl Recorder {
             SinkKind::Null | SinkKind::Memory(_) => {}
         }
     }
+
+    /// Merges a child recorder (typically a shard worker's) into this one:
+    /// histograms and phase spans accumulate, and the child's *retained*
+    /// events are appended to this recorder's sink with their original
+    /// interval stamps preserved (unlike [`Recorder::emit`], which
+    /// restamps). Events already streamed by the child, and its
+    /// dropped-event count, have nothing to transfer.
+    pub fn absorb(&mut self, mut child: Recorder) {
+        self.hists.merge(&child.hists);
+        self.phases.merge(&child.phases);
+        for event in child.drain_events() {
+            if !self.enabled {
+                break;
+            }
+            match &mut self.sink {
+                SinkKind::Null => {}
+                SinkKind::Memory(m) => m.record(&event),
+                SinkKind::Custom(c) => c.record(&event),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -403,6 +424,26 @@ mod tests {
             .collect();
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].line, 42);
+    }
+
+    #[test]
+    fn absorb_merges_hists_phases_and_events() {
+        let mut parent = Recorder::unbounded();
+        parent.set_interval(3);
+        parent.emit(ev(1));
+        parent.hists.faults_per_line.record(2);
+        let mut child = Recorder::ring(16);
+        child.set_interval(7);
+        child.emit(ev(2));
+        child.hists.faults_per_line.record(5);
+        child.phases.add(crate::span::Phase::Scrub, 0.25);
+        parent.absorb(child);
+        assert_eq!(parent.hists.faults_per_line.count(), 2);
+        assert_eq!(parent.phases.spans(crate::span::Phase::Scrub), 1);
+        let intervals: Vec<u64> = parent.events().map(|e| e.interval).collect();
+        // The child's stamp survives absorption; the parent's own event
+        // keeps its stamp too.
+        assert_eq!(intervals, vec![3, 7]);
     }
 
     #[test]

@@ -92,6 +92,7 @@ impl McConfig {
             group_lines: self.group,
             max_sdr_mismatches: 6,
             sdr_pair_trials: false,
+            defer_hash2: false,
             scrub: self.scrub,
         }
     }
@@ -658,6 +659,7 @@ impl GroupScenario {
             group_lines: self.group,
             max_sdr_mismatches: 6,
             sdr_pair_trials: self.pair_sdr,
+            defer_hash2: false,
             scrub: ScrubSchedule::paper_default(),
         }
     }

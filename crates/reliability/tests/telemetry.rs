@@ -169,6 +169,7 @@ impl SudokuConfigFor {
             group_lines: cfg.group,
             max_sdr_mismatches: 6,
             sdr_pair_trials: false,
+            defer_hash2: false,
             scrub: cfg.scrub,
         }
     }

@@ -35,4 +35,4 @@ pub use machine::{
 pub use runner::{
     compare_workload, geo_mean, run_resolved, run_workload, Comparison, RunResult, RunnerConfig,
 };
-pub use trace::{paper_workloads, Access, CoreSpec, TraceGen, Workload};
+pub use trace::{paper_workloads, Access, CoreSpec, TraceGen, Workload, ZipfGen};

@@ -562,7 +562,7 @@ mod tests {
         let sudoku = run(&r, CacheMode::sudoku_z());
         // Every store or fill updates both PLTs exactly once each.
         assert!(sudoku.plt_writes >= 2 * sudoku.llc_writes.max(sudoku.llc_misses));
-        assert!(sudoku.plt_writes % 2 == 0, "two PLTs per update");
+        assert!(sudoku.plt_writes.is_multiple_of(2), "two PLTs per update");
         let ideal = run(&r, CacheMode::Ideal);
         assert_eq!(ideal.plt_writes, 0);
     }

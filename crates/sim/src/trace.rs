@@ -108,6 +108,56 @@ impl TraceGen {
     }
 }
 
+/// Deterministic Zipfian line-address generator.
+///
+/// Ranks follow an approximate Zipf(θ) law over `0..n` via the continuous
+/// inverse-CDF `x = (1 + u·(n^{1-θ} − 1))^{1/(1-θ)}` (with the `n^u` limit
+/// at θ = 1) — the standard skewed-popularity model for cache front-end
+/// load generators: rank 0 is the hottest line, tail mass decays as a power
+/// law. Exact for the quantities a load test cares about (skew, hot-set
+/// concentration), O(1) per draw, no per-rank tables.
+#[derive(Clone, Debug)]
+pub struct ZipfGen {
+    n: u64,
+    theta: f64,
+    rng: StdRng,
+}
+
+impl ZipfGen {
+    /// A generator over `0..n` with skew `theta` (0 = uniform, 0.99 =
+    /// classic YCSB-style skew), seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or not finite.
+    pub fn new(n: u64, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "need a non-empty range");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be finite, >= 0"
+        );
+        ZipfGen {
+            n,
+            theta,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next rank in `0..n` (0 = most popular).
+    pub fn next_rank(&mut self) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let n = self.n as f64;
+        let x = if (self.theta - 1.0).abs() < 1e-9 {
+            // θ → 1 limit of the inverse CDF: n^u.
+            n.powf(u)
+        } else {
+            let one_t = 1.0 - self.theta;
+            (1.0 + u * (n.powf(one_t) - 1.0)).powf(1.0 / one_t)
+        };
+        (x as u64).clamp(1, self.n) - 1
+    }
+}
+
 const MB_LINES: u64 = (1024 * 1024) / 64;
 
 fn spec(apki: f64, write_frac: f64, foot_mb: u64, hot_kb: u64, hot_frac: f64) -> CoreSpec {
@@ -210,6 +260,45 @@ mod tests {
         let total: u64 = (0..50_000).map(|_| g.next_access().gap_instrs as u64).sum();
         let mean = total as f64 / 50_000.0;
         assert!((80.0..120.0).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_in_range() {
+        let run = || {
+            let mut z = ZipfGen::new(1000, 0.99, 7);
+            (0..500).map(|_| z.next_rank()).collect::<Vec<_>>()
+        };
+        let ranks = run();
+        assert_eq!(ranks, run());
+        assert!(ranks.iter().all(|&r| r < 1000));
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_low_ranks() {
+        // With θ = 0.99 over 10k items, a large share of draws must land in
+        // the top 1% of ranks; with θ = 0 the distribution is uniform.
+        let mut hot = 0u64;
+        let mut z = ZipfGen::new(10_000, 0.99, 11);
+        let draws = 20_000;
+        for _ in 0..draws {
+            if z.next_rank() < 100 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / draws as f64;
+        assert!(frac > 0.35, "zipf 0.99 top-1% share {frac}");
+        let mut uni = ZipfGen::new(10_000, 0.0, 11);
+        let mut hot_u = 0u64;
+        for _ in 0..draws {
+            if uni.next_rank() < 100 {
+                hot_u += 1;
+            }
+        }
+        let frac_u = hot_u as f64 / draws as f64;
+        assert!(
+            (frac_u - 0.01).abs() < 0.005,
+            "uniform top-1% share {frac_u}"
+        );
     }
 
     #[test]

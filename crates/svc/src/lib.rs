@@ -1,0 +1,40 @@
+//! # sudoku-svc
+//!
+//! The concurrent, sharded SuDoku cache **service**: the single-threaded
+//! [`SudokuCache`] of `sudoku-core` partitioned by Hash-1 RAID-Group into
+//! `N` shards and put behind worker threads, a background scrub daemon,
+//! and a load generator — recovery coexisting with demand traffic, the
+//! operating point the paper budgets for in §VII-B.
+//!
+//! Three layers:
+//!
+//! * [`ShardedCache`] — the sharded storage engine. Hash-1 groups are
+//!   distributed round-robin over shards, so the whole Hash-1 half of the
+//!   recovery ladder (ECC-1 → CRC detect → RAID-4 → SDR) is shard-local;
+//!   Hash-2 groups cross shards *by construction*, so SuDoku-Z recovery
+//!   escalates to a cross-shard coordinator that gathers members from
+//!   their owning shards and drives the same [`RepairEngine`] the
+//!   single-threaded cache uses. The deterministic whole-cache scrub
+//!   replicates the reference fixpoint schedule exactly — `N`-shard scrub
+//!   outcomes and `CacheStats` totals are invariant in `N`.
+//! * [`Service`] — the live front-end: per-shard bounded request queues
+//!   with backpressure, one worker thread per shard, a scrub daemon
+//!   ticking every shard with per-shard forked fault injectors, and
+//!   graceful drain/shutdown.
+//! * [`loadgen`] — replay of `sim::trace` workload mixes (or a zipfian
+//!   stream) against a running service at a target request rate, with a
+//!   golden-copy oracle that counts silent data corruption.
+//!
+//! [`SudokuCache`]: sudoku_core::SudokuCache
+//! [`RepairEngine`]: sudoku_core::RepairEngine
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod loadgen;
+mod service;
+mod sharded;
+
+pub use loadgen::{AddrMode, LoadReport, LoadgenConfig};
+pub use service::{ReadReply, Service, ServiceConfig, ServiceHandle, ServiceReport};
+pub use sharded::{merge_reports, ShardedCache};

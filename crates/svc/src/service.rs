@@ -1,0 +1,536 @@
+//! The live service front-end: per-shard worker threads behind bounded
+//! request queues, a background scrub daemon with per-shard forked fault
+//! injectors, and graceful drain/shutdown.
+//!
+//! Queueing/backpressure semantics: each shard has one bounded MPSC queue
+//! ([`std::sync::mpsc::sync_channel`]); producers block when a shard's
+//! queue is full, so a hot shard throttles its own clients rather than
+//! growing without bound. The queue is FIFO, which is also what makes
+//! shutdown a *drain*: the shutdown marker is enqueued last, so every
+//! request accepted before it is fully served first.
+//!
+//! The scrub daemon ticks shards round-robin on the configured interval:
+//! inject (per-shard decorrelated [`FaultInjector::fork`] streams, so
+//! concurrent injection is reproducible regardless of thread
+//! interleaving), then a shard-local Hash-1 scrub, then cross-shard
+//! escalation of whatever the shard could not resolve alone.
+
+use crate::sharded::ShardedCache;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use sudoku_codes::LineData;
+use sudoku_core::{CacheStats, ConfigError, Recorder, ShardPlan, SudokuConfig, UncorrectableError};
+use sudoku_fault::FaultInjector;
+use sudoku_obs::{RecoveryHistograms, ServiceHistograms};
+
+/// Configuration of a running [`Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// The cache geometry and scheme (the service applies
+    /// [`SudokuConfig::with_deferred_hash2`] internally per shard).
+    pub cache: SudokuConfig,
+    /// Number of shards = number of worker threads.
+    pub n_shards: usize,
+    /// Bound of each shard's request queue (producers block when full).
+    pub queue_depth: usize,
+    /// Scrub daemon tick period; `None` disables the daemon.
+    pub scrub_every: Option<Duration>,
+    /// Per-interval transient bit error rate injected by the daemon
+    /// (0.0 = scrub without injection).
+    pub ber: f64,
+    /// Master seed; per-shard injectors fork decorrelated streams from it.
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// A small functional-test configuration: SuDoku-Z, `lines` lines in
+    /// groups of 16, 4 shards, a 2 ms scrub tick.
+    pub fn small(lines: u64, n_shards: usize, ber: f64, seed: u64) -> Self {
+        ServiceConfig {
+            cache: SudokuConfig::small(sudoku_core::Scheme::Z, lines, 16),
+            n_shards,
+            queue_depth: 64,
+            scrub_every: Some(Duration::from_millis(2)),
+            ber,
+            seed,
+        }
+    }
+}
+
+/// One demand request to a shard worker.
+enum Request {
+    Read {
+        line: u64,
+        enqueued: Instant,
+        reply: Sender<ReadReply>,
+    },
+    Write {
+        line: u64,
+        data: LineData,
+        enqueued: Instant,
+    },
+    /// Drain marker: the worker exits after serving everything before it.
+    Shutdown,
+}
+
+/// The answer to a [`ServiceHandle`] read.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadReply {
+    /// The line that was read.
+    pub line: u64,
+    /// The recovered data, or a DUE.
+    pub result: Result<LineData, UncorrectableError>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct WorkerCounters {
+    reads: u64,
+    writes: u64,
+    escalated_reads: u64,
+    due_reads: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct DaemonCounters {
+    ticks: u64,
+    injected_lines: u64,
+    escalations: u64,
+    escalated_lines: u64,
+    unresolved_lines: u64,
+}
+
+/// End-of-run summary assembled by [`Service::shutdown`].
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// Shard count the service ran with.
+    pub shards: usize,
+    /// Aggregate cache counters (all shards + coordinator).
+    pub stats: CacheStats,
+    /// Per-shard cache counters.
+    pub per_shard: Vec<CacheStats>,
+    /// Service-level latency/queue-depth histograms (workers + daemon).
+    pub hists: ServiceHistograms,
+    /// Recovery-ladder histograms harvested from every shard recorder.
+    pub recovery_hists: RecoveryHistograms,
+    /// Demand reads served.
+    pub reads: u64,
+    /// Demand writes served.
+    pub writes: u64,
+    /// Demand reads that needed cross-shard escalation.
+    pub escalated_reads: u64,
+    /// Demand reads that remained uncorrectable (DUE).
+    pub due_reads: u64,
+    /// Scrub daemon ticks completed (one tick = one shard).
+    pub scrub_ticks: u64,
+    /// Lines faulted by the daemon's injectors.
+    pub injected_lines: u64,
+    /// Cross-shard escalations triggered by scrub leftovers.
+    pub escalations: u64,
+    /// Lines handed to those escalations.
+    pub escalated_lines: u64,
+    /// Lines still unresolved after escalation (scrub-detected DUEs).
+    pub unresolved_lines: u64,
+}
+
+impl ServiceReport {
+    /// Uncorrected lines from any path (demand DUEs + scrub DUEs).
+    pub fn total_due(&self) -> u64 {
+        self.due_reads + self.unresolved_lines
+    }
+
+    /// JSON object with the headline counters and latency quantiles.
+    pub fn to_json(&self) -> String {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_u64("shards", self.shards as u64)
+            .field_u64("reads", self.reads)
+            .field_u64("writes", self.writes)
+            .field_u64("escalated_reads", self.escalated_reads)
+            .field_u64("due_reads", self.due_reads)
+            .field_u64("scrub_ticks", self.scrub_ticks)
+            .field_u64("injected_lines", self.injected_lines)
+            .field_u64("escalations", self.escalations)
+            .field_u64("escalated_lines", self.escalated_lines)
+            .field_u64("unresolved_lines", self.unresolved_lines)
+            .field_raw("stats", &self.stats.to_json())
+            .field_raw("service_hists", &self.hists.to_json());
+        obj.finish()
+    }
+}
+
+/// A cloneable client of a running [`Service`]: routes each request to the
+/// owning shard's queue, blocking when that queue is full (backpressure).
+#[derive(Clone)]
+pub struct ServiceHandle {
+    plan: ShardPlan,
+    senders: Vec<SyncSender<Request>>,
+    depths: Arc<Vec<AtomicUsize>>,
+}
+
+impl ServiceHandle {
+    /// Enqueues a write for `line`'s shard, blocking on a full queue.
+    pub fn write(&self, line: u64, data: &LineData) {
+        let s = self.plan.shard_of_line(line);
+        self.depths[s].fetch_add(1, Ordering::Relaxed);
+        self.senders[s]
+            .send(Request::Write {
+                line,
+                data: *data,
+                enqueued: Instant::now(),
+            })
+            .expect("service is shut down");
+    }
+
+    /// Enqueues a read whose reply goes to `reply` (a caller-owned
+    /// channel, so a worker thread can keep several reads in flight).
+    pub fn read_to(&self, line: u64, reply: &Sender<ReadReply>) {
+        let s = self.plan.shard_of_line(line);
+        self.depths[s].fetch_add(1, Ordering::Relaxed);
+        self.senders[s]
+            .send(Request::Read {
+                line,
+                enqueued: Instant::now(),
+                reply: reply.clone(),
+            })
+            .expect("service is shut down");
+    }
+
+    /// Blocking read convenience: enqueue, wait for the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] when even cross-shard recovery failed (DUE).
+    pub fn read(&self, line: u64) -> Result<LineData, UncorrectableError> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.read_to(line, &tx);
+        rx.recv().expect("service is shut down").result
+    }
+
+    /// Current depth of each shard's request queue.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.depths
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The running concurrent sharded cache service.
+///
+/// # Examples
+///
+/// ```
+/// use sudoku_svc::{Service, ServiceConfig};
+/// use sudoku_codes::LineData;
+///
+/// let service = Service::start(ServiceConfig::small(256, 4, 0.0, 42))?;
+/// let handle = service.handle();
+/// let mut data = LineData::zero();
+/// data.set_bit(9, true);
+/// handle.write(17, &data);
+/// assert_eq!(handle.read(17)?, data);
+/// let report = service.shutdown();
+/// assert_eq!(report.writes, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Service {
+    state: Arc<ShardedCache>,
+    senders: Vec<SyncSender<Request>>,
+    depths: Arc<Vec<AtomicUsize>>,
+    workers: Vec<JoinHandle<(ServiceHistograms, WorkerCounters)>>,
+    daemon: Option<JoinHandle<(ServiceHistograms, DaemonCounters)>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Service {
+    /// Starts the shard workers (and the scrub daemon, when configured).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from cache/shard validation.
+    pub fn start(config: ServiceConfig) -> Result<Self, ConfigError> {
+        let state = Arc::new(ShardedCache::new(config.cache, config.n_shards)?);
+        let depths = Arc::new(
+            (0..config.n_shards)
+                .map(|_| AtomicUsize::new(0))
+                .collect::<Vec<_>>(),
+        );
+        let mut senders = Vec::with_capacity(config.n_shards);
+        let mut workers = Vec::with_capacity(config.n_shards);
+        for shard in 0..config.n_shards {
+            let (tx, rx) = sync_channel(config.queue_depth.max(1));
+            senders.push(tx);
+            let state = Arc::clone(&state);
+            let depths = Arc::clone(&depths);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&state, shard, &rx, &depths[shard])
+            }));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let daemon = config.scrub_every.map(|tick| {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let master = FaultInjector::new(config.ber, config.seed);
+            std::thread::spawn(move || daemon_loop(&state, tick, &master, &stop))
+        });
+        Ok(Service {
+            state,
+            senders,
+            depths,
+            workers,
+            daemon,
+            stop,
+        })
+    }
+
+    /// A new client handle (cheap to clone, safe to share across threads).
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            plan: *self.state.plan(),
+            senders: self.senders.clone(),
+            depths: Arc::clone(&self.depths),
+        }
+    }
+
+    /// The sharded storage engine behind the service (for direct
+    /// inspection in tests; demand traffic should go through handles).
+    pub fn state(&self) -> &Arc<ShardedCache> {
+        &self.state
+    }
+
+    /// Graceful drain and shutdown: stops the scrub daemon, enqueues a
+    /// drain marker behind every already-accepted request, joins all
+    /// threads, and assembles the end-of-run report. Every request
+    /// accepted before the call is fully served.
+    pub fn shutdown(self) -> ServiceReport {
+        // 1. Stop the daemon first so no new scrub work races the drain.
+        self.stop.store(true, Ordering::Relaxed);
+        let (mut hists, mut daemon_counters) =
+            (ServiceHistograms::default(), DaemonCounters::default());
+        if let Some(handle) = self.daemon {
+            let (h, c) = handle.join().expect("scrub daemon panicked");
+            hists.merge(&h);
+            daemon_counters = c;
+        }
+        // 2. Drain the shards: the FIFO queue serves everything enqueued
+        //    before the marker.
+        for tx in &self.senders {
+            let _ = tx.send(Request::Shutdown);
+        }
+        drop(self.senders);
+        let mut counters = WorkerCounters::default();
+        for worker in self.workers {
+            let (h, c) = worker.join().expect("shard worker panicked");
+            hists.merge(&h);
+            counters.reads += c.reads;
+            counters.writes += c.writes;
+            counters.escalated_reads += c.escalated_reads;
+            counters.due_reads += c.due_reads;
+        }
+        // 3. Harvest telemetry and counters from the quiesced engine.
+        let mut master = Recorder::unbounded();
+        self.state.harvest_recorders(&mut master);
+        ServiceReport {
+            shards: self.state.n_shards(),
+            stats: self.state.stats(),
+            per_shard: self.state.shard_stats(),
+            hists,
+            recovery_hists: master.hists,
+            reads: counters.reads,
+            writes: counters.writes,
+            escalated_reads: counters.escalated_reads,
+            due_reads: counters.due_reads,
+            scrub_ticks: daemon_counters.ticks,
+            injected_lines: daemon_counters.injected_lines,
+            escalations: daemon_counters.escalations,
+            escalated_lines: daemon_counters.escalated_lines,
+            unresolved_lines: daemon_counters.unresolved_lines,
+        }
+    }
+}
+
+fn worker_loop(
+    state: &ShardedCache,
+    _shard: usize,
+    rx: &Receiver<Request>,
+    depth: &AtomicUsize,
+) -> (ServiceHistograms, WorkerCounters) {
+    let mut hists = ServiceHistograms::default();
+    let mut counters = WorkerCounters::default();
+    while let Ok(request) = rx.recv() {
+        match request {
+            Request::Shutdown => break,
+            Request::Read {
+                line,
+                enqueued,
+                reply,
+            } => {
+                let d = depth.fetch_sub(1, Ordering::Relaxed);
+                hists.queue_depth.record(d as u64);
+                counters.reads += 1;
+                let result = match state.read_local(line) {
+                    Ok(data) => Ok(data),
+                    Err(_) => {
+                        // Shard-local (Hash-1) ladder exhausted: cross-shard
+                        // Hash-2 escalation, then one retry.
+                        counters.escalated_reads += 1;
+                        state.escalate(&[line]);
+                        state.read_local(line)
+                    }
+                };
+                if result.is_err() {
+                    counters.due_reads += 1;
+                }
+                hists
+                    .read_latency_ns
+                    .record(enqueued.elapsed().as_nanos() as u64);
+                let _ = reply.send(ReadReply { line, result });
+            }
+            Request::Write {
+                line,
+                data,
+                enqueued,
+            } => {
+                let d = depth.fetch_sub(1, Ordering::Relaxed);
+                hists.queue_depth.record(d as u64);
+                counters.writes += 1;
+                state.write(line, &data);
+                hists
+                    .write_latency_ns
+                    .record(enqueued.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+    (hists, counters)
+}
+
+fn daemon_loop(
+    state: &ShardedCache,
+    tick: Duration,
+    master: &FaultInjector,
+    stop: &AtomicBool,
+) -> (ServiceHistograms, DaemonCounters) {
+    let mut hists = ServiceHistograms::default();
+    let mut counters = DaemonCounters::default();
+    // One decorrelated injector per shard: the fault streams are fixed by
+    // (seed, shard) alone, independent of tick interleaving.
+    let mut injectors: Vec<FaultInjector> = (0..state.n_shards())
+        .map(|s| master.fork(s as u64))
+        .collect();
+    let mut next_shard = 0usize;
+    'daemon: loop {
+        // Sleep in small slices so shutdown stays prompt.
+        let deadline = Instant::now() + tick;
+        while Instant::now() < deadline {
+            if stop.load(Ordering::Relaxed) {
+                break 'daemon;
+            }
+            std::thread::sleep(tick.min(Duration::from_millis(1)));
+        }
+        let shard = next_shard;
+        next_shard = (next_shard + 1) % state.n_shards();
+        let started = Instant::now();
+        let injected = if master.ber() > 0.0 {
+            state.inject_shard(shard, &mut injectors[shard])
+        } else {
+            Vec::new()
+        };
+        counters.injected_lines += injected.len() as u64;
+        let (_report, leftover) = state.scrub_shard_local(shard, &injected);
+        hists
+            .scrub_tick_ns
+            .record(started.elapsed().as_nanos() as u64);
+        if !leftover.is_empty() {
+            let escalation_start = Instant::now();
+            let report = state.escalate(&leftover);
+            hists
+                .escalation_ns
+                .record(escalation_start.elapsed().as_nanos() as u64);
+            counters.escalations += 1;
+            counters.escalated_lines += leftover.len() as u64;
+            counters.unresolved_lines += report.unresolved.len() as u64;
+        }
+        counters.ticks += 1;
+    }
+    (hists, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_with(bits: &[usize]) -> LineData {
+        let mut d = LineData::zero();
+        for &b in bits {
+            d.set_bit(b, true);
+        }
+        d
+    }
+
+    #[test]
+    fn shutdown_drains_every_accepted_request() {
+        let mut config = ServiceConfig::small(256, 4, 0.0, 1);
+        config.scrub_every = None;
+        config.queue_depth = 4; // small queue: the test exercises blocking
+        let service = Service::start(config).unwrap();
+        let handle = service.handle();
+        for line in 0..200u64 {
+            handle.write(line, &data_with(&[line as usize % 512]));
+        }
+        let report = service.shutdown();
+        assert_eq!(report.writes, 200, "drain must serve every write");
+        assert_eq!(report.stats.writes, 200);
+        assert_eq!(report.due_reads, 0);
+    }
+
+    #[test]
+    fn concurrent_clients_roundtrip_against_separate_shards() {
+        let mut config = ServiceConfig::small(512, 4, 0.0, 2);
+        config.scrub_every = None;
+        let service = Service::start(config).unwrap();
+        std::thread::scope(|s| {
+            for worker in 0..4u64 {
+                let handle = service.handle();
+                s.spawn(move || {
+                    for i in 0..64u64 {
+                        let line = worker * 128 + i;
+                        let data = data_with(&[(line as usize * 3) % 512]);
+                        handle.write(line, &data);
+                        assert_eq!(handle.read(line).unwrap(), data);
+                    }
+                });
+            }
+        });
+        let report = service.shutdown();
+        assert_eq!(report.reads, 256);
+        assert_eq!(report.writes, 256);
+        assert_eq!(report.due_reads, 0);
+        assert!(report.hists.read_latency_ns.count() == 256);
+    }
+
+    #[test]
+    fn scrub_daemon_heals_injected_faults() {
+        let mut config = ServiceConfig::small(1024, 4, 2e-4, 3);
+        config.scrub_every = Some(Duration::from_millis(1));
+        let service = Service::start(config).unwrap();
+        let handle = service.handle();
+        // Demand traffic concurrent with injection + scrub.
+        for line in 0..256u64 {
+            handle.write(line * 4, &data_with(&[line as usize % 512]));
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        for line in 0..256u64 {
+            assert_eq!(
+                handle.read(line * 4).unwrap(),
+                data_with(&[line as usize % 512]),
+                "line {line} corrupted"
+            );
+        }
+        let report = service.shutdown();
+        assert!(report.scrub_ticks >= 4, "{report:?}");
+        assert!(report.injected_lines > 0, "{report:?}");
+        assert_eq!(report.due_reads, 0);
+    }
+}

@@ -1,0 +1,632 @@
+//! The sharded storage engine: `N` per-shard [`SudokuCache`]s plus a
+//! cross-shard Hash-2 coordinator.
+//!
+//! Sharding follows [`ShardPlan`]: Hash-1 RAID-Groups round-robin over
+//! shards, so every Hash-1 repair (ECC-1, CRC detect, RAID-4, SDR) touches
+//! exactly one shard, while every Hash-2 group spans several shards — the
+//! SuDoku-Z dimension is inherently a cross-shard protocol. Each shard is
+//! a full-geometry sparse [`SudokuCache`] with
+//! [`SudokuConfig::with_deferred_hash2`] set: the shard still maintains
+//! its slice of the Hash-2 PLT on writes (parity is linear, so the global
+//! Hash-2 parity of a group is the XOR of the per-shard slices), but its
+//! *own* recovery ladder stops after Hash-1. Whatever a shard cannot
+//! resolve locally escalates to the coordinator, which gathers the Hash-2
+//! group's members from their owning shards and drives the exact same
+//! [`RepairEngine`] the single-threaded cache uses.
+//!
+//! The deterministic whole-cache scrub ([`ShardedCache::scrub_lines`])
+//! replicates the reference fixpoint schedule — alternating a parallel
+//! shard-local Hash-1 pass with a coordinator-sequential Hash-2 pass until
+//! no progress — so recovery outcomes, [`ScrubReport`]s, and `CacheStats`
+//! totals are invariant in the shard count (property-tested for
+//! N ∈ {1, 2, 4, 8}).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, MutexGuard};
+use sudoku_codes::{LineCodec, LineData, ProtectedLine};
+use sudoku_core::{
+    CacheStats, ConfigError, GroupScratch, GroupView, HashDim, LineStore, MemberState, Recorder,
+    RepairEngine, RepairParams, ScrubReport, ShardPlan, SparseStore, SudokuCache, SudokuConfig,
+    UncorrectableError,
+};
+use sudoku_fault::FaultInjector;
+
+/// Cross-shard recovery state owned by the coordinator: its own counter
+/// pool, recorder, and scratch buffers, so Hash-2 accounting is attributed
+/// to the coordinator rather than to any one shard.
+struct Coordinator {
+    stats: CacheStats,
+    recorder: Recorder,
+    scratch: GroupScratch,
+}
+
+/// Per-call recovery state of one shard during a scrub or escalation.
+#[derive(Default)]
+struct ScrubState {
+    hints: Vec<u64>,
+    faulty: BTreeSet<u64>,
+    recovered: BTreeMap<u64, ProtectedLine>,
+    report: ScrubReport,
+}
+
+/// One shard's cache plus its in-flight recovery state, borrowed out of
+/// the shard mutexes for the duration of a scrub.
+struct Working<'a> {
+    cache: &'a mut SudokuCache<SparseStore>,
+    st: ScrubState,
+}
+
+/// A Hash-2 group's members gathered from their owning shards — the
+/// [`GroupView`] the coordinator drives the shared repair engine over.
+/// Parity is the XOR of the per-shard Hash-2 PLT slices (linearity);
+/// reconstructions commit into the owning shard's store and recovered map.
+struct GatherView<'a, 'b> {
+    plan: &'a ShardPlan,
+    work: &'a mut [Working<'b>],
+    members: &'a [u64],
+    parity: ProtectedLine,
+}
+
+impl GroupView for GatherView<'_, '_> {
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    fn line_id(&self, i: usize) -> u64 {
+        self.members[i]
+    }
+
+    fn state(&self, i: usize) -> MemberState {
+        let m = self.members[i];
+        let w = &self.work[self.plan.shard_of_line(m)];
+        if let Some(&r) = w.st.recovered.get(&m) {
+            MemberState::Recovered(r)
+        } else if !w.cache.store().is_materialized(m) {
+            MemberState::Zero
+        } else {
+            MemberState::Stored(w.cache.stored_line(m))
+        }
+    }
+
+    fn commit_repair(&mut self, i: usize, line: ProtectedLine) {
+        let m = self.members[i];
+        let w = &mut self.work[self.plan.shard_of_line(m)];
+        w.cache.set_stored_line(m, line);
+    }
+
+    fn commit_reconstruction(&mut self, i: usize, line: ProtectedLine) {
+        let m = self.members[i];
+        let w = &mut self.work[self.plan.shard_of_line(m)];
+        w.cache.set_stored_line(m, line);
+        w.st.recovered.insert(m, line);
+    }
+
+    fn parity(&self) -> ProtectedLine {
+        self.parity
+    }
+}
+
+/// Merges per-shard and coordinator [`ScrubReport`]s into the global view
+/// a single-threaded scrub would have produced: counters sum, unresolved
+/// lines concatenate and sort ascending.
+pub fn merge_reports<'a>(reports: impl IntoIterator<Item = &'a ScrubReport>) -> ScrubReport {
+    let mut out = ScrubReport::default();
+    for r in reports {
+        out.lines_checked += r.lines_checked;
+        out.ecc1_repairs += r.ecc1_repairs;
+        out.meta_repairs += r.meta_repairs;
+        out.multibit_lines += r.multibit_lines;
+        out.raid4_repairs += r.raid4_repairs;
+        out.sdr_repairs += r.sdr_repairs;
+        out.hash2_repairs += r.hash2_repairs;
+        out.unresolved.extend_from_slice(&r.unresolved);
+    }
+    out.unresolved.sort_unstable();
+    out
+}
+
+/// A SuDoku cache partitioned into `N` concurrent shards.
+///
+/// Thread-safe by construction: shards sit behind their own mutexes
+/// (demand traffic on different shards never contends), and cross-shard
+/// work acquires shard locks in ascending index order, then the
+/// coordinator — a total order, so concurrent escalations cannot deadlock.
+///
+/// # Examples
+///
+/// ```
+/// use sudoku_core::{Scheme, SudokuConfig};
+/// use sudoku_svc::ShardedCache;
+///
+/// let config = SudokuConfig::small(Scheme::Z, 256, 16);
+/// let cache = ShardedCache::new(config, 4)?;
+/// // Fully overlapping double faults defeat Hash-1 SDR; the cross-shard
+/// // Hash-2 coordinator resolves them.
+/// for line in [4u64, 5] {
+///     cache.inject_fault(line, 100);
+///     cache.inject_fault(line, 200);
+/// }
+/// let report = cache.scrub_lines(&[4, 5]);
+/// assert!(report.fully_repaired());
+/// assert!(report.hash2_repairs >= 1);
+/// # Ok::<(), sudoku_core::ConfigError>(())
+/// ```
+pub struct ShardedCache {
+    plan: ShardPlan,
+    config: SudokuConfig,
+    shards: Vec<Mutex<SudokuCache<SparseStore>>>,
+    coord: Mutex<Coordinator>,
+}
+
+impl ShardedCache {
+    /// Builds an `n_shards`-way sharded cache over `config`'s geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from validation, including
+    /// [`ConfigError::BadShardCount`] when the Hash-1 groups cannot be
+    /// divided among `n_shards`.
+    pub fn new(config: SudokuConfig, n_shards: usize) -> Result<Self, ConfigError> {
+        let plan = ShardPlan::new(&config, n_shards)?;
+        let shard_config = config.with_deferred_hash2();
+        let shards = (0..n_shards)
+            .map(|_| SudokuCache::new_sparse(shard_config).map(Mutex::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedCache {
+            plan,
+            config,
+            shards,
+            coord: Mutex::new(Coordinator {
+                stats: CacheStats::default(),
+                recorder: Recorder::ring(4096),
+                scratch: GroupScratch::default(),
+            }),
+        })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.plan.n_shards()
+    }
+
+    /// The shard partitioning in use.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The (non-deferred) cache configuration the shards were built from.
+    pub fn config(&self) -> &SudokuConfig {
+        &self.config
+    }
+
+    /// Writes `data` to `line` on its owning shard.
+    pub fn write(&self, line: u64, data: &LineData) {
+        self.shard(line).write(line, data);
+    }
+
+    /// Reads `line` from its owning shard, escalating to cross-shard
+    /// Hash-2 recovery when the shard-local (Hash-1-only) ladder fails.
+    ///
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] when even cross-shard recovery fails — a DUE.
+    pub fn read(&self, line: u64) -> Result<LineData, UncorrectableError> {
+        match self.read_local(line) {
+            Ok(data) => Ok(data),
+            Err(_) => {
+                // The owner gave up after Hash-1; gather the Hash-2 groups.
+                self.escalate(&[line]);
+                self.read_local(line)
+            }
+        }
+    }
+
+    /// Reads `line` using only the owning shard's (Hash-1) ladder, without
+    /// cross-shard escalation. The service worker uses this to count
+    /// escalations explicitly; most callers want [`ShardedCache::read`].
+    ///
+    /// # Errors
+    ///
+    /// [`UncorrectableError`] when the shard-local ladder fails.
+    pub fn read_local(&self, line: u64) -> Result<LineData, UncorrectableError> {
+        self.shard(line).read(line)
+    }
+
+    /// Flips one stored bit of `line` — a transient fault.
+    pub fn inject_fault(&self, line: u64, bit: usize) {
+        self.shard(line).inject_fault(line, bit);
+    }
+
+    /// Applies a resolved fault plan (line, fault positions) as produced by
+    /// [`FaultInjector::resolved_plan`], routing each line to its shard.
+    pub fn apply_resolved_plan(&self, plan: &[(u64, Vec<usize>)]) {
+        for (line, positions) in plan {
+            let mut shard = self.shard(*line);
+            for &pos in positions {
+                shard.inject_fault(*line, pos);
+            }
+        }
+    }
+
+    /// Injects one scrub interval's worth of transient faults into the
+    /// lines owned by `shard`, using the caller's (typically per-shard
+    /// forked) injector. Returns the faulted lines — the scan hints for the
+    /// following scrub tick.
+    pub fn inject_shard(&self, shard: usize, injector: &mut FaultInjector) -> Vec<u64> {
+        let plan = injector.resolved_plan(self.plan.owned_line_count(shard));
+        let mut cache = self.shards[shard].lock().unwrap();
+        let mut lines = Vec::with_capacity(plan.len());
+        for (idx, positions) in plan {
+            let line = self.plan.owned_line_at(shard, idx);
+            for pos in positions {
+                cache.inject_fault(line, pos);
+            }
+            lines.push(line);
+        }
+        lines
+    }
+
+    /// The stored (possibly faulty) line at `line`.
+    pub fn stored_line(&self, line: u64) -> ProtectedLine {
+        self.shard(line).stored_line(line)
+    }
+
+    /// Aggregate counters: the sum over all shards plus the coordinator —
+    /// the pool a single-threaded cache would have accumulated alone.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.merge(shard.lock().unwrap().stats());
+        }
+        total.merge(&self.coord.lock().unwrap().stats);
+        total
+    }
+
+    /// Per-shard counters (index = shard id), excluding the coordinator.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| *s.lock().unwrap().stats())
+            .collect()
+    }
+
+    /// The coordinator's own counters (cross-shard Hash-2 work).
+    pub fn coordinator_stats(&self) -> CacheStats {
+        self.coord.lock().unwrap().stats
+    }
+
+    /// Harvests every shard's telemetry recorder (and the coordinator's)
+    /// into `master`, leaving fresh ring recorders behind.
+    pub fn harvest_recorders(&self, master: &mut Recorder) {
+        for shard in &self.shards {
+            let old = shard.lock().unwrap().set_recorder(Recorder::ring(4096));
+            master.absorb(old);
+        }
+        let mut coord = self.coord.lock().unwrap();
+        let old = std::mem::replace(&mut coord.recorder, Recorder::ring(4096));
+        master.absorb(old);
+    }
+
+    /// Deterministic whole-service scrub of the listed lines (plus
+    /// whatever group recovery pulls in), replicating the single-threaded
+    /// [`SudokuCache::scrub_lines`] schedule exactly: scan, then alternate
+    /// a parallel shard-local Hash-1 pass with a coordinator-sequential
+    /// cross-shard Hash-2 pass until a fixpoint. Holds every shard lock
+    /// for the duration — the stop-the-world reference path.
+    pub fn scrub_lines(&self, hints: &[u64]) -> ScrubReport {
+        let mut guards = self.lock_all();
+        let mut work = Self::borrow_working(&mut guards);
+        for &line in hints {
+            work[self.plan.shard_of_line(line)].st.hints.push(line);
+        }
+        // Scan phase: per-line checks are line-local, so shards scan their
+        // own hinted lines concurrently.
+        std::thread::scope(|s| {
+            for w in work.iter_mut() {
+                s.spawn(move || {
+                    w.st.faulty = w
+                        .cache
+                        .scrub_scan(w.st.hints.drain(..), true, &mut w.st.report);
+                });
+            }
+        });
+        let coord_report = self.fixpoint(&mut work, true);
+        for w in work.iter_mut() {
+            w.st.report.unresolved = w.st.faulty.iter().copied().collect();
+            let mut report = std::mem::take(&mut w.st.report);
+            w.cache.finish_scrub(&mut report);
+            w.st.report = report;
+        }
+        merge_reports(work.iter().map(|w| &w.st.report).chain([&coord_report]))
+    }
+
+    /// Scrubs every line of the cache. Equivalent to
+    /// [`ShardedCache::scrub_lines`] over `0..n_lines`.
+    pub fn scrub(&self) -> ScrubReport {
+        let all: Vec<u64> = (0..self.config.geometry.lines()).collect();
+        self.scrub_lines(&all)
+    }
+
+    /// Shard-local scrub tick: scans the hinted lines owned by `shard` and
+    /// runs the Hash-1-only recovery fixpoint inside that shard, without
+    /// touching any other shard. Returns the tick's report and the lines
+    /// the shard could **not** resolve locally — the caller escalates
+    /// those via [`ShardedCache::escalate`]. No DUE accounting happens
+    /// here; a line is only a DUE once escalation also fails.
+    pub fn scrub_shard_local(&self, shard: usize, hints: &[u64]) -> (ScrubReport, Vec<u64>) {
+        let mut cache = self.shards[shard].lock().unwrap();
+        let mut report = ScrubReport::default();
+        let owned = hints
+            .iter()
+            .copied()
+            .filter(|&l| self.plan.shard_of_line(l) == shard);
+        let mut faulty = cache.scrub_scan(owned, true, &mut report);
+        let mut recovered = BTreeMap::new();
+        loop {
+            if faulty.is_empty() {
+                break;
+            }
+            let before = faulty.len();
+            cache.recovery_pass(HashDim::H1, &mut faulty, &mut recovered, &mut report, true);
+            if faulty.len() >= before {
+                break;
+            }
+        }
+        let leftover: Vec<u64> = faulty.into_iter().collect();
+        report.unresolved = leftover.clone();
+        (report, leftover)
+    }
+
+    /// Cross-shard escalation: re-verifies the given lines and drives the
+    /// full Hash-1 + Hash-2 fixpoint over all shards, with DUE accounting
+    /// for whatever still cannot be repaired. This is the recovery of last
+    /// resort behind failed demand reads and failed shard-local scrubs.
+    pub fn escalate(&self, lines: &[u64]) -> ScrubReport {
+        let mut guards = self.lock_all();
+        let mut work = Self::borrow_working(&mut guards);
+        for &line in lines {
+            work[self.plan.shard_of_line(line)].st.faulty.insert(line);
+        }
+        // Seeds may have been healed (or cleanly overwritten) since the
+        // caller saw them fail; keep only the still-multibit ones.
+        let empty = BTreeMap::new();
+        for w in work.iter_mut() {
+            let mut faulty = std::mem::take(&mut w.st.faulty);
+            w.cache.retain_multibit(&mut faulty, &empty);
+            w.st.faulty = faulty;
+        }
+        let coord_report = self.fixpoint(&mut work, true);
+        for w in work.iter_mut() {
+            w.st.report.unresolved = w.st.faulty.iter().copied().collect();
+            let mut report = std::mem::take(&mut w.st.report);
+            w.cache.finish_scrub(&mut report);
+            w.st.report = report;
+        }
+        merge_reports(work.iter().map(|w| &w.st.report).chain([&coord_report]))
+    }
+
+    fn shard(&self, line: u64) -> MutexGuard<'_, SudokuCache<SparseStore>> {
+        self.shards[self.plan.shard_of_line(line)].lock().unwrap()
+    }
+
+    /// Acquires every shard lock in ascending index order (the global lock
+    /// order, followed by the coordinator — see [`ShardedCache`]).
+    fn lock_all(&self) -> Vec<MutexGuard<'_, SudokuCache<SparseStore>>> {
+        self.shards.iter().map(|s| s.lock().unwrap()).collect()
+    }
+
+    fn borrow_working<'a, 'g>(
+        guards: &'a mut [MutexGuard<'g, SudokuCache<SparseStore>>],
+    ) -> Vec<Working<'a>> {
+        guards
+            .iter_mut()
+            .map(|g| Working {
+                cache: &mut *g,
+                st: ScrubState::default(),
+            })
+            .collect()
+    }
+
+    /// The recovery fixpoint over pre-seeded per-shard faulty sets: each
+    /// round runs the shard-local Hash-1 pass on every shard in parallel,
+    /// then (for schemes with a second hash) the coordinator's sequential
+    /// Hash-2 pass over gathered cross-shard groups, stopping when a round
+    /// makes no progress — the exact schedule of the single-threaded
+    /// ladder, which is what makes recovery shard-count-invariant.
+    fn fixpoint(&self, work: &mut [Working<'_>], fast: bool) -> ScrubReport {
+        let mut coord = self.coord.lock().unwrap();
+        let mut coord_report = ScrubReport::default();
+        let use_h2 = self.config.scheme.second_hash_enabled();
+        loop {
+            let before: usize = work.iter().map(|w| w.st.faulty.len()).sum();
+            if before == 0 {
+                break;
+            }
+            std::thread::scope(|s| {
+                for w in work.iter_mut() {
+                    s.spawn(move || {
+                        let mut faulty = std::mem::take(&mut w.st.faulty);
+                        w.cache.recovery_pass(
+                            HashDim::H1,
+                            &mut faulty,
+                            &mut w.st.recovered,
+                            &mut w.st.report,
+                            fast,
+                        );
+                        w.st.faulty = faulty;
+                    });
+                }
+            });
+            if use_h2 && work.iter().any(|w| !w.st.faulty.is_empty()) {
+                self.h2_pass(&mut coord, work, &mut coord_report, fast);
+                for w in work.iter_mut() {
+                    let mut faulty = std::mem::take(&mut w.st.faulty);
+                    w.cache.retain_multibit(&mut faulty, &w.st.recovered);
+                    w.st.faulty = faulty;
+                }
+            }
+            let after: usize = work.iter().map(|w| w.st.faulty.len()).sum();
+            if after >= before {
+                break;
+            }
+        }
+        coord_report
+    }
+
+    /// One coordinator Hash-2 pass: repair every implicated cross-shard
+    /// group in ascending group order, gathering members and parity slices
+    /// from the owning shards.
+    fn h2_pass(
+        &self,
+        coord: &mut Coordinator,
+        work: &mut [Working<'_>],
+        report: &mut ScrubReport,
+        fast: bool,
+    ) {
+        let hashes = self.plan.hashes();
+        let groups: BTreeSet<u64> = work
+            .iter()
+            .flat_map(|w| w.st.faulty.iter())
+            .map(|&l| hashes.group_of(HashDim::H2, l))
+            .collect();
+        for group in groups {
+            let members: Vec<u64> = hashes.members(HashDim::H2, group).collect();
+            let mut parity = ProtectedLine::zero();
+            for w in work.iter() {
+                parity.xor_assign(&w.cache.group_parity(HashDim::H2, group));
+            }
+            let mut view = GatherView {
+                plan: &self.plan,
+                work,
+                members: &members,
+                parity,
+            };
+            let mut engine = RepairEngine {
+                codec: LineCodec::shared(),
+                params: RepairParams::from_config(&self.config),
+                stats: &mut coord.stats,
+                recorder: &mut coord.recorder,
+            };
+            engine.repair_group(
+                HashDim::H2,
+                group,
+                &mut view,
+                &mut coord.scratch,
+                report,
+                fast,
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.n_shards())
+            .field("scheme", &self.config.scheme)
+            .field("lines", &self.config.geometry.lines())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudoku_core::Scheme;
+
+    fn data_with(bits: &[usize]) -> LineData {
+        let mut d = LineData::zero();
+        for &b in bits {
+            d.set_bit(b, true);
+        }
+        d
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_shards() {
+        let cache = ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 4).unwrap();
+        for line in 0..256u64 {
+            cache.write(line, &data_with(&[(line as usize * 7) % 512]));
+        }
+        for line in 0..256u64 {
+            assert_eq!(
+                cache.read(line).unwrap(),
+                data_with(&[(line as usize * 7) % 512])
+            );
+        }
+        assert_eq!(cache.stats().writes, 256);
+        assert_eq!(cache.stats().reads, 256);
+    }
+
+    #[test]
+    fn demand_read_escalates_across_shards() {
+        // Fig. 3(c) pattern: two lines of one Hash-1 group with identical
+        // fault positions — zero parity mismatch defeats shard-local SDR,
+        // and with defer_hash2 the shard's own read ladder stops there.
+        let cache = ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 2).unwrap();
+        let d4 = data_with(&[40, 41]);
+        let d5 = data_with(&[50, 51]);
+        cache.write(4, &d4);
+        cache.write(5, &d5);
+        for line in [4u64, 5] {
+            cache.inject_fault(line, 100);
+            cache.inject_fault(line, 200);
+        }
+        assert_eq!(cache.read(4).unwrap(), d4);
+        assert_eq!(cache.read(5).unwrap(), d5);
+        assert!(cache.coordinator_stats().raid4_repairs >= 1);
+    }
+
+    #[test]
+    fn bad_shard_count_is_rejected() {
+        let config = SudokuConfig::small(Scheme::Z, 256, 16);
+        assert!(matches!(
+            ShardedCache::new(config, 0),
+            Err(ConfigError::BadShardCount { .. })
+        ));
+        assert!(matches!(
+            ShardedCache::new(config, 17),
+            Err(ConfigError::BadShardCount { .. })
+        ));
+    }
+
+    #[test]
+    fn full_scrub_equals_hinted_scrub() {
+        let build = || {
+            let c = ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 4).unwrap();
+            c.inject_fault(7, 1);
+            c.inject_fault(7, 2);
+            c.inject_fault(40, 3);
+            c.inject_fault(40, 4);
+            c
+        };
+        let full = build();
+        let hinted = build();
+        let r1 = full.scrub();
+        let r2 = hinted.scrub_lines(&[7, 40]);
+        assert_eq!(r1.unresolved, r2.unresolved);
+        assert_eq!(r1.sdr_repairs, r2.sdr_repairs);
+        for line in 0..256 {
+            assert_eq!(full.stored_line(line), hinted.stored_line(line));
+        }
+    }
+
+    #[test]
+    fn merge_reports_sums_and_sorts() {
+        let a = ScrubReport {
+            lines_checked: 3,
+            unresolved: vec![9, 2],
+            ..ScrubReport::default()
+        };
+        let b = ScrubReport {
+            lines_checked: 4,
+            sdr_repairs: 1,
+            unresolved: vec![5],
+            ..ScrubReport::default()
+        };
+        let m = merge_reports([&a, &b]);
+        assert_eq!(m.lines_checked, 7);
+        assert_eq!(m.sdr_repairs, 1);
+        assert_eq!(m.unresolved, vec![2, 5, 9]);
+    }
+}

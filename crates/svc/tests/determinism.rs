@@ -1,0 +1,93 @@
+//! Shard-count invariance: for a fixed seed, an `N`-shard deterministic
+//! scrub must produce exactly the same [`ScrubReport`], the same aggregate
+//! [`CacheStats`], and the same stored lines as the single-threaded
+//! [`SudokuCache`] reference — for every `N ∈ {1, 2, 4, 8}`.
+
+use proptest::prelude::*;
+use sudoku_codes::LineData;
+use sudoku_core::{Scheme, SudokuCache, SudokuConfig};
+use sudoku_fault::FaultInjector;
+use sudoku_svc::ShardedCache;
+
+const LINES: u64 = 1024;
+const GROUP: u32 = 16;
+
+fn golden(i: u64) -> LineData {
+    let mut d = LineData::zero();
+    d.set_bit((i as usize * 37) % 512, true);
+    d.set_bit((i as usize * 11 + 201) % 512, true);
+    d
+}
+
+/// Runs one scrub campaign on the reference cache and on an `n_shards`
+/// sharded cache, asserting identical reports, stats, and stored lines.
+fn assert_invariant(n_shards: usize, seed: u64, ber: f64) {
+    let config = SudokuConfig::small(Scheme::Z, LINES, GROUP);
+    let mut reference = SudokuCache::new_sparse(config).expect("valid config");
+    let sharded = ShardedCache::new(config, n_shards).expect("valid shard count");
+    for i in 0..LINES {
+        let data = golden(i);
+        reference.write(i, &data);
+        sharded.write(i, &data);
+    }
+    let plan = FaultInjector::new(ber, seed).resolved_plan(LINES);
+    for (line, bits) in &plan {
+        for &bit in bits {
+            reference.inject_fault(*line, bit);
+        }
+    }
+    sharded.apply_resolved_plan(&plan);
+    let hints: Vec<u64> = plan.iter().map(|(line, _)| *line).collect();
+
+    let reference_report = reference.scrub_lines(&hints);
+    let sharded_report = sharded.scrub_lines(&hints);
+
+    assert_eq!(
+        reference_report, sharded_report,
+        "scrub reports diverge at n_shards={n_shards} seed={seed} ber={ber}"
+    );
+    assert_eq!(
+        *reference.stats(),
+        sharded.stats(),
+        "aggregate stats diverge at n_shards={n_shards} seed={seed} ber={ber}"
+    );
+    for i in 0..LINES {
+        assert_eq!(
+            reference.stored_line(i),
+            sharded.stored_line(i),
+            "stored line {i} diverges at n_shards={n_shards} seed={seed} ber={ber}"
+        );
+    }
+}
+
+#[test]
+fn scrub_outcome_is_invariant_in_shard_count() {
+    for n_shards in [1, 2, 4, 8] {
+        assert_invariant(n_shards, 0xD5D0_0001, 2e-3);
+    }
+}
+
+#[test]
+fn heavy_fault_load_stays_invariant() {
+    // High enough BER that RAID-4, SDR, and Hash-2 all fire.
+    for n_shards in [1, 2, 4, 8] {
+        assert_invariant(n_shards, 7, 8e-3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: N-shard scrub ≡ single-threaded scrub for arbitrary
+    /// seeds and fault rates across all supported shard counts.
+    #[test]
+    fn sharded_scrub_matches_reference(
+        seed in any::<u64>(),
+        ber_idx in 0usize..3,
+        shard_idx in 0usize..4,
+    ) {
+        let ber = [5e-4, 2e-3, 5e-3][ber_idx];
+        let n_shards = [1usize, 2, 4, 8][shard_idx];
+        assert_invariant(n_shards, seed, ber);
+    }
+}

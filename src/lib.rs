@@ -16,7 +16,10 @@
 //! * [`sim`] — the trace-driven performance and energy simulator behind
 //!   Figures 8 and 9;
 //! * [`obs`] — recovery-event telemetry: the escalation-chain event log,
-//!   allocation-free histograms, phase spans, and forensic replay.
+//!   allocation-free histograms, phase spans, and forensic replay;
+//! * [`svc`] — the concurrent sharded cache service: Hash-1-sharded
+//!   storage behind per-shard worker queues, a background scrub daemon,
+//!   cross-shard Hash-2 escalation, and a load generator.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! per-table/figure reproduction record. The `sudoku-bench` crate
@@ -48,3 +51,4 @@ pub use sudoku_fault as fault;
 pub use sudoku_obs as obs;
 pub use sudoku_reliability as reliability;
 pub use sudoku_sim as sim;
+pub use sudoku_svc as svc;
