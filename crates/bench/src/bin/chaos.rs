@@ -1,0 +1,347 @@
+//! Chaos soak: concurrent load against the sharded service while the
+//! harness injects worker panics (some holding the shard mutex, poisoning
+//! it), a scrub-daemon panic, permanent stuck-at cells, queue saturation,
+//! and a mid-run shutdown with producers still blocked on backpressure.
+//!
+//! ```text
+//! cargo run --release -p sudoku-bench --bin chaos -- --shards 4 --panic-shards 1
+//! cargo run --release -p sudoku-bench --bin chaos -- \
+//!     --shards 8 --panic-shards 2 --panic-daemon --stuck-ber 1e-5 --json
+//! ```
+//!
+//! The soak asserts the degraded-mode contract end to end:
+//!
+//! * **No client panic** — every client runs under `catch_unwind`; a
+//!   single unwinding client fails the run (exit 2).
+//! * **No SDC** — every client keeps a golden copy of its writes; a read
+//!   from a live shard that returns different data is silent corruption
+//!   (exit 2). Lines on quarantined shards are excluded: an accepted
+//!   write dropped by a dying worker is *lost*, not corrupted, and the
+//!   shard fails fast rather than serving stale data.
+//! * **Bounded DUE escalation** — detected-uncorrectable reads must stay
+//!   under `--max-due` (exit 3).
+//!
+//! `--json` writes `BENCH_chaos.json` with the full degraded-mode counter
+//! set for CI artifact upload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+use sudoku_bench::{flag, header};
+use sudoku_codes::LineData;
+use sudoku_core::{Scheme, SudokuConfig};
+use sudoku_fault::StuckBitMap;
+use sudoku_sim::ZipfGen;
+use sudoku_svc::{ReadReply, Service, ServiceConfig, ServiceError, ServiceHandle};
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+struct Opts {
+    shards: usize,
+    lines: u64,
+    clients: usize,
+    requests: u64,
+    ber: f64,
+    stuck_ber: f64,
+    tick_ms: u64,
+    queue: usize,
+    seed: u64,
+    panic_shards: usize,
+    panic_after_ms: u64,
+    shutdown_after_ms: u64,
+    max_due: u64,
+}
+
+impl Opts {
+    fn parse() -> Opts {
+        let argv: Vec<String> = std::env::args().collect();
+        let get = |flag: &str| -> Option<&str> {
+            argv.iter()
+                .position(|a| a == flag)
+                .and_then(|i| argv.get(i + 1))
+                .map(String::as_str)
+        };
+        let u =
+            |flag: &str, default: u64| get(flag).and_then(|v| v.parse().ok()).unwrap_or(default);
+        let f =
+            |flag: &str, default: f64| get(flag).and_then(|v| v.parse().ok()).unwrap_or(default);
+        Opts {
+            shards: u("--shards", 4) as usize,
+            lines: u("--lines", 1 << 13),
+            clients: u("--clients", 4) as usize,
+            requests: u("--requests", 200_000),
+            ber: f("--ber", 1e-4),
+            stuck_ber: f("--stuck-ber", 1e-5),
+            tick_ms: u("--tick-ms", 1),
+            queue: u("--queue", 8) as usize, // tiny: the soak lives under saturation
+            seed: u("--seed", 42),
+            panic_shards: u("--panic-shards", 1) as usize,
+            panic_after_ms: u("--panic-after-ms", 40),
+            shutdown_after_ms: u("--shutdown-after-ms", 120),
+            max_due: u("--max-due", u64::MAX),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClientResult {
+    reads: u64,
+    writes: u64,
+    sdc: u64,
+    due: u64,
+    shed: u64,
+    /// Reads served correctly after the client first saw a quarantine.
+    served_degraded: u64,
+}
+
+/// One chaos client: unpaced zipfian mix over its own line slice, golden
+/// oracle on every read, tolerant of every [`ServiceError`]. Returns when
+/// its quota is spent or the service shuts down under it.
+fn chaos_client(
+    handle: &ServiceHandle,
+    worker: u64,
+    workers: u64,
+    span: u64,
+    requests: u64,
+    write_frac: f64,
+    seed: u64,
+) -> ClientResult {
+    let mut result = ClientResult::default();
+    let mut golden: HashMap<u64, LineData> = HashMap::new();
+    let mut rng = StdRng::seed_from_u64(seed ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut zipf = ZipfGen::new(span, 0.8, seed ^ (worker << 17));
+    let mut saw_quarantine = false;
+    for i in 0..requests {
+        let line = zipf.next_rank() * workers + worker;
+        if rng.gen_bool(write_frac) {
+            let mut data = LineData::zero();
+            data.set_bit((line as usize).wrapping_mul(31) % 512, true);
+            data.set_bit((i as usize).wrapping_mul(7) % 512, true);
+            match handle.write(line, &data) {
+                Ok(()) => {
+                    golden.insert(line, data);
+                    result.writes += 1;
+                }
+                Err(ServiceError::ShuttingDown) => {
+                    result.shed += 1;
+                    break;
+                }
+                Err(_) => {
+                    saw_quarantine = true;
+                    result.shed += 1;
+                }
+            }
+        } else {
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel::<ReadReply>();
+            match handle.read_to(line, &reply_tx) {
+                Err(ServiceError::ShuttingDown) => {
+                    result.shed += 1;
+                    break;
+                }
+                Err(_) => {
+                    saw_quarantine = true;
+                    result.shed += 1;
+                    continue;
+                }
+                Ok(()) => {}
+            }
+            drop(reply_tx);
+            match reply_rx.recv() {
+                Err(_) => result.shed += 1, // stranded on a dying worker
+                Ok(reply) => match reply.result {
+                    Ok(data) => {
+                        result.reads += 1;
+                        if saw_quarantine {
+                            result.served_degraded += 1;
+                        }
+                        let expect = golden.get(&line).copied().unwrap_or_else(LineData::zero);
+                        // Oracle: only lines on live shards count. A line
+                        // whose shard died may have lost accepted writes —
+                        // that is shed availability, not silent corruption.
+                        if data != expect && !handle.quarantined().contains(&handle.shard_of(line))
+                        {
+                            result.sdc += 1;
+                        }
+                    }
+                    Err(e) if e.is_due() => {
+                        result.reads += 1;
+                        result.due += 1;
+                    }
+                    Err(_) => {
+                        saw_quarantine = true;
+                        result.shed += 1;
+                    }
+                },
+            }
+        }
+    }
+    result
+}
+
+fn main() {
+    let opts = Opts::parse();
+    header("Chaos soak (worker panics + stuck bits + saturation + mid-run shutdown)");
+    println!(
+        "shards = {}, clients = {}, lines = {}, queue = {}, ber = {:.2e}, stuck ber = {:.2e}, \
+         panic shards = {}, seed = {}",
+        opts.shards,
+        opts.clients,
+        opts.lines,
+        opts.queue,
+        opts.ber,
+        opts.stuck_ber,
+        opts.panic_shards,
+        opts.seed
+    );
+
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0xC0FF_EE00);
+    let stuck = StuckBitMap::random(&mut rng, opts.lines, opts.stuck_ber);
+    println!(
+        "stuck map: {} lines, {} stuck bits",
+        stuck.faulty_lines(),
+        stuck.total_stuck_bits()
+    );
+    let config = ServiceConfig {
+        cache: SudokuConfig::small(Scheme::Z, opts.lines, 16),
+        n_shards: opts.shards,
+        queue_depth: opts.queue,
+        scrub_every: Some(Duration::from_millis(opts.tick_ms.max(1))),
+        ber: opts.ber,
+        seed: opts.seed,
+        stuck,
+        degraded: Default::default(),
+    };
+    let service = Service::start(config).expect("valid service config");
+    let chaos_handle = service.handle();
+    let workers = opts.clients.max(1) as u64;
+    let span = (opts.lines / workers).max(1);
+
+    let mut client_panics = 0u64;
+    let mut totals = ClientResult::default();
+    let report = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..workers)
+            .map(|w| {
+                let handle = service.handle();
+                let requests = opts.requests;
+                s.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        chaos_client(&handle, w, workers, span, requests, 0.3, opts.seed)
+                    }))
+                })
+            })
+            .collect();
+
+        // Chaos controller: let the soak warm up under saturation, then
+        // kill workers (alternating plain and lock-holding panics), kill
+        // the daemon, and finally shut down mid-flight.
+        std::thread::sleep(Duration::from_millis(opts.panic_after_ms));
+        for shard in 0..opts.panic_shards.min(opts.shards.saturating_sub(1)) {
+            let hold_lock = shard % 2 == 1;
+            let _ = chaos_handle.inject_worker_panic(shard, hold_lock);
+            println!("injected worker panic: shard {shard} (hold_lock = {hold_lock})");
+        }
+        service.inject_daemon_panic();
+        println!("injected scrub daemon panic");
+        std::thread::sleep(Duration::from_millis(
+            opts.shutdown_after_ms.saturating_sub(opts.panic_after_ms),
+        ));
+        println!("mid-run shutdown (producers may be blocked on full queues)...");
+        let report = service.shutdown();
+        for join in joins {
+            match join.join().expect("client thread never unwinds") {
+                Ok(r) => {
+                    totals.reads += r.reads;
+                    totals.writes += r.writes;
+                    totals.sdc += r.sdc;
+                    totals.due += r.due;
+                    totals.shed += r.shed;
+                    totals.served_degraded += r.served_degraded;
+                }
+                Err(_) => client_panics += 1,
+            }
+        }
+        report
+    });
+
+    println!(
+        "clients: {} reads, {} writes, {} shed, {} due, {} sdc, {} served-degraded, {} panics",
+        totals.reads,
+        totals.writes,
+        totals.shed,
+        totals.due,
+        totals.sdc,
+        totals.served_degraded,
+        client_panics
+    );
+    println!(
+        "service: worker panics = {:?}, daemon panicked = {}, quarantined = {:?}",
+        report.worker_panics, report.daemon_panicked, report.quarantined
+    );
+    println!(
+        "degraded: {} rejects, {} spared lines, {} stuck reasserts, {} skipped H2 escalations",
+        report.degraded.shard_down_rejects,
+        report.degraded.spared_lines,
+        report.degraded.stuck_reasserts,
+        report.degraded.skipped_h2_escalations
+    );
+    println!(
+        "scrub: {} ticks ({} skipped), {} escalations, {} unresolved",
+        report.scrub_ticks, report.skipped_ticks, report.escalations, report.unresolved_lines
+    );
+
+    if flag("--json") {
+        let mut obj = sudoku_obs::json::JsonObject::new();
+        obj.field_str("name", "chaos_soak")
+            .field_u64("shards", opts.shards as u64)
+            .field_u64("clients", workers)
+            .field_u64("panic_shards", opts.panic_shards as u64)
+            .field_u64("reads", totals.reads)
+            .field_u64("writes", totals.writes)
+            .field_u64("shed", totals.shed)
+            .field_u64("due", totals.due)
+            .field_u64("sdc", totals.sdc)
+            .field_u64("served_degraded", totals.served_degraded)
+            .field_u64("client_panics", client_panics)
+            .field_bool("daemon_panicked", report.daemon_panicked)
+            .field_array_u64(
+                "worker_panics",
+                report.worker_panics.iter().map(|&s| s as u64),
+            )
+            .field_raw("degraded", &report.degraded.to_json())
+            .field_u64("seed", opts.seed)
+            .field_str("git_rev", &git_rev());
+        std::fs::write("BENCH_chaos.json", obj.finish() + "\n").expect("write BENCH_chaos.json");
+        println!("wrote BENCH_chaos.json");
+    }
+
+    if totals.sdc > 0 || client_panics > 0 {
+        eprintln!(
+            "FAIL: sdc = {}, client panics = {} (must both be 0)",
+            totals.sdc, client_panics
+        );
+        std::process::exit(2);
+    }
+    if totals.due > opts.max_due {
+        eprintln!(
+            "FAIL: due = {} exceeds --max-due {}",
+            totals.due, opts.max_due
+        );
+        std::process::exit(3);
+    }
+    if opts.panic_shards > 0 && totals.served_degraded == 0 && totals.reads > 0 {
+        eprintln!("FAIL: no reads served after quarantine — surviving shards did not serve");
+        std::process::exit(4);
+    }
+    println!("PASS: survived the soak with no SDC and no client panic");
+}

@@ -21,7 +21,8 @@
 use std::time::Duration;
 use sudoku_bench::{flag, header};
 use sudoku_core::{Scheme, SudokuConfig};
-use sudoku_svc::{AddrMode, LoadgenConfig, Service, ServiceConfig};
+use sudoku_fault::StuckBitMap;
+use sudoku_svc::{AddrMode, DegradedConfig, LoadgenConfig, Service, ServiceConfig};
 
 fn git_rev() -> String {
     std::process::Command::new("git")
@@ -93,6 +94,8 @@ fn main() {
         scrub_every: Some(Duration::from_millis(opts.tick_ms.max(1))),
         ber: opts.ber,
         seed: opts.seed,
+        stuck: StuckBitMap::new(),
+        degraded: DegradedConfig::default(),
     };
     let load_config = LoadgenConfig {
         workers: opts.clients,
@@ -145,6 +148,7 @@ fn main() {
             .field_u64("p999_read_ns", lat.quantile(0.999))
             .field_u64("sdc", report.sdc)
             .field_u64("due", report.due)
+            .field_u64("shed", report.shed)
             .field_u64("scrub_ticks", report.service.scrub_ticks)
             .field_u64("injected_lines", report.service.injected_lines)
             .field_u64("escalations", report.service.escalations)

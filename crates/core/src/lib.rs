@@ -48,7 +48,7 @@ pub use recovery::{GroupScratch, GroupView, MemberState, RepairEngine, RepairPar
 pub use shard::ShardPlan;
 pub use stats::{CacheStats, ScrubReport, STT_READ_NS, STT_WRITE_NS, SYNDROME_CHECK_NS};
 pub use store::{DenseStore, LineStore, SparseStore};
-pub use vmin::VminCache;
+pub use vmin::{reassert_stuck, VminCache};
 
 // The telemetry vocabulary is defined by the dependency-free `sudoku-obs`
 // crate; re-exported here so cache users need not name it directly.

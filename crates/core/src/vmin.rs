@@ -17,6 +17,29 @@ use crate::store::{DenseStore, LineStore};
 use sudoku_codes::LineData;
 use sudoku_fault::StuckBitMap;
 
+/// Reasserts the stuck cells of `line` onto `cache`'s stored copy — the
+/// physics step that follows every write or repair write-back to a line
+/// with permanent faults. Returns how many stored bits actually flipped.
+///
+/// Shared by [`VminCache`] and by sharded/service wrappers so the stuck-at
+/// behaviour cannot diverge between the single-threaded reference and the
+/// degraded-mode service path.
+pub fn reassert_stuck<S: LineStore>(
+    cache: &mut SudokuCache<S>,
+    stuck: &StuckBitMap,
+    line: u64,
+) -> usize {
+    let mut stored = cache.stored_line(line);
+    let before = stored;
+    let changed = stuck.apply(line, &mut stored);
+    if changed > 0 {
+        for bit in stored.diff_positions(&before) {
+            cache.inject_fault(line, bit);
+        }
+    }
+    changed
+}
+
 /// A SuDoku cache whose underlying array has stuck-at cells.
 pub struct VminCache<S = DenseStore> {
     inner: SudokuCache<S>,
@@ -58,13 +81,7 @@ impl<S: LineStore> VminCache<S> {
     }
 
     fn reassert(&mut self, idx: u64) {
-        let mut line = self.inner.stored_line(idx);
-        let before = line;
-        if self.stuck.apply(idx, &mut line) > 0 {
-            for bit in line.diff_positions(&before) {
-                self.inner.inject_fault(idx, bit);
-            }
-        }
+        reassert_stuck(&mut self.inner, &self.stuck, idx);
     }
 
     fn reassert_all(&mut self) {

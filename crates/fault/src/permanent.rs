@@ -78,6 +78,34 @@ impl StuckBitMap {
         self.faults.get(&line).map(Vec::as_slice)
     }
 
+    /// Whether `line` has at least one stuck bit.
+    pub fn is_stuck(&self, line: u64) -> bool {
+        self.faults.contains_key(&line)
+    }
+
+    /// Whether the map has no stuck bits at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The lines with at least one stuck bit, ascending.
+    pub fn lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.faults.keys().copied()
+    }
+
+    /// A new map holding only the lines `keep` accepts — e.g. the slice of
+    /// the physical fault population owned by one shard.
+    pub fn subset<F: FnMut(u64) -> bool>(&self, mut keep: F) -> StuckBitMap {
+        StuckBitMap {
+            faults: self
+                .faults
+                .iter()
+                .filter(|(&l, _)| keep(l))
+                .map(|(&l, v)| (l, v.clone()))
+                .collect(),
+        }
+    }
+
     /// Reasserts the stuck values onto a stored line (call after every
     /// write to that line). Returns how many bits actually changed.
     pub fn apply(&self, line: u64, stored: &mut ProtectedLine) -> usize {
@@ -153,5 +181,21 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_bit_rejected() {
         StuckBitMap::new().insert(0, 600, true);
+    }
+
+    #[test]
+    fn subset_and_lookups() {
+        let mut map = StuckBitMap::new();
+        map.insert(1, 10, true);
+        map.insert(4, 20, false);
+        map.insert(9, 30, true);
+        assert!(map.is_stuck(4));
+        assert!(!map.is_stuck(5));
+        assert!(!map.is_empty());
+        assert_eq!(map.lines().collect::<Vec<_>>(), vec![1, 4, 9]);
+        let odd = map.subset(|l| l % 2 == 1);
+        assert_eq!(odd.lines().collect::<Vec<_>>(), vec![1, 9]);
+        assert_eq!(odd.total_stuck_bits(), 2);
+        assert!(StuckBitMap::new().is_empty());
     }
 }

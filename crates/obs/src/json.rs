@@ -76,6 +76,31 @@ impl JsonObject {
         self
     }
 
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.push_key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an array of unsigned integers.
+    pub fn field_array_u64(
+        &mut self,
+        key: &str,
+        values: impl IntoIterator<Item = u64>,
+    ) -> &mut Self {
+        self.push_key(key);
+        self.buf.push('[');
+        for (i, v) in values.into_iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&v.to_string());
+        }
+        self.buf.push(']');
+        self
+    }
+
     /// Adds a pre-rendered JSON value (object, array, or literal) verbatim.
     pub fn field_raw(&mut self, key: &str, value: &str) -> &mut Self {
         self.push_key(key);
@@ -122,5 +147,18 @@ mod tests {
     #[test]
     fn empty_object() {
         assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn bool_and_array_fields() {
+        let mut obj = JsonObject::new();
+        obj.field_bool("ok", true);
+        obj.field_bool("bad", false);
+        obj.field_array_u64("xs", [3u64, 1, 4]);
+        obj.field_array_u64("empty", []);
+        assert_eq!(
+            obj.finish(),
+            "{\"ok\":true,\"bad\":false,\"xs\":[3,1,4],\"empty\":[]}"
+        );
     }
 }

@@ -1,0 +1,89 @@
+//! The typed error surface of the degraded-mode service.
+//!
+//! Every client-facing operation returns `Result<_, ServiceError>` instead
+//! of panicking: a dead shard is an error *for requests routed to it*, not
+//! a process abort, and a shut-down service is an error, not a poisoned
+//! `expect`. The variants are deliberately few — clients only need to
+//! distinguish "this line is gone" (retry elsewhere / surface upstream),
+//! "this shard is gone" (the other N−1 still serve), and "the service is
+//! gone" (stop sending).
+
+use std::fmt;
+use sudoku_core::UncorrectableError;
+
+/// Why a service request could not be served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The line's owning shard is quarantined (its worker panicked or its
+    /// state mutex was poisoned); requests to it fail fast while the
+    /// remaining shards keep serving.
+    ShardDown(usize),
+    /// The service is shutting down (or already shut down); the request
+    /// was not accepted.
+    ShuttingDown,
+    /// The read was served but the line is detectably uncorrectable — a
+    /// DUE, the honest failure mode of the SuDoku ladder.
+    Uncorrectable(UncorrectableError),
+}
+
+impl ServiceError {
+    /// Whether this is a detected-uncorrectable (DUE) outcome, as opposed
+    /// to an availability failure.
+    pub fn is_due(&self) -> bool {
+        matches!(self, ServiceError::Uncorrectable(_))
+    }
+
+    /// The quarantined shard, when the error is [`ServiceError::ShardDown`].
+    pub fn shard(&self) -> Option<usize> {
+        match self {
+            ServiceError::ShardDown(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::ShardDown(s) => write!(f, "shard {s} is quarantined"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Uncorrectable(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Uncorrectable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UncorrectableError> for ServiceError {
+    fn from(e: UncorrectableError) -> Self {
+        ServiceError::Uncorrectable(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_classification() {
+        let down = ServiceError::ShardDown(3);
+        assert_eq!(down.to_string(), "shard 3 is quarantined");
+        assert_eq!(down.shard(), Some(3));
+        assert!(!down.is_due());
+        let due = ServiceError::from(UncorrectableError { line: 9 });
+        assert!(due.is_due());
+        assert_eq!(due.shard(), None);
+        assert!(due.to_string().contains("line 9"));
+        assert_eq!(
+            ServiceError::ShuttingDown.to_string(),
+            "service is shutting down"
+        );
+    }
+}

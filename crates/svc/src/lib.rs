@@ -25,16 +25,28 @@
 //!   stream) against a running service at a target request rate, with a
 //!   golden-copy oracle that counts silent data corruption.
 //!
+//! The service is **degraded-mode tolerant**: nothing on the client path
+//! panics. Handle operations return [`ServiceError`]; a shard whose worker
+//! panicked (or whose mutex was poisoned) is quarantined behind
+//! [`ShardHealth`] while the other N−1 shards keep serving; permanently
+//! faulty (stuck-at) cells reassert after every write and repair, and
+//! lines the ladder keeps losing to them are remapped to per-shard
+//! [`SpareTable`]s. See the [`degraded`] module.
+//!
 //! [`SudokuCache`]: sudoku_core::SudokuCache
 //! [`RepairEngine`]: sudoku_core::RepairEngine
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod degraded;
+mod error;
 pub mod loadgen;
 mod service;
 mod sharded;
 
+pub use degraded::{DegradedConfig, DegradedStats, ShardHealth, SpareTable};
+pub use error::ServiceError;
 pub use loadgen::{AddrMode, LoadReport, LoadgenConfig};
 pub use service::{ReadReply, Service, ServiceConfig, ServiceHandle, ServiceReport};
 pub use sharded::{merge_reports, ShardedCache};

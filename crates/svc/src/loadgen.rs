@@ -78,6 +78,9 @@ pub struct LoadReport {
     pub sdc: u64,
     /// Reads that returned a detected uncorrectable error.
     pub due: u64,
+    /// Requests shed for availability reasons: rejected at the door
+    /// (quarantined shard / shutdown) or stranded when a worker died.
+    pub shed: u64,
     /// Wall-clock duration of the load phase.
     pub elapsed: Duration,
     /// Achieved request rate.
@@ -97,6 +100,7 @@ impl LoadReport {
             .field_u64("writes", self.writes)
             .field_u64("sdc", self.sdc)
             .field_u64("due", self.due)
+            .field_u64("shed", self.shed)
             .field_f64("elapsed_s", self.elapsed.as_secs_f64())
             .field_f64("req_per_sec", self.req_per_sec)
             .field_u64("p50_read_ns", lat.quantile(0.50))
@@ -112,6 +116,7 @@ struct WorkerResult {
     writes: u64,
     sdc: u64,
     due: u64,
+    shed: u64,
 }
 
 /// Runs the load against `service`, then drains and shuts it down.
@@ -142,6 +147,7 @@ pub fn run(service: Service, config: &LoadgenConfig) -> LoadReport {
         writes: 0,
         sdc: 0,
         due: 0,
+        shed: 0,
         elapsed,
         req_per_sec: 0.0,
         service: service.shutdown(),
@@ -151,6 +157,7 @@ pub fn run(service: Service, config: &LoadgenConfig) -> LoadReport {
         report.writes += r.writes;
         report.sdc += r.sdc;
         report.due += r.due;
+        report.shed += r.shed;
     }
     report.requests = report.reads + report.writes;
     report.req_per_sec = report.requests as f64 / elapsed.as_secs_f64().max(1e-9);
@@ -171,6 +178,7 @@ fn load_worker(
         writes: 0,
         sdc: 0,
         due: 0,
+        shed: 0,
     };
     let mut golden: HashMap<u64, LineData> = HashMap::new();
     let mut rng = StdRng::seed_from_u64(config.seed ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -187,7 +195,6 @@ fn load_worker(
     let pace = (config.target_rps > 0)
         .then(|| Duration::from_secs_f64(workers as f64 / config.target_rps as f64));
     let mut next_due = Instant::now();
-    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<ReadReply>();
     for i in 0..config.requests_per_worker {
         if let Some(pace) = pace {
             let now = Instant::now();
@@ -211,21 +218,43 @@ fn load_worker(
             let mut data = LineData::zero();
             data.set_bit((line as usize).wrapping_mul(31) % 512, true);
             data.set_bit((i as usize).wrapping_mul(7) % 512, true);
-            handle.write(line, &data);
-            golden.insert(line, data);
-            result.writes += 1;
-        } else {
-            handle.read_to(line, &reply_tx);
-            let reply = reply_rx.recv().expect("service is shut down");
-            result.reads += 1;
-            match reply.result {
-                Ok(data) => {
-                    let expect = golden.get(&line).copied().unwrap_or_else(LineData::zero);
-                    if data != expect {
-                        result.sdc += 1;
-                    }
+            match handle.write(line, &data) {
+                Ok(()) => {
+                    golden.insert(line, data);
+                    result.writes += 1;
                 }
-                Err(_) => result.due += 1,
+                // Rejected at the door: nothing was accepted, the golden
+                // copy stays authoritative for the line's last good value.
+                Err(_) => result.shed += 1,
+            }
+        } else {
+            // Per-request reply channel: our sender is dropped before the
+            // recv, so a request that dies with its worker disconnects the
+            // channel (counted as shed) instead of hanging the client.
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel::<ReadReply>();
+            if handle.read_to(line, &reply_tx).is_err() {
+                result.shed += 1;
+                continue;
+            }
+            drop(reply_tx);
+            match reply_rx.recv() {
+                // The worker died with our request in flight.
+                Err(_) => result.shed += 1,
+                Ok(reply) => match reply.result {
+                    Ok(data) => {
+                        result.reads += 1;
+                        let expect = golden.get(&line).copied().unwrap_or_else(LineData::zero);
+                        if data != expect {
+                            result.sdc += 1;
+                        }
+                    }
+                    Err(e) if e.is_due() => {
+                        result.reads += 1;
+                        result.due += 1;
+                    }
+                    // Availability reply (shard went down after accepting).
+                    Err(_) => result.shed += 1,
+                },
             }
         }
     }
@@ -246,6 +275,7 @@ mod tests {
         assert_eq!(report.requests, 1000);
         assert_eq!(report.sdc, 0);
         assert_eq!(report.due, 0);
+        assert_eq!(report.shed, 0);
         assert_eq!(report.service.reads, report.reads);
         assert!(report.req_per_sec > 0.0);
         let json = report.to_json();

@@ -14,20 +14,42 @@
 //! concurrent injection is reproducible regardless of thread
 //! interleaving), then a shard-local Hash-1 scrub, then cross-shard
 //! escalation of whatever the shard could not resolve alone.
+//!
+//! # Failure semantics
+//!
+//! Nothing on the client path panics. Every handle operation returns
+//! `Result<_, `[`ServiceError`]`>`:
+//!
+//! * A worker panic (real or injected via
+//!   [`ServiceHandle::inject_worker_panic`]) is caught at the request
+//!   boundary; the shard is **quarantined**, its queued requests are
+//!   drained with an error reply, and subsequent requests to it fail fast
+//!   with [`ServiceError::ShardDown`] while the other N−1 shards keep
+//!   serving. The worker's histograms and counters survive into the final
+//!   report.
+//! * A scrub daemon panic is caught per tick; scrubbing stops but demand
+//!   traffic continues, and [`ServiceReport::daemon_panicked`] says so.
+//! * Shutdown never panics: dead workers are recorded in
+//!   [`ServiceReport::worker_panics`], surviving telemetry is harvested
+//!   (a poisoned shard mutex does not block counter collection), and the
+//!   degraded-mode counters land in [`ServiceReport::degraded`].
 
+use crate::degraded::{DegradedConfig, DegradedStats};
+use crate::error::ServiceError;
 use crate::sharded::ShardedCache;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use sudoku_codes::LineData;
-use sudoku_core::{CacheStats, ConfigError, Recorder, ShardPlan, SudokuConfig, UncorrectableError};
-use sudoku_fault::FaultInjector;
+use sudoku_core::{CacheStats, ConfigError, Recorder, ShardPlan, SudokuConfig};
+use sudoku_fault::{FaultInjector, StuckBitMap};
 use sudoku_obs::{RecoveryHistograms, ServiceHistograms};
 
 /// Configuration of a running [`Service`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// The cache geometry and scheme (the service applies
     /// [`SudokuConfig::with_deferred_hash2`] internally per shard).
@@ -43,11 +65,16 @@ pub struct ServiceConfig {
     pub ber: f64,
     /// Master seed; per-shard injectors fork decorrelated streams from it.
     pub seed: u64,
+    /// Permanent (stuck-at) cells of the underlying array — physics, not
+    /// controller state: they reassert after every write and repair.
+    pub stuck: StuckBitMap,
+    /// Quarantine/sparing policy for degraded operation.
+    pub degraded: DegradedConfig,
 }
 
 impl ServiceConfig {
     /// A small functional-test configuration: SuDoku-Z, `lines` lines in
-    /// groups of 16, 4 shards, a 2 ms scrub tick.
+    /// groups of 16, 4 shards, a 2 ms scrub tick, a pristine array.
     pub fn small(lines: u64, n_shards: usize, ber: f64, seed: u64) -> Self {
         ServiceConfig {
             cache: SudokuConfig::small(sudoku_core::Scheme::Z, lines, 16),
@@ -56,6 +83,8 @@ impl ServiceConfig {
             scrub_every: Some(Duration::from_millis(2)),
             ber,
             seed,
+            stuck: StuckBitMap::new(),
+            degraded: DegradedConfig::default(),
         }
     }
 }
@@ -72,6 +101,10 @@ enum Request {
         data: LineData,
         enqueued: Instant,
     },
+    /// Chaos injection: the worker panics on purpose when it dequeues
+    /// this, optionally while holding its shard's state mutex (which
+    /// poisons it, like a real mid-repair panic would).
+    Panic { hold_lock: bool },
     /// Drain marker: the worker exits after serving everything before it.
     Shutdown,
 }
@@ -81,8 +114,8 @@ enum Request {
 pub struct ReadReply {
     /// The line that was read.
     pub line: u64,
-    /// The recovered data, or a DUE.
-    pub result: Result<LineData, UncorrectableError>,
+    /// The recovered data, a DUE, or an availability error.
+    pub result: Result<LineData, ServiceError>,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -91,11 +124,13 @@ struct WorkerCounters {
     writes: u64,
     escalated_reads: u64,
     due_reads: u64,
+    failed_writes: u64,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
 struct DaemonCounters {
     ticks: u64,
+    skipped_ticks: u64,
     injected_lines: u64,
     escalations: u64,
     escalated_lines: u64,
@@ -119,12 +154,16 @@ pub struct ServiceReport {
     pub reads: u64,
     /// Demand writes served.
     pub writes: u64,
+    /// Demand writes rejected (owning shard down).
+    pub failed_writes: u64,
     /// Demand reads that needed cross-shard escalation.
     pub escalated_reads: u64,
     /// Demand reads that remained uncorrectable (DUE).
     pub due_reads: u64,
     /// Scrub daemon ticks completed (one tick = one shard).
     pub scrub_ticks: u64,
+    /// Daemon ticks skipped because the shard was quarantined.
+    pub skipped_ticks: u64,
     /// Lines faulted by the daemon's injectors.
     pub injected_lines: u64,
     /// Cross-shard escalations triggered by scrub leftovers.
@@ -133,6 +172,14 @@ pub struct ServiceReport {
     pub escalated_lines: u64,
     /// Lines still unresolved after escalation (scrub-detected DUEs).
     pub unresolved_lines: u64,
+    /// Shards whose worker panicked (caught; shard quarantined).
+    pub worker_panics: Vec<usize>,
+    /// Whether the scrub daemon died to a caught panic.
+    pub daemon_panicked: bool,
+    /// Shards quarantined at shutdown (worker panics + poisoned locks).
+    pub quarantined: Vec<usize>,
+    /// Degraded-mode counters: sparing, stuck-cell physics, fail-fasts.
+    pub degraded: DegradedStats,
 }
 
 impl ServiceReport {
@@ -141,19 +188,33 @@ impl ServiceReport {
         self.due_reads + self.unresolved_lines
     }
 
+    /// Whether the run ended with every shard up and no caught panics.
+    pub fn fully_healthy(&self) -> bool {
+        self.worker_panics.is_empty() && !self.daemon_panicked && self.quarantined.is_empty()
+    }
+
     /// JSON object with the headline counters and latency quantiles.
     pub fn to_json(&self) -> String {
         let mut obj = sudoku_obs::json::JsonObject::new();
         obj.field_u64("shards", self.shards as u64)
             .field_u64("reads", self.reads)
             .field_u64("writes", self.writes)
+            .field_u64("failed_writes", self.failed_writes)
             .field_u64("escalated_reads", self.escalated_reads)
             .field_u64("due_reads", self.due_reads)
             .field_u64("scrub_ticks", self.scrub_ticks)
+            .field_u64("skipped_ticks", self.skipped_ticks)
             .field_u64("injected_lines", self.injected_lines)
             .field_u64("escalations", self.escalations)
             .field_u64("escalated_lines", self.escalated_lines)
             .field_u64("unresolved_lines", self.unresolved_lines)
+            .field_array_u64(
+                "worker_panics",
+                self.worker_panics.iter().map(|&s| s as u64),
+            )
+            .field_bool("daemon_panicked", self.daemon_panicked)
+            .field_array_u64("quarantined", self.quarantined.iter().map(|&s| s as u64))
+            .field_raw("degraded", &self.degraded.to_json())
             .field_raw("stats", &self.stats.to_json())
             .field_raw("service_hists", &self.hists.to_json());
         obj.finish()
@@ -167,12 +228,45 @@ pub struct ServiceHandle {
     plan: ShardPlan,
     senders: Vec<SyncSender<Request>>,
     depths: Arc<Vec<AtomicUsize>>,
+    state: Arc<ShardedCache>,
 }
 
 impl ServiceHandle {
+    /// The shard that owns `line` (useful for interpreting
+    /// [`ServiceError::ShardDown`]).
+    pub fn shard_of(&self, line: u64) -> usize {
+        self.plan.shard_of_line(line)
+    }
+
+    /// Shards currently quarantined, ascending.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.state.health().quarantined()
+    }
+
+    /// Why a send to shard `s` failed: the shard died, or the whole
+    /// service is shutting down.
+    fn disconnect_error(&self, s: usize) -> ServiceError {
+        if self.state.health().is_up(s) {
+            ServiceError::ShuttingDown
+        } else {
+            self.state.note_reject();
+            ServiceError::ShardDown(s)
+        }
+    }
+
     /// Enqueues a write for `line`'s shard, blocking on a full queue.
-    pub fn write(&self, line: u64, data: &LineData) {
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShardDown`] when the owning shard is quarantined,
+    /// [`ServiceError::ShuttingDown`] when the service no longer accepts
+    /// requests. Either way the write was **not** accepted.
+    pub fn write(&self, line: u64, data: &LineData) -> Result<(), ServiceError> {
         let s = self.plan.shard_of_line(line);
+        if !self.state.health().is_up(s) {
+            self.state.note_reject();
+            return Err(ServiceError::ShardDown(s));
+        }
         self.depths[s].fetch_add(1, Ordering::Relaxed);
         self.senders[s]
             .send(Request::Write {
@@ -180,13 +274,26 @@ impl ServiceHandle {
                 data: *data,
                 enqueued: Instant::now(),
             })
-            .expect("service is shut down");
+            .map_err(|_| {
+                // Not accepted: undo the depth accounting.
+                self.depths[s].fetch_sub(1, Ordering::Relaxed);
+                self.disconnect_error(s)
+            })
     }
 
     /// Enqueues a read whose reply goes to `reply` (a caller-owned
     /// channel, so a worker thread can keep several reads in flight).
-    pub fn read_to(&self, line: u64, reply: &Sender<ReadReply>) {
+    ///
+    /// # Errors
+    ///
+    /// Same acceptance errors as [`ServiceHandle::write`]; on `Err` no
+    /// reply will arrive for this request.
+    pub fn read_to(&self, line: u64, reply: &Sender<ReadReply>) -> Result<(), ServiceError> {
         let s = self.plan.shard_of_line(line);
+        if !self.state.health().is_up(s) {
+            self.state.note_reject();
+            return Err(ServiceError::ShardDown(s));
+        }
         self.depths[s].fetch_add(1, Ordering::Relaxed);
         self.senders[s]
             .send(Request::Read {
@@ -194,18 +301,46 @@ impl ServiceHandle {
                 enqueued: Instant::now(),
                 reply: reply.clone(),
             })
-            .expect("service is shut down");
+            .map_err(|_| {
+                self.depths[s].fetch_sub(1, Ordering::Relaxed);
+                self.disconnect_error(s)
+            })
     }
 
     /// Blocking read convenience: enqueue, wait for the reply.
     ///
     /// # Errors
     ///
-    /// [`UncorrectableError`] when even cross-shard recovery failed (DUE).
-    pub fn read(&self, line: u64) -> Result<LineData, UncorrectableError> {
+    /// [`ServiceError::Uncorrectable`] when even cross-shard recovery
+    /// failed (DUE), [`ServiceError::ShardDown`] when the owning shard is
+    /// quarantined (including mid-flight: a request that dies with its
+    /// worker reports the shard, never a panic), and
+    /// [`ServiceError::ShuttingDown`] when the service is gone.
+    pub fn read(&self, line: u64) -> Result<LineData, ServiceError> {
         let (tx, rx) = std::sync::mpsc::channel();
-        self.read_to(line, &tx);
-        rx.recv().expect("service is shut down").result
+        self.read_to(line, &tx)?;
+        // Drop our sender so a worker that dies holding the only other
+        // clone disconnects the channel instead of leaving us waiting.
+        drop(tx);
+        match rx.recv() {
+            Ok(reply) => reply.result,
+            // The worker dropped our reply sender without answering: it
+            // panicked (or the service is tearing down) after accepting.
+            Err(_) => Err(self.disconnect_error(self.plan.shard_of_line(line))),
+        }
+    }
+
+    /// Chaos hook: makes `shard`'s worker panic when it dequeues this
+    /// request — with `hold_lock`, while holding the shard's state mutex,
+    /// poisoning it exactly like an organic mid-repair panic.
+    ///
+    /// # Errors
+    ///
+    /// The same acceptance errors as any other request.
+    pub fn inject_worker_panic(&self, shard: usize, hold_lock: bool) -> Result<(), ServiceError> {
+        self.senders[shard]
+            .send(Request::Panic { hold_lock })
+            .map_err(|_| self.disconnect_error(shard))
     }
 
     /// Current depth of each shard's request queue.
@@ -229,19 +364,21 @@ impl ServiceHandle {
 /// let handle = service.handle();
 /// let mut data = LineData::zero();
 /// data.set_bit(9, true);
-/// handle.write(17, &data);
+/// handle.write(17, &data)?;
 /// assert_eq!(handle.read(17)?, data);
 /// let report = service.shutdown();
 /// assert_eq!(report.writes, 1);
+/// assert!(report.fully_healthy());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Service {
     state: Arc<ShardedCache>,
     senders: Vec<SyncSender<Request>>,
     depths: Arc<Vec<AtomicUsize>>,
-    workers: Vec<JoinHandle<(ServiceHistograms, WorkerCounters)>>,
-    daemon: Option<JoinHandle<(ServiceHistograms, DaemonCounters)>>,
+    workers: Vec<JoinHandle<(ServiceHistograms, WorkerCounters, bool)>>,
+    daemon: Option<JoinHandle<(ServiceHistograms, DaemonCounters, bool)>>,
     stop: Arc<AtomicBool>,
+    daemon_panic: Arc<AtomicBool>,
 }
 
 impl Service {
@@ -251,7 +388,12 @@ impl Service {
     ///
     /// Propagates [`ConfigError`] from cache/shard validation.
     pub fn start(config: ServiceConfig) -> Result<Self, ConfigError> {
-        let state = Arc::new(ShardedCache::new(config.cache, config.n_shards)?);
+        let state = Arc::new(ShardedCache::with_faults(
+            config.cache,
+            config.n_shards,
+            config.stuck,
+            config.degraded,
+        )?);
         let depths = Arc::new(
             (0..config.n_shards)
                 .map(|_| AtomicUsize::new(0))
@@ -269,11 +411,13 @@ impl Service {
             }));
         }
         let stop = Arc::new(AtomicBool::new(false));
+        let daemon_panic = Arc::new(AtomicBool::new(false));
         let daemon = config.scrub_every.map(|tick| {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
+            let panic_flag = Arc::clone(&daemon_panic);
             let master = FaultInjector::new(config.ber, config.seed);
-            std::thread::spawn(move || daemon_loop(&state, tick, &master, &stop))
+            std::thread::spawn(move || daemon_loop(&state, tick, &master, &stop, &panic_flag))
         });
         Ok(Service {
             state,
@@ -282,6 +426,7 @@ impl Service {
             workers,
             daemon,
             stop,
+            daemon_panic,
         })
     }
 
@@ -291,6 +436,7 @@ impl Service {
             plan: *self.state.plan(),
             senders: self.senders.clone(),
             depths: Arc::clone(&self.depths),
+            state: Arc::clone(&self.state),
         }
     }
 
@@ -300,36 +446,71 @@ impl Service {
         &self.state
     }
 
+    /// Chaos hook: the scrub daemon panics at the start of its next tick
+    /// (caught; scrubbing stops, demand traffic continues, and the report
+    /// says [`ServiceReport::daemon_panicked`]).
+    pub fn inject_daemon_panic(&self) {
+        self.daemon_panic.store(true, Ordering::Relaxed);
+    }
+
     /// Graceful drain and shutdown: stops the scrub daemon, enqueues a
     /// drain marker behind every already-accepted request, joins all
     /// threads, and assembles the end-of-run report. Every request
-    /// accepted before the call is fully served.
+    /// accepted before the call is fully served by live shards; requests
+    /// stranded on dead shards produce error replies, never hangs.
+    ///
+    /// Never panics: dead workers and a dead daemon are reported in
+    /// [`ServiceReport::worker_panics`] / [`ServiceReport::daemon_panicked`],
+    /// with their surviving telemetry still harvested.
     pub fn shutdown(self) -> ServiceReport {
         // 1. Stop the daemon first so no new scrub work races the drain.
         self.stop.store(true, Ordering::Relaxed);
         let (mut hists, mut daemon_counters) =
             (ServiceHistograms::default(), DaemonCounters::default());
+        let mut daemon_panicked = false;
         if let Some(handle) = self.daemon {
-            let (h, c) = handle.join().expect("scrub daemon panicked");
-            hists.merge(&h);
-            daemon_counters = c;
+            match handle.join() {
+                Ok((h, c, panicked)) => {
+                    hists.merge(&h);
+                    daemon_counters = c;
+                    daemon_panicked = panicked;
+                }
+                // The per-tick catch_unwind makes this unreachable short of
+                // a panic in the loop scaffolding itself; report it anyway.
+                Err(_) => daemon_panicked = true,
+            }
         }
         // 2. Drain the shards: the FIFO queue serves everything enqueued
-        //    before the marker.
+        //    before the marker. A dead worker's channel just errors.
         for tx in &self.senders {
             let _ = tx.send(Request::Shutdown);
         }
         drop(self.senders);
         let mut counters = WorkerCounters::default();
-        for worker in self.workers {
-            let (h, c) = worker.join().expect("shard worker panicked");
-            hists.merge(&h);
-            counters.reads += c.reads;
-            counters.writes += c.writes;
-            counters.escalated_reads += c.escalated_reads;
-            counters.due_reads += c.due_reads;
+        let mut worker_panics = Vec::new();
+        for (shard, worker) in self.workers.into_iter().enumerate() {
+            match worker.join() {
+                Ok((h, c, panicked)) => {
+                    hists.merge(&h);
+                    counters.reads += c.reads;
+                    counters.writes += c.writes;
+                    counters.escalated_reads += c.escalated_reads;
+                    counters.due_reads += c.due_reads;
+                    counters.failed_writes += c.failed_writes;
+                    if panicked {
+                        worker_panics.push(shard);
+                    }
+                }
+                Err(_) => {
+                    // Panic escaped the catch (scaffolding bug): still no
+                    // propagation — quarantine and report.
+                    self.state.health().quarantine(shard);
+                    worker_panics.push(shard);
+                }
+            }
         }
-        // 3. Harvest telemetry and counters from the quiesced engine.
+        // 3. Harvest telemetry and counters from the quiesced engine —
+        //    including from quarantined shards (poison-tolerant locks).
         let mut master = Recorder::unbounded();
         self.state.harvest_recorders(&mut master);
         ServiceReport {
@@ -340,70 +521,160 @@ impl Service {
             recovery_hists: master.hists,
             reads: counters.reads,
             writes: counters.writes,
+            failed_writes: counters.failed_writes,
             escalated_reads: counters.escalated_reads,
             due_reads: counters.due_reads,
             scrub_ticks: daemon_counters.ticks,
+            skipped_ticks: daemon_counters.skipped_ticks,
             injected_lines: daemon_counters.injected_lines,
             escalations: daemon_counters.escalations,
             escalated_lines: daemon_counters.escalated_lines,
             unresolved_lines: daemon_counters.unresolved_lines,
+            worker_panics,
+            daemon_panicked,
+            quarantined: self.state.health().quarantined(),
+            degraded: self.state.degraded_stats(),
+        }
+    }
+}
+
+/// Serves one dequeued request. Split out of [`worker_loop`] so the loop
+/// can wrap each request in `catch_unwind` — a panic mid-request (organic
+/// or injected) must kill the *shard*, not the process, and must not take
+/// the accumulated histograms/counters down with it.
+fn serve_request(
+    state: &ShardedCache,
+    shard: usize,
+    request: Request,
+    depth: &AtomicUsize,
+    hists: &mut ServiceHistograms,
+    counters: &mut WorkerCounters,
+) {
+    match request {
+        Request::Shutdown => unreachable!("drain marker is handled by the loop"),
+        Request::Panic { hold_lock } => state.chaos_panic(shard, hold_lock),
+        Request::Read {
+            line,
+            enqueued,
+            reply,
+        } => {
+            let d = depth.fetch_sub(1, Ordering::Relaxed);
+            hists.queue_depth.record(d as u64);
+            counters.reads += 1;
+            let result = match state.read_local(line) {
+                Ok(data) => Ok(data),
+                Err(ServiceError::Uncorrectable(_)) => {
+                    // Shard-local (Hash-1) ladder exhausted: cross-shard
+                    // Hash-2 escalation, fetching the repaired value.
+                    counters.escalated_reads += 1;
+                    state.escalate_fetch(line)
+                }
+                // Availability errors (the shard died under us) reply
+                // as-is — escalation cannot help a quarantined owner.
+                Err(e) => Err(e),
+            };
+            if matches!(result, Err(ServiceError::Uncorrectable(_))) {
+                counters.due_reads += 1;
+            }
+            hists
+                .read_latency_ns
+                .record(enqueued.elapsed().as_nanos() as u64);
+            let _ = reply.send(ReadReply { line, result });
+        }
+        Request::Write {
+            line,
+            data,
+            enqueued,
+        } => {
+            let d = depth.fetch_sub(1, Ordering::Relaxed);
+            hists.queue_depth.record(d as u64);
+            match state.write(line, &data) {
+                Ok(()) => counters.writes += 1,
+                Err(_) => counters.failed_writes += 1,
+            }
+            hists
+                .write_latency_ns
+                .record(enqueued.elapsed().as_nanos() as u64);
         }
     }
 }
 
 fn worker_loop(
     state: &ShardedCache,
-    _shard: usize,
+    shard: usize,
     rx: &Receiver<Request>,
     depth: &AtomicUsize,
-) -> (ServiceHistograms, WorkerCounters) {
+) -> (ServiceHistograms, WorkerCounters, bool) {
     let mut hists = ServiceHistograms::default();
     let mut counters = WorkerCounters::default();
+    let mut panicked = false;
     while let Ok(request) = rx.recv() {
-        match request {
-            Request::Shutdown => break,
-            Request::Read {
-                line,
-                enqueued,
-                reply,
-            } => {
-                let d = depth.fetch_sub(1, Ordering::Relaxed);
-                hists.queue_depth.record(d as u64);
-                counters.reads += 1;
-                let result = match state.read_local(line) {
-                    Ok(data) => Ok(data),
-                    Err(_) => {
-                        // Shard-local (Hash-1) ladder exhausted: cross-shard
-                        // Hash-2 escalation, then one retry.
-                        counters.escalated_reads += 1;
-                        state.escalate(&[line]);
-                        state.read_local(line)
-                    }
-                };
-                if result.is_err() {
-                    counters.due_reads += 1;
-                }
-                hists
-                    .read_latency_ns
-                    .record(enqueued.elapsed().as_nanos() as u64);
-                let _ = reply.send(ReadReply { line, result });
-            }
-            Request::Write {
-                line,
-                data,
-                enqueued,
-            } => {
-                let d = depth.fetch_sub(1, Ordering::Relaxed);
-                hists.queue_depth.record(d as u64);
-                counters.writes += 1;
-                state.write(line, &data);
-                hists
-                    .write_latency_ns
-                    .record(enqueued.elapsed().as_nanos() as u64);
-            }
+        if matches!(request, Request::Shutdown) {
+            // Serve-nothing drain of post-marker stragglers keeps the
+            // depth gauges honest; their reply senders drop, so blocked
+            // readers unblock with a disconnect error.
+            drain_queue(rx, depth);
+            break;
+        }
+        let served = catch_unwind(AssertUnwindSafe(|| {
+            serve_request(state, shard, request, depth, &mut hists, &mut counters);
+        }));
+        if served.is_err() {
+            // The shard is now suspect (its mutex may be poisoned, its
+            // in-flight request is lost): quarantine, drain, retire. The
+            // telemetry accumulated so far survives into the report.
+            panicked = true;
+            state.health().quarantine(shard);
+            drain_queue(rx, depth);
+            break;
         }
     }
-    (hists, counters)
+    (hists, counters, panicked)
+}
+
+/// Discards everything queued on `rx`, undoing the depth accounting.
+/// Dropping the requests drops their reply senders, so blocked readers
+/// get a disconnect (mapped to [`ServiceError`]) instead of a hang.
+fn drain_queue(rx: &Receiver<Request>, depth: &AtomicUsize) {
+    while let Ok(request) = rx.try_recv() {
+        if matches!(request, Request::Read { .. } | Request::Write { .. }) {
+            depth.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One scrub tick over `shard`: inject, shard-local scrub, escalate the
+/// leftovers. Split out so [`daemon_loop`] can wrap it in `catch_unwind`.
+fn daemon_tick(
+    state: &ShardedCache,
+    shard: usize,
+    injector: &mut FaultInjector,
+    inject: bool,
+    hists: &mut ServiceHistograms,
+    counters: &mut DaemonCounters,
+) {
+    let started = Instant::now();
+    let injected = if inject {
+        state.inject_shard(shard, injector)
+    } else {
+        Vec::new()
+    };
+    counters.injected_lines += injected.len() as u64;
+    let (_report, leftover) = state.scrub_shard_local(shard, &injected);
+    hists
+        .scrub_tick_ns
+        .record(started.elapsed().as_nanos() as u64);
+    if !leftover.is_empty() {
+        let escalation_start = Instant::now();
+        let report = state.escalate(&leftover);
+        hists
+            .escalation_ns
+            .record(escalation_start.elapsed().as_nanos() as u64);
+        counters.escalations += 1;
+        counters.escalated_lines += leftover.len() as u64;
+        counters.unresolved_lines += report.unresolved.len() as u64;
+    }
+    counters.ticks += 1;
 }
 
 fn daemon_loop(
@@ -411,9 +682,11 @@ fn daemon_loop(
     tick: Duration,
     master: &FaultInjector,
     stop: &AtomicBool,
-) -> (ServiceHistograms, DaemonCounters) {
+    panic_flag: &AtomicBool,
+) -> (ServiceHistograms, DaemonCounters, bool) {
     let mut hists = ServiceHistograms::default();
     let mut counters = DaemonCounters::default();
+    let mut panicked = false;
     // One decorrelated injector per shard: the fault streams are fixed by
     // (seed, shard) alone, independent of tick interleaving.
     let mut injectors: Vec<FaultInjector> = (0..state.n_shards())
@@ -431,30 +704,27 @@ fn daemon_loop(
         }
         let shard = next_shard;
         next_shard = (next_shard + 1) % state.n_shards();
-        let started = Instant::now();
-        let injected = if master.ber() > 0.0 {
-            state.inject_shard(shard, &mut injectors[shard])
-        } else {
-            Vec::new()
-        };
-        counters.injected_lines += injected.len() as u64;
-        let (_report, leftover) = state.scrub_shard_local(shard, &injected);
-        hists
-            .scrub_tick_ns
-            .record(started.elapsed().as_nanos() as u64);
-        if !leftover.is_empty() {
-            let escalation_start = Instant::now();
-            let report = state.escalate(&leftover);
-            hists
-                .escalation_ns
-                .record(escalation_start.elapsed().as_nanos() as u64);
-            counters.escalations += 1;
-            counters.escalated_lines += leftover.len() as u64;
-            counters.unresolved_lines += report.unresolved.len() as u64;
+        if !state.health().is_up(shard) {
+            // A quarantined shard's state is frozen: no injection (physics
+            // on a dead shard is unobservable anyway) and no scrub.
+            counters.skipped_ticks += 1;
+            continue;
         }
-        counters.ticks += 1;
+        let inject = master.ber() > 0.0;
+        let injector = &mut injectors[shard];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if panic_flag.swap(false, Ordering::Relaxed) {
+                panic!("injected scrub daemon panic");
+            }
+            daemon_tick(state, shard, injector, inject, &mut hists, &mut counters);
+        }));
+        if result.is_err() {
+            // Scrubbing stops (reported), demand traffic continues.
+            panicked = true;
+            break;
+        }
     }
-    (hists, counters)
+    (hists, counters, panicked)
 }
 
 #[cfg(test)]
@@ -477,12 +747,15 @@ mod tests {
         let service = Service::start(config).unwrap();
         let handle = service.handle();
         for line in 0..200u64 {
-            handle.write(line, &data_with(&[line as usize % 512]));
+            handle
+                .write(line, &data_with(&[line as usize % 512]))
+                .unwrap();
         }
         let report = service.shutdown();
         assert_eq!(report.writes, 200, "drain must serve every write");
         assert_eq!(report.stats.writes, 200);
         assert_eq!(report.due_reads, 0);
+        assert!(report.fully_healthy());
     }
 
     #[test]
@@ -497,7 +770,7 @@ mod tests {
                     for i in 0..64u64 {
                         let line = worker * 128 + i;
                         let data = data_with(&[(line as usize * 3) % 512]);
-                        handle.write(line, &data);
+                        handle.write(line, &data).unwrap();
                         assert_eq!(handle.read(line).unwrap(), data);
                     }
                 });
@@ -518,7 +791,9 @@ mod tests {
         let handle = service.handle();
         // Demand traffic concurrent with injection + scrub.
         for line in 0..256u64 {
-            handle.write(line * 4, &data_with(&[line as usize % 512]));
+            handle
+                .write(line * 4, &data_with(&[line as usize % 512]))
+                .unwrap();
         }
         std::thread::sleep(Duration::from_millis(40));
         for line in 0..256u64 {
@@ -532,5 +807,55 @@ mod tests {
         assert!(report.scrub_ticks >= 4, "{report:?}");
         assert!(report.injected_lines > 0, "{report:?}");
         assert_eq!(report.due_reads, 0);
+        assert!(report.fully_healthy());
+    }
+
+    #[test]
+    fn depth_gauge_returns_to_zero_after_rejected_sends() {
+        // Regression: a failed send used to leave the optimistic depth
+        // increment behind, drifting the gauge upward forever.
+        let mut config = ServiceConfig::small(256, 4, 0.0, 7);
+        config.scrub_every = None;
+        let service = Service::start(config).unwrap();
+        let handle = service.handle();
+        let victim = handle.shard_of(0);
+        handle.inject_worker_panic(victim, false).unwrap();
+        // Wait for the quarantine to land.
+        while !handle.quarantined().contains(&victim) {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        for line in 0..64u64 {
+            let s = handle.shard_of(line);
+            let r = handle.write(line, &data_with(&[1]));
+            if s == victim {
+                assert_eq!(r, Err(ServiceError::ShardDown(victim)));
+            } else {
+                r.unwrap();
+            }
+        }
+        let report = service.shutdown();
+        assert_eq!(report.worker_panics, vec![victim]);
+        // Every accepted request was served, every rejected one undone:
+        // the gauge histogram never saw a depth above the queue bound.
+        assert!(report.hists.queue_depth.max() <= 64);
+        assert_eq!(report.writes, 48);
+        assert_eq!(report.quarantined, vec![victim]);
+    }
+
+    #[test]
+    fn daemon_panic_is_survivable() {
+        let mut config = ServiceConfig::small(256, 4, 0.0, 9);
+        config.scrub_every = Some(Duration::from_millis(1));
+        let service = Service::start(config).unwrap();
+        let handle = service.handle();
+        service.inject_daemon_panic();
+        std::thread::sleep(Duration::from_millis(10));
+        // Demand traffic is unaffected by the daemon's death.
+        handle.write(3, &data_with(&[3])).unwrap();
+        assert_eq!(handle.read(3).unwrap(), data_with(&[3]));
+        let report = service.shutdown();
+        assert!(report.daemon_panicked);
+        assert!(report.worker_panics.is_empty());
+        assert_eq!(report.writes, 1);
     }
 }

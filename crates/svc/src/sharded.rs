@@ -20,16 +20,38 @@
 //! no progress — so recovery outcomes, [`ScrubReport`]s, and `CacheStats`
 //! totals are invariant in the shard count (property-tested for
 //! N ∈ {1, 2, 4, 8}).
+//!
+//! # Degraded mode
+//!
+//! The engine survives two kinds of damage instead of panicking:
+//!
+//! * **Shard loss.** A poisoned shard mutex (a thread panicked mid-repair)
+//!   quarantines the shard: demand requests to it fail fast with
+//!   [`ServiceError::ShardDown`], scrubs and escalations run over the
+//!   surviving N−1 shards, and cross-shard Hash-2 recovery — which needs
+//!   every shard's parity slice — is skipped (counted, and the implicated
+//!   lines become honest DUEs rather than wrong data).
+//! * **Permanent faults.** An optional [`StuckBitMap`] (the physics
+//!   harness of [`VminCache`]) re-corrupts stuck cells after every write
+//!   and repair write-back. Lines that keep coming back — repeated DUEs,
+//!   or group reconstructions the stuck cells immediately undo (an SDR
+//!   resurrection that can never converge) — are remapped to a small
+//!   per-shard spare pool instead of being repaired forever.
+//!
+//! [`VminCache`]: sudoku_core::VminCache
 
+use crate::degraded::{DegradedConfig, DegradedStats, ShardHealth, SpareTable};
+use crate::error::ServiceError;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use sudoku_codes::{LineCodec, LineData, ProtectedLine};
 use sudoku_core::{
-    CacheStats, ConfigError, GroupScratch, GroupView, HashDim, LineStore, MemberState, Recorder,
-    RepairEngine, RepairParams, ScrubReport, ShardPlan, SparseStore, SudokuCache, SudokuConfig,
-    UncorrectableError,
+    reassert_stuck, CacheStats, ConfigError, GroupScratch, GroupView, HashDim, LineStore,
+    MemberState, Recorder, RepairEngine, RepairParams, ScrubReport, ShardPlan, SparseStore,
+    SudokuCache, SudokuConfig, UncorrectableError,
 };
-use sudoku_fault::FaultInjector;
+use sudoku_fault::{FaultInjector, StuckBitMap};
 
 /// Cross-shard recovery state owned by the coordinator: its own counter
 /// pool, recorder, and scratch buffers, so Hash-2 accounting is attributed
@@ -38,6 +60,16 @@ struct Coordinator {
     stats: CacheStats,
     recorder: Recorder,
     scratch: GroupScratch,
+}
+
+/// Per-shard degraded-mode state: the sparing table plus stuck-cell
+/// accounting. Guarded by its own mutex, acquired only *after* the shard's
+/// cache mutex (never while waiting on one) — a strict shard → extra
+/// order, so it cannot deadlock against recovery.
+struct ShardExtra {
+    spares: SpareTable,
+    stuck_reasserts: u64,
+    undone_reconstructions: u64,
 }
 
 /// Per-call recovery state of one shard during a scrub or escalation.
@@ -60,11 +92,21 @@ struct Working<'a> {
 /// [`GroupView`] the coordinator drives the shared repair engine over.
 /// Parity is the XOR of the per-shard Hash-2 PLT slices (linearity);
 /// reconstructions commit into the owning shard's store and recovered map.
+/// Only constructed when every shard is up (a quarantined shard's parity
+/// slice is unavailable, so H2 gathering would be unsound).
 struct GatherView<'a, 'b> {
     plan: &'a ShardPlan,
-    work: &'a mut [Working<'b>],
+    work: &'a mut [Option<Working<'b>>],
     members: &'a [u64],
     parity: ProtectedLine,
+}
+
+impl GatherView<'_, '_> {
+    fn slot(&self, line: u64) -> &Working<'_> {
+        self.work[self.plan.shard_of_line(line)]
+            .as_ref()
+            .expect("H2 gathering requires every shard up")
+    }
 }
 
 impl GroupView for GatherView<'_, '_> {
@@ -78,7 +120,7 @@ impl GroupView for GatherView<'_, '_> {
 
     fn state(&self, i: usize) -> MemberState {
         let m = self.members[i];
-        let w = &self.work[self.plan.shard_of_line(m)];
+        let w = self.slot(m);
         if let Some(&r) = w.st.recovered.get(&m) {
             MemberState::Recovered(r)
         } else if !w.cache.store().is_materialized(m) {
@@ -90,13 +132,17 @@ impl GroupView for GatherView<'_, '_> {
 
     fn commit_repair(&mut self, i: usize, line: ProtectedLine) {
         let m = self.members[i];
-        let w = &mut self.work[self.plan.shard_of_line(m)];
+        let w = self.work[self.plan.shard_of_line(m)]
+            .as_mut()
+            .expect("H2 gathering requires every shard up");
         w.cache.set_stored_line(m, line);
     }
 
     fn commit_reconstruction(&mut self, i: usize, line: ProtectedLine) {
         let m = self.members[i];
-        let w = &mut self.work[self.plan.shard_of_line(m)];
+        let w = self.work[self.plan.shard_of_line(m)]
+            .as_mut()
+            .expect("H2 gathering requires every shard up");
         w.cache.set_stored_line(m, line);
         w.st.recovered.insert(m, line);
     }
@@ -156,10 +202,16 @@ pub struct ShardedCache {
     config: SudokuConfig,
     shards: Vec<Mutex<SudokuCache<SparseStore>>>,
     coord: Mutex<Coordinator>,
+    health: ShardHealth,
+    extras: Vec<Mutex<ShardExtra>>,
+    stuck: StuckBitMap,
+    rejects: AtomicU64,
+    skipped_h2: AtomicU64,
 }
 
 impl ShardedCache {
-    /// Builds an `n_shards`-way sharded cache over `config`'s geometry.
+    /// Builds an `n_shards`-way sharded cache over `config`'s geometry,
+    /// with no permanent faults and the default sparing policy.
     ///
     /// # Errors
     ///
@@ -167,11 +219,44 @@ impl ShardedCache {
     /// [`ConfigError::BadShardCount`] when the Hash-1 groups cannot be
     /// divided among `n_shards`.
     pub fn new(config: SudokuConfig, n_shards: usize) -> Result<Self, ConfigError> {
+        Self::with_faults(
+            config,
+            n_shards,
+            StuckBitMap::new(),
+            DegradedConfig::default(),
+        )
+    }
+
+    /// Builds a sharded cache over an array with permanent (stuck-at)
+    /// cells: `stuck` plays the physics role it plays for
+    /// [`VminCache`](sudoku_core::VminCache) — after every write and every
+    /// repair write-back, the stuck cells reassert their values — and
+    /// `degraded` sets the line-sparing policy for cells the ladder keeps
+    /// re-repairing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] exactly like [`ShardedCache::new`].
+    pub fn with_faults(
+        config: SudokuConfig,
+        n_shards: usize,
+        stuck: StuckBitMap,
+        degraded: DegradedConfig,
+    ) -> Result<Self, ConfigError> {
         let plan = ShardPlan::new(&config, n_shards)?;
         let shard_config = config.with_deferred_hash2();
         let shards = (0..n_shards)
             .map(|_| SudokuCache::new_sparse(shard_config).map(Mutex::new))
             .collect::<Result<Vec<_>, _>>()?;
+        let extras = (0..n_shards)
+            .map(|_| {
+                Mutex::new(ShardExtra {
+                    spares: SpareTable::new(degraded),
+                    stuck_reasserts: 0,
+                    undone_reconstructions: 0,
+                })
+            })
+            .collect();
         Ok(ShardedCache {
             plan,
             config,
@@ -181,6 +266,11 @@ impl ShardedCache {
                 recorder: Recorder::ring(4096),
                 scratch: GroupScratch::default(),
             }),
+            health: ShardHealth::new(n_shards),
+            extras,
+            stuck,
+            rejects: AtomicU64::new(0),
+            skipped_h2: AtomicU64::new(0),
         })
     }
 
@@ -199,9 +289,105 @@ impl ShardedCache {
         &self.config
     }
 
-    /// Writes `data` to `line` on its owning shard.
-    pub fn write(&self, line: u64, data: &LineData) {
-        self.shard(line).write(line, data);
+    /// Shard liveness, shared with workers, the scrub daemon, and handles.
+    pub fn health(&self) -> &ShardHealth {
+        &self.health
+    }
+
+    /// The permanent-fault map the array was built with (physics, not
+    /// controller state).
+    pub fn stuck_map(&self) -> &StuckBitMap {
+        &self.stuck
+    }
+
+    /// Counts one fail-fast rejection of a request to a quarantined shard.
+    pub(crate) fn note_reject(&self) {
+        self.rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Acquires `shard`'s cache for a demand operation: fails fast when the
+    /// shard is quarantined, and quarantines it on the spot when its mutex
+    /// turns out to be poisoned (a thread panicked mid-operation).
+    fn lock_shard(
+        &self,
+        shard: usize,
+    ) -> Result<MutexGuard<'_, SudokuCache<SparseStore>>, ServiceError> {
+        if !self.health.is_up(shard) {
+            self.note_reject();
+            return Err(ServiceError::ShardDown(shard));
+        }
+        match self.shards[shard].lock() {
+            Ok(guard) => Ok(guard),
+            Err(_) => {
+                self.health.quarantine(shard);
+                Err(ServiceError::ShardDown(shard))
+            }
+        }
+    }
+
+    /// Telemetry-path lock: counters and stored lines of a quarantined (or
+    /// poison-locked) shard are still worth harvesting — plain `u64`s and
+    /// line words cannot be torn by an unwinding panic.
+    fn lock_shard_telemetry(&self, shard: usize) -> MutexGuard<'_, SudokuCache<SparseStore>> {
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_extra(&self, shard: usize) -> MutexGuard<'_, ShardExtra> {
+        self.extras[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_coord(&self) -> MutexGuard<'_, Coordinator> {
+        self.coord.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reasserts the stuck cells of `line` after a write or repair
+    /// write-back, charging the flipped bits to `shard`'s counters.
+    fn reassert_line(&self, cache: &mut SudokuCache<SparseStore>, shard: usize, line: u64) {
+        if self.stuck.is_stuck(line) {
+            let changed = reassert_stuck(cache, &self.stuck, line) as u64;
+            if changed > 0 {
+                self.lock_extra(shard).stuck_reasserts += changed;
+            }
+        }
+    }
+
+    /// Reasserts every stuck line owned by `shard` (the post-scrub physics
+    /// step). Returns the number of stored bits flipped back.
+    fn reassert_shard(&self, cache: &mut SudokuCache<SparseStore>, shard: usize) -> u64 {
+        if self.stuck.is_empty() {
+            return 0;
+        }
+        let mut changed = 0u64;
+        for line in self.stuck.lines() {
+            if self.plan.shard_of_line(line) == shard {
+                changed += reassert_stuck(cache, &self.stuck, line) as u64;
+            }
+        }
+        if changed > 0 {
+            self.lock_extra(shard).stuck_reasserts += changed;
+        }
+        changed
+    }
+
+    /// Writes `data` to `line` on its owning shard (or its spare-pool slot,
+    /// when the line has been spared).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShardDown`] when the owning shard is quarantined.
+    pub fn write(&self, line: u64, data: &LineData) -> Result<(), ServiceError> {
+        let shard = self.plan.shard_of_line(line);
+        let mut cache = self.lock_shard(shard)?;
+        if self.lock_extra(shard).spares.write(line, data) {
+            return Ok(());
+        }
+        cache.write(line, data);
+        self.reassert_line(&mut cache, shard, line);
+        Ok(())
     }
 
     /// Reads `line` from its owning shard, escalating to cross-shard
@@ -209,39 +395,65 @@ impl ShardedCache {
     ///
     /// # Errors
     ///
-    /// [`UncorrectableError`] when even cross-shard recovery fails — a DUE.
-    pub fn read(&self, line: u64) -> Result<LineData, UncorrectableError> {
+    /// [`ServiceError::Uncorrectable`] when even cross-shard recovery fails
+    /// (a DUE), [`ServiceError::ShardDown`] when the owning shard is
+    /// quarantined.
+    pub fn read(&self, line: u64) -> Result<LineData, ServiceError> {
         match self.read_local(line) {
-            Ok(data) => Ok(data),
-            Err(_) => {
+            Err(ServiceError::Uncorrectable(_)) => {
                 // The owner gave up after Hash-1; gather the Hash-2 groups.
-                self.escalate(&[line]);
-                self.read_local(line)
+                self.escalate_fetch(line)
             }
+            other => other,
         }
+    }
+
+    /// Escalates `line` and returns its post-escalation value, captured
+    /// *before* stuck cells reassert — a repaired demand read must return
+    /// the repaired data even when the array copy immediately re-corrupts.
+    pub(crate) fn escalate_fetch(&self, line: u64) -> Result<LineData, ServiceError> {
+        self.escalate_inner(&[line], Some(line))
+            .1
+            .expect("fetch result requested")
     }
 
     /// Reads `line` using only the owning shard's (Hash-1) ladder, without
     /// cross-shard escalation. The service worker uses this to count
     /// escalations explicitly; most callers want [`ShardedCache::read`].
+    /// A spared line is served from the spare pool without touching the
+    /// faulty array at all.
     ///
     /// # Errors
     ///
-    /// [`UncorrectableError`] when the shard-local ladder fails.
-    pub fn read_local(&self, line: u64) -> Result<LineData, UncorrectableError> {
-        self.shard(line).read(line)
+    /// [`ServiceError::Uncorrectable`] when the shard-local ladder fails
+    /// (or the line was spared after its data was already lost), and
+    /// [`ServiceError::ShardDown`] when the owning shard is quarantined.
+    pub fn read_local(&self, line: u64) -> Result<LineData, ServiceError> {
+        let shard = self.plan.shard_of_line(line);
+        let mut cache = self.lock_shard(shard)?;
+        if let Some(spared) = self.lock_extra(shard).spares.lookup(line) {
+            return match spared {
+                Some(data) => Ok(data),
+                None => Err(ServiceError::Uncorrectable(UncorrectableError { line })),
+            };
+        }
+        let result = cache.read(line).map_err(ServiceError::from);
+        self.reassert_line(&mut cache, shard, line);
+        result
     }
 
-    /// Flips one stored bit of `line` — a transient fault.
+    /// Flips one stored bit of `line` — a transient fault. Works on
+    /// quarantined shards too (faults are physics, not requests).
     pub fn inject_fault(&self, line: u64, bit: usize) {
-        self.shard(line).inject_fault(line, bit);
+        self.lock_shard_telemetry(self.plan.shard_of_line(line))
+            .inject_fault(line, bit);
     }
 
     /// Applies a resolved fault plan (line, fault positions) as produced by
     /// [`FaultInjector::resolved_plan`], routing each line to its shard.
     pub fn apply_resolved_plan(&self, plan: &[(u64, Vec<usize>)]) {
         for (line, positions) in plan {
-            let mut shard = self.shard(*line);
+            let mut shard = self.lock_shard_telemetry(self.plan.shard_of_line(*line));
             for &pos in positions {
                 shard.inject_fault(*line, pos);
             }
@@ -251,10 +463,12 @@ impl ShardedCache {
     /// Injects one scrub interval's worth of transient faults into the
     /// lines owned by `shard`, using the caller's (typically per-shard
     /// forked) injector. Returns the faulted lines — the scan hints for the
-    /// following scrub tick.
+    /// following scrub tick. A quarantined shard is skipped (empty result).
     pub fn inject_shard(&self, shard: usize, injector: &mut FaultInjector) -> Vec<u64> {
         let plan = injector.resolved_plan(self.plan.owned_line_count(shard));
-        let mut cache = self.shards[shard].lock().unwrap();
+        let Ok(mut cache) = self.lock_shard(shard) else {
+            return Vec::new();
+        };
         let mut lines = Vec::with_capacity(plan.len());
         for (idx, positions) in plan {
             let line = self.plan.owned_line_at(shard, idx);
@@ -268,43 +482,82 @@ impl ShardedCache {
 
     /// The stored (possibly faulty) line at `line`.
     pub fn stored_line(&self, line: u64) -> ProtectedLine {
-        self.shard(line).stored_line(line)
+        self.lock_shard_telemetry(self.plan.shard_of_line(line))
+            .stored_line(line)
     }
 
     /// Aggregate counters: the sum over all shards plus the coordinator —
     /// the pool a single-threaded cache would have accumulated alone.
+    /// Quarantined shards' counters are still included (what survived).
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
-        for shard in &self.shards {
-            total.merge(shard.lock().unwrap().stats());
+        for shard in 0..self.n_shards() {
+            total.merge(self.lock_shard_telemetry(shard).stats());
         }
-        total.merge(&self.coord.lock().unwrap().stats);
+        total.merge(&self.lock_coord().stats);
         total
     }
 
     /// Per-shard counters (index = shard id), excluding the coordinator.
     pub fn shard_stats(&self) -> Vec<CacheStats> {
-        self.shards
-            .iter()
-            .map(|s| *s.lock().unwrap().stats())
+        (0..self.n_shards())
+            .map(|s| *self.lock_shard_telemetry(s).stats())
             .collect()
     }
 
     /// The coordinator's own counters (cross-shard Hash-2 work).
     pub fn coordinator_stats(&self) -> CacheStats {
-        self.coord.lock().unwrap().stats
+        self.lock_coord().stats
+    }
+
+    /// Aggregated degraded-mode counters: quarantine, sparing, stuck-cell
+    /// physics, and skipped cross-shard escalations.
+    pub fn degraded_stats(&self) -> DegradedStats {
+        let mut out = DegradedStats {
+            quarantined_shards: self.health.quarantined(),
+            stuck_lines: self.stuck.faulty_lines() as u64,
+            shard_down_rejects: self.rejects.load(Ordering::Relaxed),
+            skipped_h2_escalations: self.skipped_h2.load(Ordering::Relaxed),
+            ..DegradedStats::default()
+        };
+        for shard in 0..self.n_shards() {
+            let extra = self.lock_extra(shard);
+            out.spared_lines += extra.spares.spared_lines() as u64;
+            out.spare_reads += extra.spares.spare_reads;
+            out.spare_writes += extra.spares.spare_writes;
+            out.strikes += extra.spares.strikes_recorded;
+            out.spare_overflow += extra.spares.spare_overflow;
+            out.stuck_reasserts += extra.stuck_reasserts;
+            out.undone_reconstructions += extra.undone_reconstructions;
+        }
+        out
     }
 
     /// Harvests every shard's telemetry recorder (and the coordinator's)
-    /// into `master`, leaving fresh ring recorders behind.
+    /// into `master`, leaving fresh ring recorders behind. Poisoned shards
+    /// are harvested too — telemetry survives the panic.
     pub fn harvest_recorders(&self, master: &mut Recorder) {
-        for shard in &self.shards {
-            let old = shard.lock().unwrap().set_recorder(Recorder::ring(4096));
+        for shard in 0..self.n_shards() {
+            let old = self
+                .lock_shard_telemetry(shard)
+                .set_recorder(Recorder::ring(4096));
             master.absorb(old);
         }
-        let mut coord = self.coord.lock().unwrap();
+        let mut coord = self.lock_coord();
         let old = std::mem::replace(&mut coord.recorder, Recorder::ring(4096));
         master.absorb(old);
+    }
+
+    /// Chaos hook: panics on purpose — optionally while holding `shard`'s
+    /// cache mutex, poisoning it the way a real mid-repair panic would.
+    /// Used by the worker's `Request::Panic` injection and the chaos bin;
+    /// never called on any production path.
+    pub fn chaos_panic(&self, shard: usize, hold_lock: bool) -> ! {
+        if hold_lock {
+            let _guard = self.lock_shard_telemetry(shard);
+            panic!("injected worker panic on shard {shard} (lock held)");
+        }
+        panic!("injected worker panic on shard {shard}");
     }
 
     /// Deterministic whole-service scrub of the listed lines (plus
@@ -312,17 +565,23 @@ impl ShardedCache {
     /// [`SudokuCache::scrub_lines`] schedule exactly: scan, then alternate
     /// a parallel shard-local Hash-1 pass with a coordinator-sequential
     /// cross-shard Hash-2 pass until a fixpoint. Holds every shard lock
-    /// for the duration — the stop-the-world reference path.
+    /// for the duration — the stop-the-world reference path. Quarantined
+    /// shards are skipped; their hinted lines come back unresolved.
     pub fn scrub_lines(&self, hints: &[u64]) -> ScrubReport {
-        let mut guards = self.lock_all();
+        let mut guards = self.lock_up_shards();
+        let all_up = guards.iter().all(Option::is_some);
         let mut work = Self::borrow_working(&mut guards);
+        let mut down_report = ScrubReport::default();
         for &line in hints {
-            work[self.plan.shard_of_line(line)].st.hints.push(line);
+            match work[self.plan.shard_of_line(line)].as_mut() {
+                Some(w) => w.st.hints.push(line),
+                None => down_report.unresolved.push(line),
+            }
         }
         // Scan phase: per-line checks are line-local, so shards scan their
         // own hinted lines concurrently.
         std::thread::scope(|s| {
-            for w in work.iter_mut() {
+            for w in work.iter_mut().flatten() {
                 s.spawn(move || {
                     w.st.faulty = w
                         .cache
@@ -330,14 +589,26 @@ impl ShardedCache {
                 });
             }
         });
-        let coord_report = self.fixpoint(&mut work, true);
-        for w in work.iter_mut() {
+        let coord_report = self.fixpoint(&mut work, all_up, true);
+        for w in work.iter_mut().flatten() {
             w.st.report.unresolved = w.st.faulty.iter().copied().collect();
             let mut report = std::mem::take(&mut w.st.report);
             w.cache.finish_scrub(&mut report);
             w.st.report = report;
         }
-        merge_reports(work.iter().map(|w| &w.st.report).chain([&coord_report]))
+        // Physics: stuck cells re-corrupt whatever the scrub wrote back.
+        for (shard, w) in work.iter_mut().enumerate() {
+            if let Some(w) = w {
+                self.reassert_shard(w.cache, shard);
+            }
+        }
+        self.finish_down_lines(&mut down_report);
+        merge_reports(
+            work.iter()
+                .flatten()
+                .map(|w| &w.st.report)
+                .chain([&coord_report, &down_report]),
+        )
     }
 
     /// Scrubs every line of the cache. Equivalent to
@@ -352,14 +623,17 @@ impl ShardedCache {
     /// touching any other shard. Returns the tick's report and the lines
     /// the shard could **not** resolve locally — the caller escalates
     /// those via [`ShardedCache::escalate`]. No DUE accounting happens
-    /// here; a line is only a DUE once escalation also fails.
+    /// here; a line is only a DUE once escalation also fails. A
+    /// quarantined shard returns an empty report and no leftovers.
     pub fn scrub_shard_local(&self, shard: usize, hints: &[u64]) -> (ScrubReport, Vec<u64>) {
-        let mut cache = self.shards[shard].lock().unwrap();
+        let Ok(mut cache) = self.lock_shard(shard) else {
+            return (ScrubReport::default(), Vec::new());
+        };
         let mut report = ScrubReport::default();
         let owned = hints
             .iter()
             .copied()
-            .filter(|&l| self.plan.shard_of_line(l) == shard);
+            .filter(|&l| self.plan.shard_of_line(l) == shard && !self.is_spared(shard, l));
         let mut faulty = cache.scrub_scan(owned, true, &mut report);
         let mut recovered = BTreeMap::new();
         loop {
@@ -372,78 +646,198 @@ impl ShardedCache {
                 break;
             }
         }
+        // Physics + non-convergence accounting: reconstructions of stuck
+        // lines are immediately undone by the stuck cells — count them as
+        // strikes (with the recovered data!) instead of looping forever.
+        self.note_undone_reconstructions(shard, &recovered);
+        self.reassert_shard(&mut cache, shard);
         let leftover: Vec<u64> = faulty.into_iter().collect();
         report.unresolved = leftover.clone();
         (report, leftover)
     }
 
     /// Cross-shard escalation: re-verifies the given lines and drives the
-    /// full Hash-1 + Hash-2 fixpoint over all shards, with DUE accounting
-    /// for whatever still cannot be repaired. This is the recovery of last
-    /// resort behind failed demand reads and failed shard-local scrubs.
+    /// full Hash-1 + Hash-2 fixpoint over all *surviving* shards, with DUE
+    /// accounting for whatever still cannot be repaired. This is the
+    /// recovery of last resort behind failed demand reads and failed
+    /// shard-local scrubs. With any shard quarantined the Hash-2 pass is
+    /// skipped (its parity slice is unavailable), so the affected lines
+    /// come back as honest DUEs instead of wrong data; lines owned by dead
+    /// shards are unresolved immediately. Unresolved lines accumulate
+    /// sparing strikes — repeatedly-DUE lines get remapped to the spare
+    /// pool and stop consuming escalations.
     pub fn escalate(&self, lines: &[u64]) -> ScrubReport {
-        let mut guards = self.lock_all();
+        self.escalate_inner(lines, None).0
+    }
+
+    fn escalate_inner(
+        &self,
+        lines: &[u64],
+        fetch: Option<u64>,
+    ) -> (ScrubReport, Option<Result<LineData, ServiceError>>) {
+        let mut guards = self.lock_up_shards();
+        let all_up = guards.iter().all(Option::is_some);
         let mut work = Self::borrow_working(&mut guards);
+        let mut down_report = ScrubReport::default();
         for &line in lines {
-            work[self.plan.shard_of_line(line)].st.faulty.insert(line);
+            let shard = self.plan.shard_of_line(line);
+            match work[shard].as_mut() {
+                // A spared line is already remapped out of the array;
+                // reads hit the pool, so there is nothing to escalate.
+                Some(w) if !self.is_spared(shard, line) => {
+                    w.st.faulty.insert(line);
+                }
+                Some(_) => {}
+                None => down_report.unresolved.push(line),
+            }
         }
         // Seeds may have been healed (or cleanly overwritten) since the
         // caller saw them fail; keep only the still-multibit ones.
         let empty = BTreeMap::new();
-        for w in work.iter_mut() {
+        for w in work.iter_mut().flatten() {
             let mut faulty = std::mem::take(&mut w.st.faulty);
             w.cache.retain_multibit(&mut faulty, &empty);
             w.st.faulty = faulty;
         }
-        let coord_report = self.fixpoint(&mut work, true);
-        for w in work.iter_mut() {
+        let had_faulty = work.iter().flatten().any(|w| !w.st.faulty.is_empty());
+        let coord_report = self.fixpoint(&mut work, all_up, true);
+        if !all_up && had_faulty && self.config.scheme.second_hash_enabled() {
+            self.skipped_h2.fetch_add(1, Ordering::Relaxed);
+        }
+        for w in work.iter_mut().flatten() {
             w.st.report.unresolved = w.st.faulty.iter().copied().collect();
             let mut report = std::mem::take(&mut w.st.report);
             w.cache.finish_scrub(&mut report);
             w.st.report = report;
         }
-        merge_reports(work.iter().map(|w| &w.st.report).chain([&coord_report]))
+        // Capture the demand read's value now: the store holds whatever the
+        // escalation repaired, and the stuck-cell reassert below is about
+        // to undo that in the array (never in the returned data).
+        let fetched = fetch.map(|line| {
+            let shard = self.plan.shard_of_line(line);
+            match work[shard].as_mut() {
+                Some(w) => {
+                    let spared = self.lock_extra(shard).spares.lookup(line);
+                    match spared {
+                        Some(Some(data)) => Ok(data),
+                        Some(None) => Err(ServiceError::Uncorrectable(UncorrectableError { line })),
+                        None => w.cache.read(line).map_err(ServiceError::from),
+                    }
+                }
+                None => Err(ServiceError::ShardDown(shard)),
+            }
+        });
+        // Physics, non-convergence, and repeated-DUE sparing strikes.
+        for (shard, w) in work.iter_mut().enumerate() {
+            if let Some(w) = w {
+                self.note_undone_reconstructions(shard, &w.st.recovered);
+                self.reassert_shard(w.cache, shard);
+                if !w.st.report.unresolved.is_empty() {
+                    let mut extra = self.lock_extra(shard);
+                    for &line in &w.st.report.unresolved {
+                        extra.spares.strike(line, None);
+                    }
+                }
+            }
+        }
+        self.finish_down_lines(&mut down_report);
+        let report = merge_reports(
+            work.iter()
+                .flatten()
+                .map(|w| &w.st.report)
+                .chain([&coord_report, &down_report]),
+        );
+        (report, fetched)
     }
 
-    fn shard(&self, line: u64) -> MutexGuard<'_, SudokuCache<SparseStore>> {
-        self.shards[self.plan.shard_of_line(line)].lock().unwrap()
+    fn is_spared(&self, shard: usize, line: u64) -> bool {
+        self.lock_extra(shard).spares.is_spared(line)
     }
 
-    /// Acquires every shard lock in ascending index order (the global lock
-    /// order, followed by the coordinator — see [`ShardedCache`]).
-    fn lock_all(&self) -> Vec<MutexGuard<'_, SudokuCache<SparseStore>>> {
-        self.shards.iter().map(|s| s.lock().unwrap()).collect()
+    /// Strikes every reconstructed-but-stuck line: the write-back is about
+    /// to be undone by the stuck cells, so the reconstruction did not
+    /// converge. The recovered data rides along into the spare slot when
+    /// the strike threshold is reached.
+    fn note_undone_reconstructions(&self, shard: usize, recovered: &BTreeMap<u64, ProtectedLine>) {
+        if self.stuck.is_empty() || recovered.is_empty() {
+            return;
+        }
+        let mut extra = self.lock_extra(shard);
+        for (&line, value) in recovered {
+            if self.stuck.is_stuck(line) {
+                extra.undone_reconstructions += 1;
+                // When the threshold is reached the line is spared *with*
+                // the reconstructed data — reads stop needing escalation.
+                extra.spares.strike(line, Some(value.data));
+            }
+        }
+    }
+
+    /// Sorts/dedups the lines owned by dead shards and charges them to the
+    /// coordinator's DUE counter (their own shard's counters are
+    /// unreachable, but the loss must still be visible in `stats()`).
+    fn finish_down_lines(&self, down_report: &mut ScrubReport) {
+        if down_report.unresolved.is_empty() {
+            return;
+        }
+        down_report.unresolved.sort_unstable();
+        down_report.unresolved.dedup();
+        self.lock_coord().stats.due_lines += down_report.unresolved.len() as u64;
+    }
+
+    /// Acquires every *up* shard's lock in ascending index order (the
+    /// global lock order, followed by the coordinator — see
+    /// [`ShardedCache`]). A quarantined or poison-locked shard yields
+    /// `None` (and is quarantined if it was not already).
+    fn lock_up_shards(&self) -> Vec<Option<MutexGuard<'_, SudokuCache<SparseStore>>>> {
+        (0..self.n_shards())
+            .map(|s| {
+                if !self.health.is_up(s) {
+                    return None;
+                }
+                match self.shards[s].lock() {
+                    Ok(guard) => Some(guard),
+                    Err(_) => {
+                        self.health.quarantine(s);
+                        None
+                    }
+                }
+            })
+            .collect()
     }
 
     fn borrow_working<'a, 'g>(
-        guards: &'a mut [MutexGuard<'g, SudokuCache<SparseStore>>],
-    ) -> Vec<Working<'a>> {
+        guards: &'a mut [Option<MutexGuard<'g, SudokuCache<SparseStore>>>],
+    ) -> Vec<Option<Working<'a>>> {
         guards
             .iter_mut()
-            .map(|g| Working {
-                cache: &mut *g,
-                st: ScrubState::default(),
+            .map(|g| {
+                g.as_mut().map(|g| Working {
+                    cache: g,
+                    st: ScrubState::default(),
+                })
             })
             .collect()
     }
 
     /// The recovery fixpoint over pre-seeded per-shard faulty sets: each
     /// round runs the shard-local Hash-1 pass on every shard in parallel,
-    /// then (for schemes with a second hash) the coordinator's sequential
-    /// Hash-2 pass over gathered cross-shard groups, stopping when a round
-    /// makes no progress — the exact schedule of the single-threaded
-    /// ladder, which is what makes recovery shard-count-invariant.
-    fn fixpoint(&self, work: &mut [Working<'_>], fast: bool) -> ScrubReport {
-        let mut coord = self.coord.lock().unwrap();
+    /// then (for schemes with a second hash, when every shard is up) the
+    /// coordinator's sequential Hash-2 pass over gathered cross-shard
+    /// groups, stopping when a round makes no progress — the exact
+    /// schedule of the single-threaded ladder, which is what makes
+    /// recovery shard-count-invariant.
+    fn fixpoint(&self, work: &mut [Option<Working<'_>>], all_up: bool, fast: bool) -> ScrubReport {
+        let mut coord = self.lock_coord();
         let mut coord_report = ScrubReport::default();
-        let use_h2 = self.config.scheme.second_hash_enabled();
+        let use_h2 = all_up && self.config.scheme.second_hash_enabled();
         loop {
-            let before: usize = work.iter().map(|w| w.st.faulty.len()).sum();
+            let before: usize = work.iter().flatten().map(|w| w.st.faulty.len()).sum();
             if before == 0 {
                 break;
             }
             std::thread::scope(|s| {
-                for w in work.iter_mut() {
+                for w in work.iter_mut().flatten() {
                     s.spawn(move || {
                         let mut faulty = std::mem::take(&mut w.st.faulty);
                         w.cache.recovery_pass(
@@ -457,15 +851,17 @@ impl ShardedCache {
                     });
                 }
             });
-            if use_h2 && work.iter().any(|w| !w.st.faulty.is_empty()) {
+            if use_h2 && work.iter().flatten().any(|w| !w.st.faulty.is_empty()) {
                 self.h2_pass(&mut coord, work, &mut coord_report, fast);
-                for w in work.iter_mut() {
+                for w in work.iter_mut().flatten() {
                     let mut faulty = std::mem::take(&mut w.st.faulty);
-                    w.cache.retain_multibit(&mut faulty, &w.st.recovered);
+                    let recovered = std::mem::take(&mut w.st.recovered);
+                    w.cache.retain_multibit(&mut faulty, &recovered);
+                    w.st.recovered = recovered;
                     w.st.faulty = faulty;
                 }
             }
-            let after: usize = work.iter().map(|w| w.st.faulty.len()).sum();
+            let after: usize = work.iter().flatten().map(|w| w.st.faulty.len()).sum();
             if after >= before {
                 break;
             }
@@ -475,24 +871,25 @@ impl ShardedCache {
 
     /// One coordinator Hash-2 pass: repair every implicated cross-shard
     /// group in ascending group order, gathering members and parity slices
-    /// from the owning shards.
+    /// from the owning shards. Only called with every shard up.
     fn h2_pass(
         &self,
         coord: &mut Coordinator,
-        work: &mut [Working<'_>],
+        work: &mut [Option<Working<'_>>],
         report: &mut ScrubReport,
         fast: bool,
     ) {
         let hashes = self.plan.hashes();
         let groups: BTreeSet<u64> = work
             .iter()
+            .flatten()
             .flat_map(|w| w.st.faulty.iter())
             .map(|&l| hashes.group_of(HashDim::H2, l))
             .collect();
         for group in groups {
             let members: Vec<u64> = hashes.members(HashDim::H2, group).collect();
             let mut parity = ProtectedLine::zero();
-            for w in work.iter() {
+            for w in work.iter().flatten() {
                 parity.xor_assign(&w.cache.group_parity(HashDim::H2, group));
             }
             let mut view = GatherView {
@@ -525,6 +922,7 @@ impl std::fmt::Debug for ShardedCache {
             .field("shards", &self.n_shards())
             .field("scheme", &self.config.scheme)
             .field("lines", &self.config.geometry.lines())
+            .field("quarantined", &self.health.quarantined())
             .finish()
     }
 }
@@ -546,7 +944,9 @@ mod tests {
     fn write_read_roundtrip_across_shards() {
         let cache = ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 4).unwrap();
         for line in 0..256u64 {
-            cache.write(line, &data_with(&[(line as usize * 7) % 512]));
+            cache
+                .write(line, &data_with(&[(line as usize * 7) % 512]))
+                .unwrap();
         }
         for line in 0..256u64 {
             assert_eq!(
@@ -566,8 +966,8 @@ mod tests {
         let cache = ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 2).unwrap();
         let d4 = data_with(&[40, 41]);
         let d5 = data_with(&[50, 51]);
-        cache.write(4, &d4);
-        cache.write(5, &d5);
+        cache.write(4, &d4).unwrap();
+        cache.write(5, &d5).unwrap();
         for line in [4u64, 5] {
             cache.inject_fault(line, 100);
             cache.inject_fault(line, 200);
@@ -628,5 +1028,188 @@ mod tests {
         assert_eq!(m.lines_checked, 7);
         assert_eq!(m.sdr_repairs, 1);
         assert_eq!(m.unresolved, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn quarantined_shard_fails_fast_and_others_serve() {
+        let cache = ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 4).unwrap();
+        for line in 0..256u64 {
+            cache
+                .write(line, &data_with(&[line as usize % 512]))
+                .unwrap();
+        }
+        let victim_line = 0u64;
+        let victim = cache.plan().shard_of_line(victim_line);
+        assert!(cache.health().quarantine(victim));
+        assert_eq!(
+            cache.write(victim_line, &data_with(&[1])),
+            Err(ServiceError::ShardDown(victim))
+        );
+        assert_eq!(
+            cache.read(victim_line),
+            Err(ServiceError::ShardDown(victim))
+        );
+        // Every line on a surviving shard still reads back.
+        let mut served = 0;
+        for line in 0..256u64 {
+            if cache.plan().shard_of_line(line) != victim {
+                assert_eq!(cache.read(line).unwrap(), data_with(&[line as usize % 512]));
+                served += 1;
+            }
+        }
+        assert_eq!(served, 192);
+        let degraded = cache.degraded_stats();
+        assert_eq!(degraded.quarantined_shards, vec![victim]);
+        assert!(degraded.shard_down_rejects >= 2);
+    }
+
+    #[test]
+    fn poisoned_mutex_quarantines_on_contact() {
+        let cache = std::sync::Arc::new(
+            ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 4).unwrap(),
+        );
+        let victim = cache.plan().shard_of_line(0);
+        let poisoner = std::sync::Arc::clone(&cache);
+        let _ = std::thread::spawn(move || poisoner.chaos_panic(victim, true)).join();
+        // First contact with the poisoned lock quarantines the shard.
+        assert_eq!(cache.read(0), Err(ServiceError::ShardDown(victim)));
+        assert!(!cache.health().is_up(victim));
+        // Telemetry still works, scrubs still run on the survivors.
+        let _ = cache.stats();
+        let report = cache.scrub_lines(&[0, 17]);
+        assert_eq!(report.unresolved, vec![0], "dead shard's line is a DUE");
+    }
+
+    #[test]
+    fn escalation_with_dead_shard_reports_due_not_sdc() {
+        let cache = ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 2).unwrap();
+        for line in 0..256u64 {
+            cache
+                .write(line, &data_with(&[line as usize % 512]))
+                .unwrap();
+        }
+        // The Fig-3(c) H1-defeating pair needs cross-shard H2 — which dies
+        // with the other shard's parity slice.
+        for line in [4u64, 5] {
+            cache.inject_fault(line, 100);
+            cache.inject_fault(line, 200);
+        }
+        let owner = cache.plan().shard_of_line(4);
+        let other = 1 - owner;
+        cache.health().quarantine(other);
+        let report = cache.escalate(&[4, 5]);
+        assert_eq!(report.unresolved, vec![4, 5], "honest DUE, no H2 guess");
+        assert!(cache.degraded_stats().skipped_h2_escalations >= 1);
+        assert!(cache.read(4).is_err());
+    }
+
+    #[test]
+    fn stuck_lines_keep_serving_through_repair() {
+        let mut stuck = StuckBitMap::new();
+        for line in 0..8u64 {
+            stuck.insert(line * 16, (line as u16 * 31) % 553, true);
+        }
+        let cache = ShardedCache::with_faults(
+            SudokuConfig::small(Scheme::Z, 256, 16),
+            4,
+            stuck,
+            DegradedConfig::default(),
+        )
+        .unwrap();
+        for line in 0..256u64 {
+            cache
+                .write(line, &data_with(&[line as usize % 512]))
+                .unwrap();
+        }
+        for round in 0..3 {
+            for line in 0..256u64 {
+                assert_eq!(
+                    cache.read(line).unwrap(),
+                    data_with(&[line as usize % 512]),
+                    "round {round}, line {line}"
+                );
+            }
+        }
+        let degraded = cache.degraded_stats();
+        assert_eq!(degraded.stuck_lines, 8);
+        assert!(degraded.stuck_reasserts > 0, "{degraded:?}");
+    }
+
+    #[test]
+    fn repeated_due_line_is_spared_and_recovers_on_rewrite() {
+        // Scheme X has no SDR and no Hash-2: two multibit lines in one H1
+        // group are a permanent DUE. With stuck cells causing it, the line
+        // must get spared after the strike threshold — and become readable
+        // again once a fresh write lands in the spare slot.
+        let mut stuck = StuckBitMap::new();
+        for bit in [10u16, 20, 30, 40] {
+            stuck.insert(0, bit, true);
+            stuck.insert(1, bit, true);
+        }
+        let cache = ShardedCache::with_faults(
+            SudokuConfig::small(Scheme::X, 64, 16),
+            2,
+            stuck,
+            DegradedConfig {
+                spare_cap_per_shard: 4,
+                strike_threshold: 2,
+            },
+        )
+        .unwrap();
+        for line in 0..64u64 {
+            cache
+                .write(line, &data_with(&[line as usize % 512]))
+                .unwrap();
+        }
+        // Each failed read escalates and records one strike.
+        for _ in 0..2 {
+            assert!(matches!(cache.read(0), Err(ServiceError::Uncorrectable(_))));
+        }
+        let degraded = cache.degraded_stats();
+        assert!(degraded.spared_lines >= 1, "{degraded:?}");
+        // Spared with data lost: still a detected error, never silent.
+        assert!(matches!(cache.read(0), Err(ServiceError::Uncorrectable(_))));
+        // A fresh write lands in the spare slot and the line lives again.
+        cache.write(0, &data_with(&[7])).unwrap();
+        assert_eq!(cache.read(0).unwrap(), data_with(&[7]));
+        assert!(cache.degraded_stats().spare_reads >= 1);
+    }
+
+    #[test]
+    fn stuck_sdr_line_spared_with_recovered_data() {
+        // Z-scheme: the stuck pair is recoverable every time via H2, but
+        // the stuck cells undo each reconstruction — non-convergent repair
+        // churn. After the strike threshold the line is spared *with* its
+        // recovered data, so reads stop needing escalation at all.
+        let mut stuck = StuckBitMap::new();
+        for bit in [100u16, 200] {
+            stuck.insert(4, bit, true);
+            stuck.insert(5, bit, true);
+        }
+        let cache = ShardedCache::with_faults(
+            SudokuConfig::small(Scheme::Z, 256, 16),
+            2,
+            stuck,
+            DegradedConfig {
+                spare_cap_per_shard: 4,
+                strike_threshold: 2,
+            },
+        )
+        .unwrap();
+        for line in 0..256u64 {
+            cache
+                .write(line, &data_with(&[line as usize % 512]))
+                .unwrap();
+        }
+        for _ in 0..3 {
+            assert_eq!(cache.read(4).unwrap(), data_with(&[4]));
+            assert_eq!(cache.read(5).unwrap(), data_with(&[5]));
+        }
+        let degraded = cache.degraded_stats();
+        assert!(degraded.undone_reconstructions >= 2, "{degraded:?}");
+        assert!(degraded.spared_lines >= 1, "{degraded:?}");
+        // Spared reads keep returning the right data from the pool.
+        assert_eq!(cache.read(4).unwrap(), data_with(&[4]));
+        assert!(cache.degraded_stats().spare_reads >= 1);
     }
 }

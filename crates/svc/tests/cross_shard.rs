@@ -19,7 +19,7 @@ fn populated(n_shards: usize) -> ShardedCache {
     let config = SudokuConfig::small(Scheme::Z, LINES, GROUP);
     let sharded = ShardedCache::new(config, n_shards).expect("valid shard count");
     for i in 0..LINES {
-        sharded.write(i, &golden(i));
+        sharded.write(i, &golden(i)).unwrap();
     }
     sharded
 }

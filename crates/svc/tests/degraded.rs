@@ -1,0 +1,270 @@
+//! Degraded-mode service tests: worker panics, poisoned locks, stuck-at
+//! cells, and shutdown under backpressure — the service must degrade
+//! (typed errors, quarantine, sparing), never panic a client or hang.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use sudoku_codes::LineData;
+use sudoku_core::{Scheme, SudokuConfig};
+use sudoku_fault::StuckBitMap;
+use sudoku_svc::{DegradedConfig, Service, ServiceConfig, ServiceError};
+
+fn data_with(bits: &[usize]) -> LineData {
+    let mut d = LineData::zero();
+    for &b in bits {
+        d.set_bit(b, true);
+    }
+    d
+}
+
+fn wait_for_quarantine(handle: &sudoku_svc::ServiceHandle, shard: usize) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !handle.quarantined().contains(&shard) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "quarantine of shard {shard} never landed"
+        );
+        std::thread::sleep(Duration::from_micros(100));
+    }
+}
+
+/// Tentpole: a worker panic kills the shard, not the process. The other
+/// N−1 shards serve every one of their lines; the dead shard fails fast
+/// with `ShardDown`; the report names the panicked worker.
+#[test]
+fn worker_panic_quarantines_shard_and_others_keep_serving() {
+    let mut config = ServiceConfig::small(256, 4, 0.0, 21);
+    config.scrub_every = None;
+    let service = Service::start(config).unwrap();
+    let handle = service.handle();
+    for line in 0..256u64 {
+        handle
+            .write(line, &data_with(&[line as usize % 512]))
+            .unwrap();
+    }
+    let victim = handle.shard_of(0);
+    handle.inject_worker_panic(victim, false).unwrap();
+    wait_for_quarantine(&handle, victim);
+    let mut served = 0u64;
+    let mut rejected = 0u64;
+    for line in 0..256u64 {
+        match handle.read(line) {
+            Ok(data) => {
+                assert_eq!(data, data_with(&[line as usize % 512]));
+                assert_ne!(handle.shard_of(line), victim);
+                served += 1;
+            }
+            Err(ServiceError::ShardDown(s)) => {
+                assert_eq!(s, victim);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(served, 192, "3 of 4 shards serve all their lines");
+    assert_eq!(rejected, 64);
+    let report = service.shutdown();
+    assert_eq!(report.worker_panics, vec![victim]);
+    assert_eq!(report.quarantined, vec![victim]);
+    assert!(!report.daemon_panicked);
+    assert!(report.degraded.shard_down_rejects >= 64);
+}
+
+/// Tentpole: a panic while *holding the shard mutex* poisons it; the
+/// service must treat the poisoned lock as shard death, not unwind into
+/// every thread that touches the mutex afterwards.
+#[test]
+fn poisoned_lock_panic_degrades_cleanly() {
+    let mut config = ServiceConfig::small(256, 4, 0.0, 22);
+    // Keep the daemon on: it must survive meeting the poisoned mutex.
+    config.scrub_every = Some(Duration::from_millis(1));
+    let service = Service::start(config).unwrap();
+    let handle = service.handle();
+    for line in 0..256u64 {
+        handle
+            .write(line, &data_with(&[line as usize % 512]))
+            .unwrap();
+    }
+    let victim = handle.shard_of(7);
+    handle.inject_worker_panic(victim, true).unwrap();
+    wait_for_quarantine(&handle, victim);
+    // Reads to live shards keep working while the daemon keeps ticking
+    // around the corpse.
+    for line in 0..256u64 {
+        if handle.shard_of(line) != victim {
+            assert_eq!(
+                handle.read(line).unwrap(),
+                data_with(&[line as usize % 512])
+            );
+        }
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    let report = service.shutdown();
+    assert_eq!(report.worker_panics, vec![victim]);
+    assert!(!report.daemon_panicked, "daemon must survive a dead shard");
+    assert!(report.scrub_ticks > 0);
+    // Telemetry harvested from the poisoned shard too: its counters from
+    // before the panic are present (it served 64 of the 256 writes).
+    assert_eq!(report.stats.writes, 256);
+}
+
+/// Satellite: shutdown during backpressure. Producers blocked on a full
+/// shard queue while `shutdown()` runs must all unblock with a result or
+/// a `ServiceError` — no deadlock, no panic.
+#[test]
+fn shutdown_under_backpressure_unblocks_all_producers() {
+    for n_shards in [1usize, 4] {
+        let mut config = ServiceConfig::small(256, n_shards, 0.0, 23);
+        config.scrub_every = None;
+        config.queue_depth = 2; // tiny queue: producers block immediately
+        let service = Service::start(config).unwrap();
+        let outcomes = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for p in 0..8u64 {
+                let handle = service.handle();
+                let outcomes = Arc::clone(&outcomes);
+                let errors = Arc::clone(&errors);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let line = (p * 200 + i) % 256;
+                        match handle.write(line, &data_with(&[line as usize % 512])) {
+                            Ok(()) => outcomes.fetch_add(1, Ordering::Relaxed),
+                            Err(ServiceError::ShuttingDown) => {
+                                errors.fetch_add(1, Ordering::Relaxed)
+                            }
+                            Err(e) => panic!("unexpected error: {e}"),
+                        };
+                    }
+                });
+            }
+            // Let producers pile onto the tiny queues, then pull the rug.
+            std::thread::sleep(Duration::from_millis(2));
+            let report = service.shutdown();
+            assert!(report.worker_panics.is_empty());
+            // If this scope exits, every producer unblocked. Every write
+            // the service accepted before the drain marker was served.
+            assert!(report.writes <= 8 * 200);
+        });
+        let done = outcomes.load(Ordering::Relaxed) + errors.load(Ordering::Relaxed);
+        assert_eq!(done, 8 * 200, "every producer request resolved");
+    }
+}
+
+/// Satellite: a read in flight on a shard that dies must resolve to a
+/// `ServiceError`, never hang or panic (the `rx.recv().expect` path).
+#[test]
+fn read_stranded_by_worker_death_gets_error_not_hang() {
+    let mut config = ServiceConfig::small(256, 2, 0.0, 24);
+    config.scrub_every = None;
+    config.queue_depth = 64;
+    let service = Service::start(config).unwrap();
+    let handle = service.handle();
+    let victim = handle.shard_of(0);
+    // Queue: panic first, then reads behind it on the same shard. The
+    // panic kills the worker; the queued reads must all error out.
+    handle.inject_worker_panic(victim, false).unwrap();
+    let mut stranded = Vec::new();
+    for line in 0..256u64 {
+        if handle.shard_of(line) == victim {
+            stranded.push(line);
+        }
+    }
+    let mut got_errors = 0;
+    for &line in &stranded {
+        match handle.read(line) {
+            Err(ServiceError::ShardDown(s)) => {
+                assert_eq!(s, victim);
+                got_errors += 1;
+            }
+            Err(ServiceError::ShuttingDown) => got_errors += 1,
+            Ok(_) => panic!("read served by a dead shard"),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(got_errors, stranded.len());
+    let report = service.shutdown();
+    assert_eq!(report.worker_panics, vec![victim]);
+}
+
+/// Tentpole: stuck-at bits persist across scrubs without destroying
+/// service-level correctness — every line keeps reading back its golden
+/// value while the scrub daemon churns over the permanently faulty array.
+#[test]
+fn stuck_bits_survive_scrub_daemon_without_sdc() {
+    let mut stuck = StuckBitMap::new();
+    for i in 0..16u64 {
+        stuck.insert(i * 16, ((i * 37) % 553) as u16, true);
+    }
+    let mut config = ServiceConfig::small(256, 4, 1e-4, 25);
+    config.scrub_every = Some(Duration::from_millis(1));
+    config.stuck = stuck;
+    let service = Service::start(config).unwrap();
+    let handle = service.handle();
+    for line in 0..256u64 {
+        handle
+            .write(line, &data_with(&[line as usize % 512]))
+            .unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    for line in 0..256u64 {
+        assert_eq!(
+            handle.read(line).unwrap(),
+            data_with(&[line as usize % 512]),
+            "line {line}"
+        );
+    }
+    let report = service.shutdown();
+    assert!(report.fully_healthy(), "{report:?}");
+    assert_eq!(report.degraded.stuck_lines, 16);
+    assert!(report.degraded.stuck_reasserts > 0, "{report:?}");
+    let json = report.to_json();
+    assert!(json.contains("\"stuck_lines\":16"), "{json}");
+    assert!(json.contains("\"daemon_panicked\":false"), "{json}");
+}
+
+/// Tentpole: a line whose stuck cells defeat even cross-shard recovery is
+/// spared after repeated strikes — later writes land in the spare pool and
+/// the line becomes readable again instead of being a DUE forever.
+#[test]
+fn hopeless_stuck_line_is_spared_and_rewritable() {
+    // Same-position stuck pairs in one H1 group *and* aligned so that H2
+    // also sees double faults: use Scheme::X (no second hash) for a
+    // guaranteed-hopeless line with a tiny geometry.
+    let mut stuck = StuckBitMap::new();
+    for bit in [11u16, 22, 33, 44] {
+        stuck.insert(2, bit, true);
+        stuck.insert(3, bit, true);
+    }
+    let mut config = ServiceConfig::small(64, 2, 0.0, 26);
+    config.cache = SudokuConfig::small(Scheme::X, 64, 16);
+    config.scrub_every = None;
+    config.stuck = stuck;
+    config.degraded = DegradedConfig {
+        spare_cap_per_shard: 4,
+        strike_threshold: 2,
+    };
+    let service = Service::start(config).unwrap();
+    let handle = service.handle();
+    for line in 0..64u64 {
+        handle
+            .write(line, &data_with(&[line as usize % 512]))
+            .unwrap();
+    }
+    // Two DUE reads strike the line into the spare pool.
+    for _ in 0..2 {
+        assert!(matches!(
+            handle.read(2),
+            Err(ServiceError::Uncorrectable(_))
+        ));
+    }
+    // A rewrite lands in the spare slot; the line serves again.
+    handle.write(2, &data_with(&[200])).unwrap();
+    assert_eq!(handle.read(2).unwrap(), data_with(&[200]));
+    let report = service.shutdown();
+    assert!(report.degraded.spared_lines >= 1, "{report:?}");
+    assert!(report.degraded.spare_writes >= 1, "{report:?}");
+    assert!(report.degraded.spare_reads >= 1, "{report:?}");
+    assert!(report.due_reads >= 2, "{report:?}");
+}

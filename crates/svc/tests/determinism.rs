@@ -28,7 +28,7 @@ fn assert_invariant(n_shards: usize, seed: u64, ber: f64) {
     for i in 0..LINES {
         let data = golden(i);
         reference.write(i, &data);
-        sharded.write(i, &data);
+        sharded.write(i, &data).unwrap();
     }
     let plan = FaultInjector::new(ber, seed).resolved_plan(LINES);
     for (line, bits) in &plan {
