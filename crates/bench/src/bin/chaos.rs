@@ -20,6 +20,16 @@
 //!   shard fails fast rather than serving stale data.
 //! * **Bounded DUE escalation** — detected-uncorrectable reads must stay
 //!   under `--max-due` (exit 3).
+//! * **Prompt detection** — the soak always runs the live telemetry plane
+//!   and, after injecting the worker panics, polls `GET /healthz` until it
+//!   flips to `503` with a non-empty quarantined-shard list. That
+//!   time-to-detection must stay within one sampler interval
+//!   (`--ttd-budget-ms`, default = `--sample-ms`; exit 5 otherwise) and is
+//!   recorded as `ttd_ms` in `BENCH_chaos.json`.
+//!
+//! `--telemetry-port <p>` pins the scrape endpoint (default: an ephemeral
+//! port, printed at startup); `--flight-recorder <path>` streams the
+//! sampler's snapshots to `<path>` as JSONL for artifact upload.
 //!
 //! `--json` writes `BENCH_chaos.json` with the full degraded-mode counter
 //! set for CI artifact upload.
@@ -27,14 +37,16 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use sudoku_bench::{flag, header};
 use sudoku_codes::LineData;
 use sudoku_core::{Scheme, SudokuConfig};
 use sudoku_fault::StuckBitMap;
 use sudoku_sim::ZipfGen;
-use sudoku_svc::{ReadReply, Service, ServiceConfig, ServiceError, ServiceHandle};
+use sudoku_svc::{ReadReply, Service, ServiceConfig, ServiceError, ServiceHandle, TelemetryConfig};
 
 fn git_rev() -> String {
     std::process::Command::new("git")
@@ -61,6 +73,10 @@ struct Opts {
     panic_after_ms: u64,
     shutdown_after_ms: u64,
     max_due: u64,
+    telemetry_port: u16,
+    flight_recorder: Option<String>,
+    sample_ms: u64,
+    ttd_budget_ms: u64,
 }
 
 impl Opts {
@@ -90,8 +106,46 @@ impl Opts {
             panic_after_ms: u("--panic-after-ms", 40),
             shutdown_after_ms: u("--shutdown-after-ms", 120),
             max_due: u("--max-due", u64::MAX),
+            telemetry_port: u("--telemetry-port", 0) as u16,
+            flight_recorder: get("--flight-recorder").map(String::from),
+            sample_ms: u("--sample-ms", 50),
+            ttd_budget_ms: u("--ttd-budget-ms", u("--sample-ms", 50)),
         }
     }
+}
+
+/// Minimal HTTP/1.1 GET against the service's own scrape endpoint:
+/// returns the status code and body, or `None` on any transport error.
+fn http_get(addr: SocketAddr, path: &str) -> Option<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(250)).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok()?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let status: u16 = response.split_whitespace().nth(1)?.parse().ok()?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Some((status, body))
+}
+
+/// Polls `/healthz` until it reports the injected quarantine (503 with a
+/// non-empty shard list), returning the time that took. `None` when the
+/// deadline passed without detection.
+fn time_to_detection(addr: SocketAddr, deadline: Duration) -> Option<Duration> {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if let Some((status, body)) = http_get(addr, "/healthz") {
+            if status == 503 && !body.contains("\"quarantined\":[]") {
+                return Some(start.elapsed());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    None
 }
 
 #[derive(Debug, Default)]
@@ -221,14 +275,26 @@ fn main() {
         seed: opts.seed,
         stuck,
         degraded: Default::default(),
+        // Always on: the soak asserts detection latency through the same
+        // endpoint an operator would watch.
+        telemetry: Some(TelemetryConfig {
+            sample_every: Duration::from_millis(opts.sample_ms.max(1)),
+            flight_recorder_cap: 256,
+            jsonl_path: opts.flight_recorder.as_ref().map(Into::into),
+            port: Some(opts.telemetry_port),
+        }),
     };
     let service = Service::start(config).expect("valid service config");
+    let telemetry_addr = service.telemetry_addr().expect("telemetry endpoint is on");
+    println!("telemetry: GET http://{telemetry_addr}/metrics | /healthz | /snapshot.json");
     let chaos_handle = service.handle();
     let workers = opts.clients.max(1) as u64;
     let span = (opts.lines / workers).max(1);
 
     let mut client_panics = 0u64;
     let mut totals = ClientResult::default();
+    let mut ttd: Option<Duration> = None;
+    let injected_panics = opts.panic_shards.min(opts.shards.saturating_sub(1));
     let report = std::thread::scope(|s| {
         let joins: Vec<_> = (0..workers)
             .map(|w| {
@@ -246,16 +312,39 @@ fn main() {
         // kill workers (alternating plain and lock-holding panics), kill
         // the daemon, and finally shut down mid-flight.
         std::thread::sleep(Duration::from_millis(opts.panic_after_ms));
-        for shard in 0..opts.panic_shards.min(opts.shards.saturating_sub(1)) {
+        for shard in 0..injected_panics {
             let hold_lock = shard % 2 == 1;
             let _ = chaos_handle.inject_worker_panic(shard, hold_lock);
             println!("injected worker panic: shard {shard} (hold_lock = {hold_lock})");
         }
+        // Time-to-detection: injection → /healthz going 503 with the
+        // quarantined shard listed. Measured before the daemon panic so
+        // the 503 is attributable to the worker quarantine alone.
+        let mut poll_spent = Duration::ZERO;
+        if injected_panics > 0 {
+            let deadline = Duration::from_millis(opts.ttd_budget_ms) + Duration::from_secs(2);
+            let poll_start = Instant::now();
+            ttd = time_to_detection(telemetry_addr, deadline);
+            poll_spent = poll_start.elapsed();
+            match ttd {
+                Some(d) => println!(
+                    "time-to-detection: {:.1} ms (budget {} ms)",
+                    d.as_secs_f64() * 1e3,
+                    opts.ttd_budget_ms
+                ),
+                None => println!(
+                    "time-to-detection: /healthz never reported the quarantine \
+                     (polled {:.0} ms)",
+                    poll_spent.as_secs_f64() * 1e3
+                ),
+            }
+        }
         service.inject_daemon_panic();
         println!("injected scrub daemon panic");
-        std::thread::sleep(Duration::from_millis(
-            opts.shutdown_after_ms.saturating_sub(opts.panic_after_ms),
-        ));
+        std::thread::sleep(
+            Duration::from_millis(opts.shutdown_after_ms.saturating_sub(opts.panic_after_ms))
+                .saturating_sub(poll_spent),
+        );
         println!("mid-run shutdown (producers may be blocked on full queues)...");
         let report = service.shutdown();
         for join in joins {
@@ -318,7 +407,13 @@ fn main() {
                 "worker_panics",
                 report.worker_panics.iter().map(|&s| s as u64),
             )
-            .field_raw("degraded", &report.degraded.to_json())
+            .field_raw("degraded", &report.degraded.to_json());
+        match ttd {
+            Some(d) => obj.field_f64("ttd_ms", d.as_secs_f64() * 1e3),
+            None => obj.field_raw("ttd_ms", "null"),
+        };
+        obj.field_u64("ttd_budget_ms", opts.ttd_budget_ms)
+            .field_u64("sample_ms", opts.sample_ms)
             .field_u64("seed", opts.seed)
             .field_str("git_rev", &git_rev());
         std::fs::write("BENCH_chaos.json", obj.finish() + "\n").expect("write BENCH_chaos.json");
@@ -342,6 +437,25 @@ fn main() {
     if opts.panic_shards > 0 && totals.served_degraded == 0 && totals.reads > 0 {
         eprintln!("FAIL: no reads served after quarantine — surviving shards did not serve");
         std::process::exit(4);
+    }
+    if injected_panics > 0 {
+        let budget = Duration::from_millis(opts.ttd_budget_ms);
+        match ttd {
+            None => {
+                eprintln!("FAIL: /healthz never reported the injected quarantine");
+                std::process::exit(5);
+            }
+            Some(d) if d > budget => {
+                eprintln!(
+                    "FAIL: time-to-detection {:.1} ms exceeds the {} ms budget \
+                     (one sampler interval)",
+                    d.as_secs_f64() * 1e3,
+                    opts.ttd_budget_ms
+                );
+                std::process::exit(5);
+            }
+            Some(_) => {}
+        }
     }
     println!("PASS: survived the soak with no SDC and no client panic");
 }

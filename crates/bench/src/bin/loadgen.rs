@@ -8,11 +8,19 @@
 //! cargo run --release -p sudoku-bench --bin loadgen -- \
 //!     --shards 4 --clients 4 --requests 20000 --ber 1e-4 --json
 //! cargo run --release -p sudoku-bench --bin loadgen -- --rate 50000 --theta 0.9
+//! cargo run --release -p sudoku-bench --bin loadgen -- \
+//!     --telemetry-port 9187 --flight-recorder flight.jsonl --rate 20000
 //! ```
 //!
 //! `--json` additionally writes `BENCH_svc.json`, the service-layer
 //! counterpart of `BENCH_kernels.json`: achieved req/sec, read-latency
 //! quantiles, shard count, seed, and git revision.
+//!
+//! `--telemetry-port <p>` serves `GET /metrics` (Prometheus text),
+//! `/healthz`, and `/snapshot.json` on `127.0.0.1:<p>` for the duration of
+//! the run (`curl` it mid-run); `--flight-recorder <path>` additionally
+//! streams one telemetry snapshot per `--sample-ms` interval to `<path>`
+//! as JSONL. Either flag enables the sampler thread.
 //!
 //! The process exits non-zero if any read returned silently corrupted
 //! data (SDC) — the one outcome the SuDoku ladder must never allow — so
@@ -22,7 +30,9 @@ use std::time::Duration;
 use sudoku_bench::{flag, header};
 use sudoku_core::{Scheme, SudokuConfig};
 use sudoku_fault::StuckBitMap;
-use sudoku_svc::{AddrMode, DegradedConfig, LoadgenConfig, Service, ServiceConfig};
+use sudoku_svc::{
+    AddrMode, DegradedConfig, LoadgenConfig, Service, ServiceConfig, TelemetryConfig,
+};
 
 fn git_rev() -> String {
     std::process::Command::new("git")
@@ -47,6 +57,9 @@ struct Opts {
     tick_ms: u64,
     queue: usize,
     seed: u64,
+    telemetry_port: Option<u16>,
+    flight_recorder: Option<String>,
+    sample_ms: u64,
 }
 
 impl Opts {
@@ -74,7 +87,24 @@ impl Opts {
             tick_ms: u("--tick-ms", 1),
             queue: u("--queue", 64) as usize,
             seed: u("--seed", 42),
+            telemetry_port: get("--telemetry-port").and_then(|v| v.parse().ok()),
+            flight_recorder: get("--flight-recorder").map(String::from),
+            sample_ms: u("--sample-ms", 50),
         }
+    }
+
+    /// The telemetry plane is on when either the scrape endpoint or the
+    /// flight-recorder JSONL was requested.
+    fn telemetry(&self) -> Option<TelemetryConfig> {
+        if self.telemetry_port.is_none() && self.flight_recorder.is_none() {
+            return None;
+        }
+        Some(TelemetryConfig {
+            sample_every: Duration::from_millis(self.sample_ms.max(1)),
+            flight_recorder_cap: 256,
+            jsonl_path: self.flight_recorder.as_ref().map(Into::into),
+            port: self.telemetry_port,
+        })
     }
 }
 
@@ -96,6 +126,7 @@ fn main() {
         seed: opts.seed,
         stuck: StuckBitMap::new(),
         degraded: DegradedConfig::default(),
+        telemetry: opts.telemetry(),
     };
     let load_config = LoadgenConfig {
         workers: opts.clients,
@@ -106,6 +137,15 @@ fn main() {
         seed: opts.seed,
     };
     let service = Service::start(service_config).expect("valid service config");
+    if let Some(addr) = service.telemetry_addr() {
+        println!("telemetry: GET http://{addr}/metrics | /healthz | /snapshot.json");
+    }
+    if let Some(path) = &opts.flight_recorder {
+        println!(
+            "flight recorder: streaming snapshots to {path} every {} ms",
+            opts.sample_ms
+        );
+    }
     let report = sudoku_svc::loadgen::run(service, &load_config);
 
     let lat = &report.service.hists.read_latency_ns;

@@ -33,16 +33,29 @@ impl Histogram {
         }
     }
 
+    /// Reassembles a histogram from raw parts (an [`AtomicHist`] snapshot).
+    /// The sample count is *derived* from the bucket counts, so a snapshot
+    /// always satisfies `count == sum(buckets)` even when the source was
+    /// being written concurrently.
+    ///
+    /// [`AtomicHist`]: crate::AtomicHist
+    pub(crate) fn from_parts(counts: Vec<u64>, max_exp: u32, sum: u64, min: u64, max: u64) -> Self {
+        let count = counts.iter().sum();
+        Histogram {
+            counts,
+            max_exp,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// Bucket index of a sample: `ceil(log2(v))`, clamped to the overflow
     /// bucket.
     #[inline]
     fn bucket(&self, v: u64) -> usize {
-        let exp = if v <= 1 {
-            0
-        } else {
-            64 - (v - 1).leading_zeros()
-        };
-        (exp.min(self.max_exp + 1)) as usize
+        bucket_index(v, self.max_exp)
     }
 
     /// Records one sample.
@@ -103,23 +116,33 @@ impl Histogram {
         }
     }
 
-    /// Upper-bound estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the
-    /// bucket bound below which at least `q · count` samples fall. Exact
-    /// values are not retained, so this is conservative by up to one
-    /// power-of-two bucket.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`), or
+    /// `None` when the histogram is empty — an empty histogram has no
+    /// quantiles, and conflating "no samples" with "0 ns" hides outages
+    /// from dashboards.
+    pub fn try_quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target.max(1) {
-                return self.bucket_bound(i).min(self.max);
+                return Some(self.bucket_bound(i).min(self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the
+    /// bucket bound below which at least `q · count` samples fall. Exact
+    /// values are not retained, so this is conservative by up to one
+    /// power-of-two bucket. Returns 0 on an empty histogram; callers that
+    /// must distinguish "no samples" from "fast" use
+    /// [`Histogram::try_quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.try_quantile(q).unwrap_or(0)
     }
 
     /// Merges another histogram (same bucket layout) into this one.
@@ -148,7 +171,27 @@ impl Histogram {
             .collect()
     }
 
+    /// Every bucket (zero counts included) as `(upper_bound, count)` pairs,
+    /// ascending; the final bound is `u64::MAX` (the overflow bucket). The
+    /// shape a Prometheus exposition needs for cumulative `le` buckets.
+    pub fn all_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bucket_bound(i), c))
+            .collect()
+    }
+
+    fn quantile_json(&self, q: f64) -> String {
+        match self.try_quantile(q) {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        }
+    }
+
     /// Compact JSON rendering: summary statistics plus non-empty buckets.
+    /// Quantiles render as `null` when the histogram is empty, so consumers
+    /// can tell "no samples" from "fast" (the `count` field agrees).
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self
             .nonzero_buckets()
@@ -167,12 +210,27 @@ impl Histogram {
         obj.field_f64("mean", self.mean());
         obj.field_u64("min", self.min());
         obj.field_u64("max", self.max);
-        obj.field_u64("p50", self.quantile(0.50));
-        obj.field_u64("p99", self.quantile(0.99));
-        obj.field_u64("p999", self.quantile(0.999));
+        obj.field_raw("p50", &self.quantile_json(0.50));
+        obj.field_raw("p90", &self.quantile_json(0.90));
+        obj.field_raw("p99", &self.quantile_json(0.99));
+        obj.field_raw("p999", &self.quantile_json(0.999));
         obj.field_raw("buckets", &format!("[{}]", buckets.join(",")));
         obj.finish()
     }
+}
+
+/// Bucket index of sample `v` in a pow2 layout with `max_exp`:
+/// `ceil(log2(v))`, clamped to the overflow bucket. Shared by [`Histogram`]
+/// and the lock-free [`AtomicHist`](crate::AtomicHist) so their layouts can
+/// never drift apart.
+#[inline]
+pub(crate) fn bucket_index(v: u64, max_exp: u32) -> usize {
+    let exp = if v <= 1 {
+        0
+    } else {
+        64 - (v - 1).leading_zeros()
+    };
+    (exp.min(max_exp + 1)) as usize
 }
 
 /// The histogram set a concurrent cache service populates: end-to-end
@@ -345,10 +403,43 @@ mod tests {
         let h = Histogram::pow2(8);
         assert!(h.is_empty());
         assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.try_quantile(0.99), None, "no samples ⇒ no quantile");
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.min(), 0);
         let json = h.to_json();
         assert!(json.contains("\"count\":0"), "{json}");
+        assert!(
+            json.contains("\"p50\":null") && json.contains("\"p999\":null"),
+            "empty quantiles must be null, not 0: {json}"
+        );
+    }
+
+    #[test]
+    fn populated_histogram_reports_p90() {
+        let mut h = Histogram::pow2(10);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.try_quantile(0.90), Some(h.quantile(0.90)));
+        assert!(h.quantile(0.90) >= 90);
+        let json = h.to_json();
+        assert!(json.contains("\"p90\":"), "{json}");
+        assert!(
+            !json.contains("null"),
+            "populated quantiles are numeric: {json}"
+        );
+    }
+
+    #[test]
+    fn all_buckets_includes_zero_counts_and_overflow() {
+        let mut h = Histogram::pow2(4);
+        h.record(3);
+        let buckets = h.all_buckets();
+        assert_eq!(buckets.len(), 6, "max_exp + 2 buckets");
+        assert_eq!(buckets.last(), Some(&(u64::MAX, 0)));
+        assert_eq!(buckets[2], (4, 1));
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`Histogram`] / [`RecoveryHistograms`] — fixed-bucket, allocation-free
 //!   on the hot path: SDR trials per resurrection, group-scan sizes, faults
 //!   per line, and estimated per-line recovery latency;
+//! * [`Counter`] / [`Gauge`] / [`AtomicHist`] — the *live* plane: lock-free
+//!   metrics that worker threads update wait-free and a sampler or
+//!   `/metrics` scrape snapshots without stopping the world;
 //! * [`PhaseTimes`] — span timing for campaign phases (inject / scrub /
 //!   recover / reset), merged across workers;
 //! * [`forensics`] — escalation-chain reconstruction and breakdowns over a
@@ -31,10 +34,12 @@ mod event;
 pub mod forensics;
 mod hist;
 pub mod json;
+mod live;
 mod sink;
 mod span;
 
 pub use event::{Dim, Mechanism, Outcome, RecoveryEvent};
 pub use hist::{Histogram, RecoveryHistograms, ServiceHistograms};
+pub use live::{AtomicHist, Counter, Gauge};
 pub use sink::{EventSink, JsonlSink, MemorySink, NullSink, Recorder};
 pub use span::{Phase, PhaseTimes, PHASES};

@@ -103,12 +103,21 @@ impl EventSink for MemorySink {
 }
 
 /// Streams events as JSON Lines to any writer (typically a file).
+///
+/// Durability: buffered lines are flushed on [`Drop`] (so a panic that
+/// unwinds past the owner still lands the tail of the log on disk) and
+/// every [`JsonlSink::FLUSH_EVERY`] records (so even a `process::exit`
+/// path, which skips destructors, truncates at most one batch — forensics
+/// reads this log after crashes, a mostly-written log beats an empty one).
 pub struct JsonlSink {
     out: BufWriter<Box<dyn Write + Send>>,
     written: u64,
 }
 
 impl JsonlSink {
+    /// Records between forced flushes of the underlying writer.
+    pub const FLUSH_EVERY: u64 = 256;
+
     /// A sink appending JSONL records to `writer`.
     pub fn new(writer: Box<dyn Write + Send>) -> Self {
         JsonlSink {
@@ -140,6 +149,9 @@ impl EventSink for JsonlSink {
     fn record(&mut self, event: &RecoveryEvent) {
         let _ = writeln!(self.out, "{}", event.to_jsonl());
         self.written += 1;
+        if self.written.is_multiple_of(Self::FLUSH_EVERY) {
+            let _ = self.out.flush();
+        }
     }
 
     fn flush(&mut self) {
@@ -424,6 +436,52 @@ mod tests {
             .collect();
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].line, 42);
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop_without_explicit_flush() {
+        // Regression: an early-exit path that drops the recorder without
+        // calling flush() must not truncate the event log forensics reads.
+        let dir = std::env::temp_dir().join(format!("sudoku_obs_drop_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        {
+            let mut r = Recorder::jsonl(&path).unwrap();
+            r.emit(ev(7));
+            r.emit(ev(8));
+            // No flush: the drop path is the one under test.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "buffered lines lost on drop");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_periodically() {
+        use std::sync::{Arc, Mutex};
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+        let mut sink = JsonlSink::new(Box::new(buf.clone()));
+        for line in 0..JsonlSink::FLUSH_EVERY {
+            sink.record(&ev(line));
+        }
+        // The periodic flush fired without drop or an explicit flush():
+        // even a destructor-skipping exit loses at most one batch.
+        let seen = buf.0.lock().unwrap().len();
+        assert!(seen > 0, "no bytes reached the writer after a full batch");
+        std::mem::forget(sink); // simulate process::exit: no Drop
+        let lines = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(lines.lines().count() as u64, JsonlSink::FLUSH_EVERY);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Loom-free concurrency soak of the live metrics plane: writer threads
+//! hammer a [`Counter`] and an [`AtomicHist`] while a reader snapshots
+//! continuously. The invariants under test are exactly the ones the
+//! `/metrics` scrape path depends on:
+//!
+//! * counters observed by a single reader are **monotone** — a later
+//!   snapshot never shows a smaller value;
+//! * every histogram snapshot is **internally coherent** — its `count`
+//!   equals the sum of its bucket counts, no matter how the reader's
+//!   bucket loads interleave with concurrent `record` calls (the snapshot
+//!   derives `count` from the buckets rather than racing a separate
+//!   total);
+//! * nothing is lost: after the writers join, the final snapshot accounts
+//!   for every recorded sample, with the exact sum.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use sudoku_obs::{AtomicHist, Counter, Gauge};
+
+const WRITERS: usize = 8;
+const PER_WRITER: u64 = 50_000;
+
+#[test]
+fn snapshots_stay_coherent_under_writer_fire() {
+    let hist = Arc::new(AtomicHist::pow2(24));
+    let counter = Arc::new(Counter::new());
+    let gauge = Arc::new(Gauge::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        let writers: Vec<_> = (0..WRITERS as u64)
+            .map(|w| {
+                let hist = Arc::clone(&hist);
+                let counter = Arc::clone(&counter);
+                let gauge = Arc::clone(&gauge);
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        // A spread of bucket targets, different per writer
+                        // so stripes and buckets both see contention.
+                        hist.record((w * 1_000 + i) % 65_536);
+                        counter.inc();
+                        gauge.inc();
+                        gauge.dec();
+                    }
+                })
+            })
+            .collect();
+
+        // The reader races the writers for the whole soak.
+        let reader = {
+            let hist = Arc::clone(&hist);
+            let counter = Arc::clone(&counter);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut last_count = 0u64;
+                let mut last_counter = 0u64;
+                let mut snapshots = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = hist.snapshot();
+                    let bucket_sum: u64 = snap.all_buckets().iter().map(|&(_, c)| c).sum();
+                    assert_eq!(
+                        snap.count(),
+                        bucket_sum,
+                        "histogram count must equal the sum of its buckets in every snapshot"
+                    );
+                    assert!(
+                        snap.count() >= last_count,
+                        "histogram count went backwards: {} -> {}",
+                        last_count,
+                        snap.count()
+                    );
+                    last_count = snap.count();
+                    let c = counter.get();
+                    assert!(
+                        c >= last_counter,
+                        "counter went backwards: {last_counter} -> {c}"
+                    );
+                    last_counter = c;
+                    snapshots += 1;
+                }
+                snapshots
+            })
+        };
+
+        // The reader races the writers for their entire lifetime, then
+        // gets the stop signal.
+        for writer in writers {
+            writer.join().expect("writers never panic");
+        }
+        done.store(true, Ordering::Relaxed);
+        let snapshots = reader.join().expect("reader never panics");
+        assert!(snapshots > 0, "the reader must have raced at least once");
+    });
+
+    // Quiesced: exact accounting.
+    let total = (WRITERS as u64) * PER_WRITER;
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), total, "no recorded sample may be lost");
+    let expect_sum: u64 = (0..WRITERS as u64)
+        .flat_map(|w| (0..PER_WRITER).map(move |i| (w * 1_000 + i) % 65_536))
+        .sum();
+    assert_eq!(snap.sum(), expect_sum, "sums must survive striping exactly");
+    assert_eq!(counter.get(), total);
+    assert_eq!(gauge.get(), 0, "paired inc/dec must cancel");
+}
+
+#[test]
+fn concurrent_snapshots_from_many_readers_are_each_coherent() {
+    let hist = Arc::new(AtomicHist::pow2(16));
+    std::thread::scope(|s| {
+        for w in 0..4u64 {
+            let hist = Arc::clone(&hist);
+            s.spawn(move || {
+                for i in 0..20_000u64 {
+                    hist.record(w * 7 + i % 1_024);
+                }
+            });
+        }
+        for _ in 0..3 {
+            let hist = Arc::clone(&hist);
+            s.spawn(move || {
+                for _ in 0..200 {
+                    let snap = hist.snapshot();
+                    let bucket_sum: u64 = snap.all_buckets().iter().map(|&(_, c)| c).sum();
+                    assert_eq!(snap.count(), bucket_sum);
+                }
+            });
+        }
+    });
+    assert_eq!(hist.snapshot().count(), 80_000);
+}

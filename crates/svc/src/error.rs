@@ -67,6 +67,49 @@ impl From<UncorrectableError> for ServiceError {
     }
 }
 
+/// Why a [`Service`] failed to start (distinct from [`ServiceError`],
+/// which covers per-request failures on a *running* service).
+///
+/// [`Service`]: crate::Service
+#[derive(Debug)]
+pub enum StartError {
+    /// The cache/shard configuration failed validation.
+    Config(sudoku_core::ConfigError),
+    /// The telemetry plane could not come up (scrape-endpoint bind,
+    /// flight-recorder JSONL file creation).
+    Telemetry(std::io::Error),
+}
+
+impl fmt::Display for StartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartError::Config(e) => write!(f, "{e}"),
+            StartError::Telemetry(e) => write!(f, "telemetry plane failed to start: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StartError::Config(e) => Some(e),
+            StartError::Telemetry(e) => Some(e),
+        }
+    }
+}
+
+impl From<sudoku_core::ConfigError> for StartError {
+    fn from(e: sudoku_core::ConfigError) -> Self {
+        StartError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for StartError {
+    fn from(e: std::io::Error) -> Self {
+        StartError::Telemetry(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,276 @@
+//! The std-only scrape endpoint of the telemetry plane: a tiny HTTP/1.x
+//! server on `127.0.0.1` answering
+//!
+//! * `GET /metrics` — a fresh [`TelemetrySnapshot`] in Prometheus text
+//!   exposition format,
+//! * `GET /healthz` — `200` with a small JSON body while every shard is up
+//!   and the scrub daemon alive, `503` with the quarantined-shard list the
+//!   moment anything is down (computed **live** from [`ShardHealth`], not
+//!   from the last sampler tick, so detection latency is a scrape away),
+//! * `GET /snapshot.json` — the flight recorder's most recent snapshot
+//!   (or a fresh capture before the sampler's first tick).
+//!
+//! No HTTP library: the accept loop parses exactly the request line of a
+//! `GET`, answers with `Content-Length` + `Connection: close`, and serves
+//! one request per connection. That is all `curl`, Prometheus, and the CI
+//! smoke jobs need, and it keeps the no-new-dependencies invariant.
+//!
+//! [`ShardHealth`]: crate::ShardHealth
+
+use crate::sharded::ShardedCache;
+use crate::telemetry::{FlightRecorder, TelemetryRegistry, TelemetrySnapshot};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use sudoku_obs::json::JsonObject;
+
+/// How long the accept loop naps when no connection is pending.
+const ACCEPT_NAP: Duration = Duration::from_millis(5);
+
+/// Per-connection read/write timeout: a stuck scraper must not wedge the
+/// exporter thread.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// The running scrape endpoint. Stops (and joins its thread) on drop.
+#[derive(Debug)]
+pub struct Exporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Exporter {
+    /// Binds `127.0.0.1:port` (0 = ephemeral; read the chosen port back
+    /// via [`Exporter::addr`]) and starts the serving thread.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, verbatim (port in use, no permission).
+    pub fn start(
+        port: u16,
+        state: Arc<ShardedCache>,
+        registry: Arc<TelemetryRegistry>,
+        recorder: Arc<FlightRecorder>,
+    ) -> std::io::Result<Exporter> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            serve_loop(&listener, &state, &registry, &recorder, &thread_stop);
+        });
+        Ok(Exporter {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (the actual port when started with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn serve_loop(
+    listener: &TcpListener,
+    state: &ShardedCache,
+    registry: &TelemetryRegistry,
+    recorder: &FlightRecorder,
+    stop: &AtomicBool,
+) {
+    // Scrape-triggered snapshots get their own (negative-free, but
+    // distinct) sequence space: the sampler numbers the flight-recorder
+    // ring; these number ad-hoc captures.
+    let scrape_seq = AtomicU64::new(0);
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One request per connection; any per-connection error is
+                // the scraper's problem, never the service's.
+                let _ = serve_connection(stream, state, registry, recorder, &scrape_seq);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_NAP);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_NAP),
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    state: &ShardedCache,
+    registry: &TelemetryRegistry,
+    recorder: &FlightRecorder,
+    scrape_seq: &AtomicU64,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_nonblocking(false)?;
+    let path = match read_request_path(&mut stream)? {
+        Some(path) => path,
+        None => return Ok(()), // unparseable; just hang up
+    };
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => {
+            let seq = scrape_seq.fetch_add(1, Ordering::Relaxed);
+            let snap = TelemetrySnapshot::capture(seq, state, registry);
+            ("200 OK", "text/plain; version=0.0.4", snap.to_prometheus())
+        }
+        "/healthz" => {
+            // Live health, straight off the shared atomics — a worker
+            // panic is visible here the instant quarantine lands, without
+            // waiting for a sampler tick.
+            let quarantined = state.health().quarantined();
+            let daemon_dead = registry.daemon_dead.get() != 0;
+            let healthy = quarantined.is_empty() && !daemon_dead;
+            let mut obj = JsonObject::new();
+            obj.field_str("status", if healthy { "ok" } else { "degraded" })
+                .field_array_u64("quarantined", quarantined.iter().map(|&s| s as u64))
+                .field_u64("shards_up", state.health().n_up() as u64)
+                .field_u64("shards", state.n_shards() as u64)
+                .field_bool("daemon_dead", daemon_dead);
+            let status = if healthy {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            (status, "application/json", obj.finish())
+        }
+        "/snapshot.json" => {
+            let snap = recorder.latest().unwrap_or_else(|| {
+                let seq = scrape_seq.fetch_add(1, Ordering::Relaxed);
+                TelemetrySnapshot::capture(seq, state, registry)
+            });
+            ("200 OK", "application/json", snap.to_json())
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            format!("no such endpoint: {path}\n"),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads the request head and returns the `GET` target path, or `None`
+/// for anything that is not a plausible `GET <path> HTTP/1.x` line.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut buf = [0u8; 2048];
+    let mut used = 0usize;
+    // Read until the end of the request line; scrapers send tiny heads,
+    // so a couple of reads suffice. Stop at buffer capacity regardless.
+    loop {
+        let n = match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) => return Err(e),
+        };
+        used += n;
+        if buf[..used].windows(2).any(|w| w == b"\r\n") || used == buf.len() {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..used]);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_string())),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sudoku_core::{Scheme, SudokuConfig};
+
+    fn test_exporter() -> (Exporter, Arc<ShardedCache>) {
+        let state =
+            Arc::new(ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 2).unwrap());
+        let registry = Arc::new(TelemetryRegistry::new(2));
+        registry.reads.add(5);
+        let recorder = Arc::new(FlightRecorder::new(8));
+        let exporter =
+            Exporter::start(0, Arc::clone(&state), registry, recorder).expect("ephemeral bind");
+        (exporter, state)
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect to exporter");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a head/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (exporter, _state) = test_exporter();
+        let (head, body) = get(exporter.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        assert!(body.contains("sudoku_reads_total 5"), "{body}");
+        assert!(
+            body.contains("# TYPE sudoku_read_latency_ns histogram"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn healthz_flips_to_503_on_quarantine() {
+        let (exporter, state) = test_exporter();
+        let (head, body) = get(exporter.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        state.health().quarantine(1);
+        let (head, body) = get(exporter.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 503"), "{head}");
+        assert!(body.contains("\"quarantined\":[1]"), "{body}");
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+    }
+
+    #[test]
+    fn snapshot_endpoint_serves_json_even_before_first_sample() {
+        let (exporter, _state) = test_exporter();
+        let (head, body) = get(exporter.addr(), "/snapshot.json");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(
+            body.starts_with('{') && body.trim_end().ends_with('}'),
+            "{body}"
+        );
+        assert!(body.contains("\"reads\":5"), "{body}");
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_exporter_survives() {
+        let (exporter, _state) = test_exporter();
+        let (head, _) = get(exporter.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        // Still serving afterwards.
+        let (head, _) = get(exporter.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    }
+}

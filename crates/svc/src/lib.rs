@@ -24,6 +24,12 @@
 //! * [`loadgen`] — replay of `sim::trace` workload mixes (or a zipfian
 //!   stream) against a running service at a target request rate, with a
 //!   golden-copy oracle that counts silent data corruption.
+//! * [`telemetry`] / [`Exporter`] — the live telemetry plane: a lock-free
+//!   [`TelemetryRegistry`] every worker updates wait-free, a sampler
+//!   thread recording periodic [`TelemetrySnapshot`]s into a bounded
+//!   [`FlightRecorder`] ring (and optional JSONL time series), and a
+//!   std-only TCP endpoint serving `GET /metrics` (Prometheus text),
+//!   `/healthz`, and `/snapshot.json` while the service runs.
 //!
 //! The service is **degraded-mode tolerant**: nothing on the client path
 //! panics. Handle operations return [`ServiceError`]; a shard whose worker
@@ -41,12 +47,18 @@
 
 pub mod degraded;
 mod error;
+mod exporter;
 pub mod loadgen;
 mod service;
 mod sharded;
+pub mod telemetry;
 
 pub use degraded::{DegradedConfig, DegradedStats, ShardHealth, SpareTable};
-pub use error::ServiceError;
+pub use error::{ServiceError, StartError};
+pub use exporter::Exporter;
 pub use loadgen::{AddrMode, LoadReport, LoadgenConfig};
 pub use service::{ReadReply, Service, ServiceConfig, ServiceHandle, ServiceReport};
 pub use sharded::{merge_reports, ShardedCache};
+pub use telemetry::{
+    FlightRecorder, TelemetryConfig, TelemetryRegistry, TelemetrySnapshot, TraceRecord,
+};

@@ -1,6 +1,6 @@
 //! The live service front-end: per-shard worker threads behind bounded
 //! request queues, a background scrub daemon with per-shard forked fault
-//! injectors, and graceful drain/shutdown.
+//! injectors, a live telemetry plane, and graceful drain/shutdown.
 //!
 //! Queueing/backpressure semantics: each shard has one bounded MPSC queue
 //! ([`std::sync::mpsc::sync_channel`]); producers block when a shard's
@@ -15,6 +15,19 @@
 //! interleaving), then a shard-local Hash-1 scrub, then cross-shard
 //! escalation of whatever the shard could not resolve alone.
 //!
+//! # Telemetry
+//!
+//! Every worker and the daemon publish into a shared lock-free
+//! [`TelemetryRegistry`] as they go — counters, queue-depth gauges, and
+//! per-phase latency histograms (queue wait → shard service → cross-shard
+//! H2 gather+repair), threaded by a per-request trace ID the handle
+//! allocates at enqueue time. The end-of-run [`ServiceReport`] is now just
+//! a final read of that registry; with [`ServiceConfig::telemetry`] set, a
+//! sampler thread additionally records periodic [`TelemetrySnapshot`]s
+//! into a bounded flight recorder (and optional JSONL time series), and a
+//! std-only TCP exporter serves `GET /metrics`, `/healthz`, and
+//! `/snapshot.json` while the service runs.
+//!
 //! # Failure semantics
 //!
 //! Nothing on the client path panics. Every handle operation returns
@@ -25,26 +38,34 @@
 //!   boundary; the shard is **quarantined**, its queued requests are
 //!   drained with an error reply, and subsequent requests to it fail fast
 //!   with [`ServiceError::ShardDown`] while the other N−1 shards keep
-//!   serving. The worker's histograms and counters survive into the final
-//!   report.
+//!   serving. The registry (shared, not worker-local) keeps everything the
+//!   dead worker recorded.
 //! * A scrub daemon panic is caught per tick; scrubbing stops but demand
 //!   traffic continues, and [`ServiceReport::daemon_panicked`] says so.
 //! * Shutdown never panics: dead workers are recorded in
 //!   [`ServiceReport::worker_panics`], surviving telemetry is harvested
 //!   (a poisoned shard mutex does not block counter collection), and the
 //!   degraded-mode counters land in [`ServiceReport::degraded`].
+//!
+//! [`TelemetrySnapshot`]: crate::TelemetrySnapshot
 
 use crate::degraded::{DegradedConfig, DegradedStats};
-use crate::error::ServiceError;
+use crate::error::{ServiceError, StartError};
+use crate::exporter::Exporter;
 use crate::sharded::ShardedCache;
+use crate::telemetry::{
+    FlightRecorder, TelemetryConfig, TelemetryRegistry, TelemetrySnapshot, TraceRecord,
+};
+use std::io::Write as _;
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use sudoku_codes::LineData;
-use sudoku_core::{CacheStats, ConfigError, Recorder, ShardPlan, SudokuConfig};
+use sudoku_core::{CacheStats, Recorder, ShardPlan, SudokuConfig};
 use sudoku_fault::{FaultInjector, StuckBitMap};
 use sudoku_obs::{RecoveryHistograms, ServiceHistograms};
 
@@ -70,6 +91,9 @@ pub struct ServiceConfig {
     pub stuck: StuckBitMap,
     /// Quarantine/sparing policy for degraded operation.
     pub degraded: DegradedConfig,
+    /// Live telemetry plane (sampler, flight recorder, scrape endpoint);
+    /// `None` runs the lock-free registry only, with zero extra threads.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl ServiceConfig {
@@ -85,6 +109,7 @@ impl ServiceConfig {
             seed,
             stuck: StuckBitMap::new(),
             degraded: DegradedConfig::default(),
+            telemetry: None,
         }
     }
 }
@@ -93,11 +118,13 @@ impl ServiceConfig {
 enum Request {
     Read {
         line: u64,
+        trace: u64,
         enqueued: Instant,
         reply: Sender<ReadReply>,
     },
     Write {
         line: u64,
+        trace: u64,
         data: LineData,
         enqueued: Instant,
     },
@@ -114,27 +141,11 @@ enum Request {
 pub struct ReadReply {
     /// The line that was read.
     pub line: u64,
+    /// The request's trace ID (allocated at enqueue; the same ID keys the
+    /// sampled per-phase [`TraceRecord`]s in `/snapshot.json`).
+    pub trace: u64,
     /// The recovered data, a DUE, or an availability error.
     pub result: Result<LineData, ServiceError>,
-}
-
-#[derive(Clone, Copy, Debug, Default)]
-struct WorkerCounters {
-    reads: u64,
-    writes: u64,
-    escalated_reads: u64,
-    due_reads: u64,
-    failed_writes: u64,
-}
-
-#[derive(Clone, Copy, Debug, Default)]
-struct DaemonCounters {
-    ticks: u64,
-    skipped_ticks: u64,
-    injected_lines: u64,
-    escalations: u64,
-    escalated_lines: u64,
-    unresolved_lines: u64,
 }
 
 /// End-of-run summary assembled by [`Service::shutdown`].
@@ -227,7 +238,7 @@ impl ServiceReport {
 pub struct ServiceHandle {
     plan: ShardPlan,
     senders: Vec<SyncSender<Request>>,
-    depths: Arc<Vec<AtomicUsize>>,
+    registry: Arc<TelemetryRegistry>,
     state: Arc<ShardedCache>,
 }
 
@@ -267,16 +278,18 @@ impl ServiceHandle {
             self.state.note_reject();
             return Err(ServiceError::ShardDown(s));
         }
-        self.depths[s].fetch_add(1, Ordering::Relaxed);
+        let trace = self.registry.next_trace_id();
+        self.registry.depth(s).inc();
         self.senders[s]
             .send(Request::Write {
                 line,
+                trace,
                 data: *data,
                 enqueued: Instant::now(),
             })
             .map_err(|_| {
                 // Not accepted: undo the depth accounting.
-                self.depths[s].fetch_sub(1, Ordering::Relaxed);
+                self.registry.depth(s).dec();
                 self.disconnect_error(s)
             })
     }
@@ -294,15 +307,17 @@ impl ServiceHandle {
             self.state.note_reject();
             return Err(ServiceError::ShardDown(s));
         }
-        self.depths[s].fetch_add(1, Ordering::Relaxed);
+        let trace = self.registry.next_trace_id();
+        self.registry.depth(s).inc();
         self.senders[s]
             .send(Request::Read {
                 line,
+                trace,
                 enqueued: Instant::now(),
                 reply: reply.clone(),
             })
             .map_err(|_| {
-                self.depths[s].fetch_sub(1, Ordering::Relaxed);
+                self.registry.depth(s).dec();
                 self.disconnect_error(s)
             })
     }
@@ -345,10 +360,16 @@ impl ServiceHandle {
 
     /// Current depth of each shard's request queue.
     pub fn queue_depths(&self) -> Vec<usize> {
-        self.depths
-            .iter()
-            .map(|d| d.load(Ordering::Relaxed))
+        self.registry
+            .queue_depths()
+            .into_iter()
+            .map(|d| d as usize)
             .collect()
+    }
+
+    /// The live metrics registry this handle feeds.
+    pub fn registry(&self) -> &Arc<TelemetryRegistry> {
+        &self.registry
     }
 }
 
@@ -374,11 +395,15 @@ impl ServiceHandle {
 pub struct Service {
     state: Arc<ShardedCache>,
     senders: Vec<SyncSender<Request>>,
-    depths: Arc<Vec<AtomicUsize>>,
-    workers: Vec<JoinHandle<(ServiceHistograms, WorkerCounters, bool)>>,
-    daemon: Option<JoinHandle<(ServiceHistograms, DaemonCounters, bool)>>,
+    registry: Arc<TelemetryRegistry>,
+    workers: Vec<JoinHandle<bool>>,
+    daemon: Option<JoinHandle<bool>>,
     stop: Arc<AtomicBool>,
     daemon_panic: Arc<AtomicBool>,
+    recorder: Option<Arc<FlightRecorder>>,
+    sampler: Option<JoinHandle<()>>,
+    sampler_stop: Arc<AtomicBool>,
+    exporter: Option<Exporter>,
 }
 
 impl Service {
@@ -386,28 +411,26 @@ impl Service {
     ///
     /// # Errors
     ///
-    /// Propagates [`ConfigError`] from cache/shard validation.
-    pub fn start(config: ServiceConfig) -> Result<Self, ConfigError> {
+    /// [`StartError::Config`] for cache/shard validation failures,
+    /// [`StartError::Telemetry`] when the scrape endpoint cannot bind or
+    /// the flight-recorder JSONL file cannot be created.
+    pub fn start(config: ServiceConfig) -> Result<Self, StartError> {
         let state = Arc::new(ShardedCache::with_faults(
             config.cache,
             config.n_shards,
             config.stuck,
             config.degraded,
         )?);
-        let depths = Arc::new(
-            (0..config.n_shards)
-                .map(|_| AtomicUsize::new(0))
-                .collect::<Vec<_>>(),
-        );
+        let registry = Arc::new(TelemetryRegistry::new(config.n_shards));
         let mut senders = Vec::with_capacity(config.n_shards);
         let mut workers = Vec::with_capacity(config.n_shards);
         for shard in 0..config.n_shards {
             let (tx, rx) = sync_channel(config.queue_depth.max(1));
             senders.push(tx);
             let state = Arc::clone(&state);
-            let depths = Arc::clone(&depths);
+            let registry = Arc::clone(&registry);
             workers.push(std::thread::spawn(move || {
-                worker_loop(&state, shard, &rx, &depths[shard])
+                worker_loop(&state, shard, &rx, &registry)
             }));
         }
         let stop = Arc::new(AtomicBool::new(false));
@@ -416,17 +439,56 @@ impl Service {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
             let panic_flag = Arc::clone(&daemon_panic);
+            let registry = Arc::clone(&registry);
             let master = FaultInjector::new(config.ber, config.seed);
-            std::thread::spawn(move || daemon_loop(&state, tick, &master, &stop, &panic_flag))
+            std::thread::spawn(move || {
+                daemon_loop(&state, tick, &master, &stop, &panic_flag, &registry)
+            })
         });
+        // The optional plane: sampler + flight recorder + scrape endpoint.
+        let sampler_stop = Arc::new(AtomicBool::new(false));
+        let (recorder, sampler, exporter) = match &config.telemetry {
+            None => (None, None, None),
+            Some(tcfg) => {
+                let recorder = Arc::new(FlightRecorder::new(tcfg.flight_recorder_cap));
+                let jsonl = match &tcfg.jsonl_path {
+                    None => None,
+                    Some(path) => Some(std::io::BufWriter::new(std::fs::File::create(path)?)),
+                };
+                let exporter = match tcfg.port {
+                    None => None,
+                    Some(port) => Some(Exporter::start(
+                        port,
+                        Arc::clone(&state),
+                        Arc::clone(&registry),
+                        Arc::clone(&recorder),
+                    )?),
+                };
+                let sampler = {
+                    let state = Arc::clone(&state);
+                    let registry = Arc::clone(&registry);
+                    let recorder = Arc::clone(&recorder);
+                    let stop = Arc::clone(&sampler_stop);
+                    let every = tcfg.sample_every.max(Duration::from_millis(1));
+                    std::thread::spawn(move || {
+                        sampler_loop(&state, &registry, &recorder, jsonl, every, &stop)
+                    })
+                };
+                (Some(recorder), Some(sampler), exporter)
+            }
+        };
         Ok(Service {
             state,
             senders,
-            depths,
+            registry,
             workers,
             daemon,
             stop,
             daemon_panic,
+            recorder,
+            sampler,
+            sampler_stop,
+            exporter,
         })
     }
 
@@ -435,7 +497,7 @@ impl Service {
         ServiceHandle {
             plan: *self.state.plan(),
             senders: self.senders.clone(),
-            depths: Arc::clone(&self.depths),
+            registry: Arc::clone(&self.registry),
             state: Arc::clone(&self.state),
         }
     }
@@ -444,6 +506,22 @@ impl Service {
     /// inspection in tests; demand traffic should go through handles).
     pub fn state(&self) -> &Arc<ShardedCache> {
         &self.state
+    }
+
+    /// The live metrics registry every worker and the daemon publish into.
+    pub fn registry(&self) -> &Arc<TelemetryRegistry> {
+        &self.registry
+    }
+
+    /// The flight recorder, when [`ServiceConfig::telemetry`] enabled one.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// The scrape endpoint's bound address, when one is serving (use port
+    /// 0 in [`TelemetryConfig::port`] to let the OS choose).
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.exporter.as_ref().map(Exporter::addr)
     }
 
     /// Chaos hook: the scrub daemon panics at the start of its next tick
@@ -455,9 +533,11 @@ impl Service {
 
     /// Graceful drain and shutdown: stops the scrub daemon, enqueues a
     /// drain marker behind every already-accepted request, joins all
-    /// threads, and assembles the end-of-run report. Every request
-    /// accepted before the call is fully served by live shards; requests
-    /// stranded on dead shards produce error replies, never hangs.
+    /// threads (sampler last, so the flight recorder's final snapshot sees
+    /// the quiesced system), and assembles the end-of-run report. Every
+    /// request accepted before the call is fully served by live shards;
+    /// requests stranded on dead shards produce error replies, never
+    /// hangs.
     ///
     /// Never panics: dead workers and a dead daemon are reported in
     /// [`ServiceReport::worker_panics`] / [`ServiceReport::daemon_panicked`],
@@ -465,16 +545,10 @@ impl Service {
     pub fn shutdown(self) -> ServiceReport {
         // 1. Stop the daemon first so no new scrub work races the drain.
         self.stop.store(true, Ordering::Relaxed);
-        let (mut hists, mut daemon_counters) =
-            (ServiceHistograms::default(), DaemonCounters::default());
         let mut daemon_panicked = false;
         if let Some(handle) = self.daemon {
             match handle.join() {
-                Ok((h, c, panicked)) => {
-                    hists.merge(&h);
-                    daemon_counters = c;
-                    daemon_panicked = panicked;
-                }
+                Ok(panicked) => daemon_panicked = panicked,
                 // The per-tick catch_unwind makes this unreachable short of
                 // a panic in the loop scaffolding itself; report it anyway.
                 Err(_) => daemon_panicked = true,
@@ -486,17 +560,10 @@ impl Service {
             let _ = tx.send(Request::Shutdown);
         }
         drop(self.senders);
-        let mut counters = WorkerCounters::default();
         let mut worker_panics = Vec::new();
         for (shard, worker) in self.workers.into_iter().enumerate() {
             match worker.join() {
-                Ok((h, c, panicked)) => {
-                    hists.merge(&h);
-                    counters.reads += c.reads;
-                    counters.writes += c.writes;
-                    counters.escalated_reads += c.escalated_reads;
-                    counters.due_reads += c.due_reads;
-                    counters.failed_writes += c.failed_writes;
+                Ok(panicked) => {
                     if panicked {
                         worker_panics.push(shard);
                     }
@@ -509,27 +576,37 @@ impl Service {
                 }
             }
         }
-        // 3. Harvest telemetry and counters from the quiesced engine —
+        // 3. Retire the telemetry plane: the sampler takes one final
+        //    snapshot of the quiesced system on its way out (so the last
+        //    flight-recorder entry / JSONL line is the end state), then
+        //    the exporter stops serving.
+        self.sampler_stop.store(true, Ordering::Relaxed);
+        if let Some(sampler) = self.sampler {
+            let _ = sampler.join();
+        }
+        drop(self.exporter);
+        // 4. Harvest telemetry and counters from the quiesced engine —
         //    including from quarantined shards (poison-tolerant locks).
         let mut master = Recorder::unbounded();
         self.state.harvest_recorders(&mut master);
+        let reg = &self.registry;
         ServiceReport {
             shards: self.state.n_shards(),
             stats: self.state.stats(),
             per_shard: self.state.shard_stats(),
-            hists,
+            hists: reg.service_hists(),
             recovery_hists: master.hists,
-            reads: counters.reads,
-            writes: counters.writes,
-            failed_writes: counters.failed_writes,
-            escalated_reads: counters.escalated_reads,
-            due_reads: counters.due_reads,
-            scrub_ticks: daemon_counters.ticks,
-            skipped_ticks: daemon_counters.skipped_ticks,
-            injected_lines: daemon_counters.injected_lines,
-            escalations: daemon_counters.escalations,
-            escalated_lines: daemon_counters.escalated_lines,
-            unresolved_lines: daemon_counters.unresolved_lines,
+            reads: reg.reads.get(),
+            writes: reg.writes.get(),
+            failed_writes: reg.failed_writes.get(),
+            escalated_reads: reg.escalated_reads.get(),
+            due_reads: reg.due_reads.get(),
+            scrub_ticks: reg.scrub_ticks.get(),
+            skipped_ticks: reg.skipped_ticks.get(),
+            injected_lines: reg.injected_lines.get(),
+            escalations: reg.escalations.get(),
+            escalated_lines: reg.escalated_lines.get(),
+            unresolved_lines: reg.unresolved_lines.get(),
             worker_panics,
             daemon_panicked,
             quarantined: self.state.health().quarantined(),
@@ -538,63 +615,114 @@ impl Service {
     }
 }
 
+/// The sampler thread: one [`TelemetrySnapshot`] per interval into the
+/// flight recorder (and the JSONL time series, flushed per line so a
+/// crash loses at most the current interval), plus one final snapshot of
+/// the quiesced system when the stop flag lands.
+fn sampler_loop(
+    state: &ShardedCache,
+    registry: &TelemetryRegistry,
+    recorder: &FlightRecorder,
+    mut jsonl: Option<std::io::BufWriter<std::fs::File>>,
+    every: Duration,
+    stop: &AtomicBool,
+) {
+    let mut seq = 0u64;
+    loop {
+        // Sleep in small slices so shutdown stays prompt.
+        let deadline = Instant::now() + every;
+        while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(every.min(Duration::from_millis(1)));
+        }
+        let snap = TelemetrySnapshot::capture(seq, state, registry);
+        seq += 1;
+        if let Some(w) = jsonl.as_mut() {
+            let _ = writeln!(w, "{}", snap.to_json());
+            let _ = w.flush();
+        }
+        recorder.push(snap);
+        if stop.load(Ordering::Relaxed) {
+            break; // the snapshot above was the final, post-drain capture
+        }
+    }
+}
+
 /// Serves one dequeued request. Split out of [`worker_loop`] so the loop
 /// can wrap each request in `catch_unwind` — a panic mid-request (organic
-/// or injected) must kill the *shard*, not the process, and must not take
-/// the accumulated histograms/counters down with it.
-fn serve_request(
-    state: &ShardedCache,
-    shard: usize,
-    request: Request,
-    depth: &AtomicUsize,
-    hists: &mut ServiceHistograms,
-    counters: &mut WorkerCounters,
-) {
+/// or injected) must kill the *shard*, not the process. All telemetry
+/// goes straight into the shared registry, so nothing is lost with a
+/// dying worker.
+fn serve_request(state: &ShardedCache, shard: usize, request: Request, reg: &TelemetryRegistry) {
     match request {
         Request::Shutdown => unreachable!("drain marker is handled by the loop"),
         Request::Panic { hold_lock } => state.chaos_panic(shard, hold_lock),
         Request::Read {
             line,
+            trace,
             enqueued,
             reply,
         } => {
-            let d = depth.fetch_sub(1, Ordering::Relaxed);
-            hists.queue_depth.record(d as u64);
-            counters.reads += 1;
+            let d = reg.depth(shard).dec();
+            reg.queue_depth_hist.record(d);
+            reg.reads.inc();
+            let service_start = Instant::now();
+            let queue_wait_ns = service_start.duration_since(enqueued).as_nanos() as u64;
+            let mut h2_ns = 0u64;
             let result = match state.read_local(line) {
                 Ok(data) => Ok(data),
                 Err(ServiceError::Uncorrectable(_)) => {
                     // Shard-local (Hash-1) ladder exhausted: cross-shard
                     // Hash-2 escalation, fetching the repaired value.
-                    counters.escalated_reads += 1;
-                    state.escalate_fetch(line)
+                    reg.escalated_reads.inc();
+                    let h2_start = Instant::now();
+                    let fetched = state.escalate_fetch(line);
+                    h2_ns = h2_start.elapsed().as_nanos() as u64;
+                    reg.h2_gather_ns.record(h2_ns);
+                    fetched
                 }
                 // Availability errors (the shard died under us) reply
                 // as-is — escalation cannot help a quarantined owner.
                 Err(e) => Err(e),
             };
             if matches!(result, Err(ServiceError::Uncorrectable(_))) {
-                counters.due_reads += 1;
+                reg.due_reads.inc();
             }
-            hists
-                .read_latency_ns
-                .record(enqueued.elapsed().as_nanos() as u64);
-            let _ = reply.send(ReadReply { line, result });
+            reg.note_request(TraceRecord {
+                trace,
+                shard: shard as u32,
+                write: false,
+                queue_wait_ns,
+                service_ns: service_start.elapsed().as_nanos() as u64,
+                h2_ns,
+            });
+            let _ = reply.send(ReadReply {
+                line,
+                trace,
+                result,
+            });
         }
         Request::Write {
             line,
+            trace,
             data,
             enqueued,
         } => {
-            let d = depth.fetch_sub(1, Ordering::Relaxed);
-            hists.queue_depth.record(d as u64);
+            let d = reg.depth(shard).dec();
+            reg.queue_depth_hist.record(d);
+            let service_start = Instant::now();
+            let queue_wait_ns = service_start.duration_since(enqueued).as_nanos() as u64;
             match state.write(line, &data) {
-                Ok(()) => counters.writes += 1,
-                Err(_) => counters.failed_writes += 1,
+                Ok(()) => reg.writes.inc(),
+                Err(_) => reg.failed_writes.inc(),
             }
-            hists
-                .write_latency_ns
-                .record(enqueued.elapsed().as_nanos() as u64);
+            reg.note_request(TraceRecord {
+                trace,
+                shard: shard as u32,
+                write: true,
+                queue_wait_ns,
+                service_ns: service_start.elapsed().as_nanos() as u64,
+                h2_ns: 0,
+            });
         }
     }
 }
@@ -603,42 +731,40 @@ fn worker_loop(
     state: &ShardedCache,
     shard: usize,
     rx: &Receiver<Request>,
-    depth: &AtomicUsize,
-) -> (ServiceHistograms, WorkerCounters, bool) {
-    let mut hists = ServiceHistograms::default();
-    let mut counters = WorkerCounters::default();
+    reg: &TelemetryRegistry,
+) -> bool {
     let mut panicked = false;
     while let Ok(request) = rx.recv() {
         if matches!(request, Request::Shutdown) {
             // Serve-nothing drain of post-marker stragglers keeps the
             // depth gauges honest; their reply senders drop, so blocked
             // readers unblock with a disconnect error.
-            drain_queue(rx, depth);
+            drain_queue(rx, reg, shard);
             break;
         }
         let served = catch_unwind(AssertUnwindSafe(|| {
-            serve_request(state, shard, request, depth, &mut hists, &mut counters);
+            serve_request(state, shard, request, reg);
         }));
         if served.is_err() {
             // The shard is now suspect (its mutex may be poisoned, its
             // in-flight request is lost): quarantine, drain, retire. The
-            // telemetry accumulated so far survives into the report.
+            // registry is shared, so everything recorded so far survives.
             panicked = true;
             state.health().quarantine(shard);
-            drain_queue(rx, depth);
+            drain_queue(rx, reg, shard);
             break;
         }
     }
-    (hists, counters, panicked)
+    panicked
 }
 
 /// Discards everything queued on `rx`, undoing the depth accounting.
 /// Dropping the requests drops their reply senders, so blocked readers
 /// get a disconnect (mapped to [`ServiceError`]) instead of a hang.
-fn drain_queue(rx: &Receiver<Request>, depth: &AtomicUsize) {
+fn drain_queue(rx: &Receiver<Request>, reg: &TelemetryRegistry, shard: usize) {
     while let Ok(request) = rx.try_recv() {
         if matches!(request, Request::Read { .. } | Request::Write { .. }) {
-            depth.fetch_sub(1, Ordering::Relaxed);
+            reg.depth(shard).dec();
         }
     }
 }
@@ -650,8 +776,7 @@ fn daemon_tick(
     shard: usize,
     injector: &mut FaultInjector,
     inject: bool,
-    hists: &mut ServiceHistograms,
-    counters: &mut DaemonCounters,
+    reg: &TelemetryRegistry,
 ) {
     let started = Instant::now();
     let injected = if inject {
@@ -659,22 +784,20 @@ fn daemon_tick(
     } else {
         Vec::new()
     };
-    counters.injected_lines += injected.len() as u64;
+    reg.injected_lines.add(injected.len() as u64);
     let (_report, leftover) = state.scrub_shard_local(shard, &injected);
-    hists
-        .scrub_tick_ns
+    reg.scrub_tick_ns
         .record(started.elapsed().as_nanos() as u64);
     if !leftover.is_empty() {
         let escalation_start = Instant::now();
         let report = state.escalate(&leftover);
-        hists
-            .escalation_ns
+        reg.h2_gather_ns
             .record(escalation_start.elapsed().as_nanos() as u64);
-        counters.escalations += 1;
-        counters.escalated_lines += leftover.len() as u64;
-        counters.unresolved_lines += report.unresolved.len() as u64;
+        reg.escalations.inc();
+        reg.escalated_lines.add(leftover.len() as u64);
+        reg.unresolved_lines.add(report.unresolved.len() as u64);
     }
-    counters.ticks += 1;
+    reg.scrub_ticks.inc();
 }
 
 fn daemon_loop(
@@ -683,9 +806,8 @@ fn daemon_loop(
     master: &FaultInjector,
     stop: &AtomicBool,
     panic_flag: &AtomicBool,
-) -> (ServiceHistograms, DaemonCounters, bool) {
-    let mut hists = ServiceHistograms::default();
-    let mut counters = DaemonCounters::default();
+    reg: &TelemetryRegistry,
+) -> bool {
     let mut panicked = false;
     // One decorrelated injector per shard: the fault streams are fixed by
     // (seed, shard) alone, independent of tick interleaving.
@@ -702,12 +824,19 @@ fn daemon_loop(
             }
             std::thread::sleep(tick.min(Duration::from_millis(1)));
         }
+        // How late the tick started: scheduling + the previous tick's
+        // overrun. The gauge holds the latest value; the histogram the
+        // whole distribution.
+        let lag_ns = Instant::now().duration_since(deadline).as_nanos() as u64;
+        reg.tick_lag_ns.record(lag_ns);
+        reg.last_tick_lag_ns.set(lag_ns);
         let shard = next_shard;
         next_shard = (next_shard + 1) % state.n_shards();
+        reg.scrub_cursor.set(next_shard as u64);
         if !state.health().is_up(shard) {
             // A quarantined shard's state is frozen: no injection (physics
             // on a dead shard is unobservable anyway) and no scrub.
-            counters.skipped_ticks += 1;
+            reg.skipped_ticks.inc();
             continue;
         }
         let inject = master.ber() > 0.0;
@@ -716,15 +845,16 @@ fn daemon_loop(
             if panic_flag.swap(false, Ordering::Relaxed) {
                 panic!("injected scrub daemon panic");
             }
-            daemon_tick(state, shard, injector, inject, &mut hists, &mut counters);
+            daemon_tick(state, shard, injector, inject, reg);
         }));
         if result.is_err() {
             // Scrubbing stops (reported), demand traffic continues.
             panicked = true;
+            reg.daemon_dead.set(1);
             break;
         }
     }
-    (hists, counters, panicked)
+    panicked
 }
 
 #[cfg(test)]
@@ -776,11 +906,18 @@ mod tests {
                 });
             }
         });
+        // The registry is live: inspect it before shutdown.
+        let reg = Arc::clone(service.registry());
+        assert_eq!(reg.reads.get(), 256);
+        assert_eq!(reg.traces_issued(), 512);
         let report = service.shutdown();
         assert_eq!(report.reads, 256);
         assert_eq!(report.writes, 256);
         assert_eq!(report.due_reads, 0);
         assert!(report.hists.read_latency_ns.count() == 256);
+        // Phase accounting covers every request: queue wait is recorded
+        // for reads and writes alike.
+        assert_eq!(reg.queue_wait_ns.snapshot().count(), 512);
     }
 
     #[test]
@@ -849,7 +986,13 @@ mod tests {
         let service = Service::start(config).unwrap();
         let handle = service.handle();
         service.inject_daemon_panic();
-        std::thread::sleep(Duration::from_millis(10));
+        // The registry flags the dead daemon live (panic unwinding takes a
+        // few ms, so poll rather than sleep a fixed interval).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while service.registry().daemon_dead.get() == 0 {
+            assert!(Instant::now() < deadline, "daemon_dead never flagged");
+            std::thread::sleep(Duration::from_millis(1));
+        }
         // Demand traffic is unaffected by the daemon's death.
         handle.write(3, &data_with(&[3])).unwrap();
         assert_eq!(handle.read(3).unwrap(), data_with(&[3]));

@@ -510,6 +510,15 @@ impl ShardedCache {
         self.lock_coord().stats
     }
 
+    /// Per-shard spare-pool occupancy (lines currently remapped), for the
+    /// live telemetry plane. Poison-tolerant like the other telemetry
+    /// reads.
+    pub fn spare_occupancy(&self) -> Vec<u64> {
+        (0..self.n_shards())
+            .map(|s| self.lock_extra(s).spares.spared_lines() as u64)
+            .collect()
+    }
+
     /// Aggregated degraded-mode counters: quarantine, sparing, stuck-cell
     /// physics, and skipped cross-shard escalations.
     pub fn degraded_stats(&self) -> DegradedStats {

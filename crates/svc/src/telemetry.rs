@@ -1,0 +1,895 @@
+//! The live telemetry plane: a lock-free metrics registry every worker
+//! updates wait-free, a sampler thread that snapshots the whole system
+//! into a bounded flight-recorder ring (and optional JSONL time series),
+//! and the [`TelemetrySnapshot`] both the `/metrics` Prometheus exposition
+//! and `/snapshot.json` render from.
+//!
+//! Until this plane existed, a soak or chaos run was a black box until
+//! `shutdown()` assembled the final [`ServiceReport`]; now the recovery
+//! ladder is observable *while it operates*: per-shard queue depth and
+//! health, scrub-daemon progress and tick lag, ECC-1 / SDR / RAID-4 /
+//! Hash-2 ladder counters, spare-pool occupancy, and per-phase request
+//! latency (queue wait → shard service → cross-shard H2 gather+repair)
+//! threaded by a per-request trace ID.
+//!
+//! Cost model: the hot path touches only [`Counter`]s, [`Gauge`]s and
+//! striped [`AtomicHist`]s — relaxed atomics, no locks, no allocation.
+//! Snapshots are pulled by the sampler (or a scrape), which *does* briefly
+//! take the shard mutexes to read the recovery-ladder [`CacheStats`]; that
+//! cost rides on the sampler interval, never on a request.
+//!
+//! [`ServiceReport`]: crate::ServiceReport
+
+use crate::degraded::DegradedStats;
+use crate::sharded::ShardedCache;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use sudoku_core::CacheStats;
+use sudoku_obs::json::JsonObject;
+use sudoku_obs::{AtomicHist, Counter, Gauge, Histogram, ServiceHistograms};
+
+/// Configuration of the optional live telemetry plane (sampler thread,
+/// flight recorder, scrape endpoint). The registry itself is always on —
+/// its hot-path cost is a handful of relaxed atomics per request.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Sampler period: one [`TelemetrySnapshot`] lands in the flight
+    /// recorder (and JSONL file) every interval.
+    pub sample_every: Duration,
+    /// Bounded flight-recorder capacity in snapshots; the ring keeps the
+    /// most recent `cap` (≈ `cap × sample_every` seconds of history).
+    pub flight_recorder_cap: usize,
+    /// Optional JSONL time-series file: one snapshot per line, flushed per
+    /// line so a crash leaves everything up to the last interval on disk.
+    pub jsonl_path: Option<PathBuf>,
+    /// Optional TCP scrape endpoint on `127.0.0.1:port` serving
+    /// `/metrics`, `/healthz`, and `/snapshot.json` (0 = ephemeral port;
+    /// read it back via [`Service::telemetry_addr`]).
+    ///
+    /// [`Service::telemetry_addr`]: crate::Service::telemetry_addr
+    pub port: Option<u16>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            sample_every: Duration::from_millis(50),
+            flight_recorder_cap: 256,
+            jsonl_path: None,
+            port: None,
+        }
+    }
+}
+
+/// One completed request's per-phase timing, identified by its trace ID.
+/// The registry keeps a sampled ring of these (1 in [`TRACE_SAMPLE`]) so
+/// `/snapshot.json` can show concrete end-to-end traces without a
+/// per-request lock on the hot path.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceRecord {
+    /// The per-request trace ID the handle allocated at enqueue time.
+    pub trace: u64,
+    /// Owning shard.
+    pub shard: u32,
+    /// Whether the request was a write.
+    pub write: bool,
+    /// Time spent queued before a worker dequeued it, ns.
+    pub queue_wait_ns: u64,
+    /// Shard-local service time (dequeue → reply), ns.
+    pub service_ns: u64,
+    /// Cross-shard Hash-2 gather+repair time (0 when not escalated), ns.
+    pub h2_ns: u64,
+}
+
+impl TraceRecord {
+    /// End-to-end latency: queue wait plus service (H2 time is inside the
+    /// service span — escalation happens while the worker owns the
+    /// request).
+    pub fn total_ns(&self) -> u64 {
+        self.queue_wait_ns + self.service_ns
+    }
+
+    fn to_json(self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_u64("trace", self.trace)
+            .field_u64("shard", self.shard as u64)
+            .field_bool("write", self.write)
+            .field_u64("queue_wait_ns", self.queue_wait_ns)
+            .field_u64("service_ns", self.service_ns)
+            .field_u64("h2_ns", self.h2_ns)
+            .field_u64("total_ns", self.total_ns());
+        obj.finish()
+    }
+}
+
+/// One trace in [`TRACE_SAMPLE`] completed requests is retained in the
+/// recent-traces ring (the only mutex the plane owns, taken off the fast
+/// path by the sampling).
+pub const TRACE_SAMPLE: u64 = 64;
+
+const TRACE_RING: usize = 64;
+
+/// The lock-free metrics registry shared by every worker, the scrub
+/// daemon, the client handles, the sampler, and the scrape endpoint.
+///
+/// Writers update counters/gauges/histograms wait-free; readers snapshot
+/// via [`TelemetrySnapshot::capture`] without stopping the world.
+#[derive(Debug)]
+pub struct TelemetryRegistry {
+    // Demand-path counters.
+    /// Demand reads served.
+    pub reads: Counter,
+    /// Demand writes served.
+    pub writes: Counter,
+    /// Demand writes rejected (owning shard down).
+    pub failed_writes: Counter,
+    /// Demand reads that needed cross-shard Hash-2 escalation.
+    pub escalated_reads: Counter,
+    /// Demand reads that stayed uncorrectable (DUE).
+    pub due_reads: Counter,
+    // Scrub-daemon progress.
+    /// Scrub ticks completed (one tick = one shard).
+    pub scrub_ticks: Counter,
+    /// Ticks skipped because the shard was quarantined.
+    pub skipped_ticks: Counter,
+    /// Lines faulted by the daemon's injectors.
+    pub injected_lines: Counter,
+    /// Cross-shard escalations triggered by scrub leftovers.
+    pub escalations: Counter,
+    /// Lines handed to those escalations.
+    pub escalated_lines: Counter,
+    /// Lines still unresolved after escalation (scrub-detected DUEs).
+    pub unresolved_lines: Counter,
+    /// Next shard the daemon will scrub (round-robin cursor).
+    pub scrub_cursor: Gauge,
+    /// 1 once the scrub daemon died to a caught panic.
+    pub daemon_dead: Gauge,
+    /// Most recent tick's start lag behind its deadline, ns.
+    pub last_tick_lag_ns: Gauge,
+    // Latency histograms (same pow2 layouts as [`ServiceHistograms`]).
+    /// End-to-end demand-read latency, ns.
+    pub read_latency_ns: AtomicHist,
+    /// End-to-end demand-write latency, ns.
+    pub write_latency_ns: AtomicHist,
+    /// Phase: time queued before a worker dequeued the request, ns.
+    pub queue_wait_ns: AtomicHist,
+    /// Phase: shard-local service time (dequeue → reply), ns.
+    pub shard_service_ns: AtomicHist,
+    /// Phase: cross-shard Hash-2 gather+repair time, ns (demand + scrub).
+    pub h2_gather_ns: AtomicHist,
+    /// Wall-clock duration of one shard scrub tick, ns.
+    pub scrub_tick_ns: AtomicHist,
+    /// Scrub-tick start lag behind the deadline, ns.
+    pub tick_lag_ns: AtomicHist,
+    /// Per-shard request-queue depth sampled at dequeue.
+    pub queue_depth_hist: AtomicHist,
+    depths: Vec<Gauge>,
+    next_trace: AtomicU64,
+    traces: Mutex<VecDeque<TraceRecord>>,
+}
+
+impl TelemetryRegistry {
+    /// A zeroed registry for an `n_shards`-way service.
+    pub fn new(n_shards: usize) -> Self {
+        TelemetryRegistry {
+            reads: Counter::new(),
+            writes: Counter::new(),
+            failed_writes: Counter::new(),
+            escalated_reads: Counter::new(),
+            due_reads: Counter::new(),
+            scrub_ticks: Counter::new(),
+            skipped_ticks: Counter::new(),
+            injected_lines: Counter::new(),
+            escalations: Counter::new(),
+            escalated_lines: Counter::new(),
+            unresolved_lines: Counter::new(),
+            scrub_cursor: Gauge::new(),
+            daemon_dead: Gauge::new(),
+            last_tick_lag_ns: Gauge::new(),
+            read_latency_ns: AtomicHist::pow2(40),
+            write_latency_ns: AtomicHist::pow2(40),
+            queue_wait_ns: AtomicHist::pow2(40),
+            shard_service_ns: AtomicHist::pow2(40),
+            h2_gather_ns: AtomicHist::pow2(40),
+            scrub_tick_ns: AtomicHist::pow2(40),
+            tick_lag_ns: AtomicHist::pow2(40),
+            queue_depth_hist: AtomicHist::pow2(20),
+            depths: (0..n_shards).map(|_| Gauge::new()).collect(),
+            next_trace: AtomicU64::new(0),
+            traces: Mutex::new(VecDeque::with_capacity(TRACE_RING)),
+        }
+    }
+
+    /// Allocates the next per-request trace ID.
+    #[inline]
+    pub fn next_trace_id(&self) -> u64 {
+        self.next_trace.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Trace IDs issued so far.
+    pub fn traces_issued(&self) -> u64 {
+        self.next_trace.load(Ordering::Relaxed)
+    }
+
+    /// `shard`'s live queue-depth gauge.
+    #[inline]
+    pub fn depth(&self, shard: usize) -> &Gauge {
+        &self.depths[shard]
+    }
+
+    /// Current depth of every shard's request queue.
+    pub fn queue_depths(&self) -> Vec<u64> {
+        self.depths.iter().map(Gauge::get).collect()
+    }
+
+    /// Completes one request's phase accounting: records the phase and
+    /// end-to-end histograms, and retains a 1-in-[`TRACE_SAMPLE`] sample
+    /// of concrete [`TraceRecord`]s for `/snapshot.json`.
+    pub fn note_request(&self, record: TraceRecord) {
+        self.queue_wait_ns.record(record.queue_wait_ns);
+        self.shard_service_ns.record(record.service_ns);
+        if record.h2_ns > 0 {
+            self.h2_gather_ns.record(record.h2_ns);
+        }
+        let total = record.total_ns();
+        if record.write {
+            self.write_latency_ns.record(total);
+        } else {
+            self.read_latency_ns.record(total);
+        }
+        if record.trace.is_multiple_of(TRACE_SAMPLE) {
+            if let Ok(mut ring) = self.traces.lock() {
+                if ring.len() == TRACE_RING {
+                    ring.pop_front();
+                }
+                ring.push_back(record);
+            }
+        }
+    }
+
+    /// The sampled recent traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<TraceRecord> {
+        self.traces
+            .lock()
+            .map(|r| r.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Folds the registry's histograms into the [`ServiceHistograms`]
+    /// shape the end-of-run [`ServiceReport`] carries.
+    ///
+    /// [`ServiceReport`]: crate::ServiceReport
+    pub fn service_hists(&self) -> ServiceHistograms {
+        ServiceHistograms {
+            read_latency_ns: self.read_latency_ns.snapshot(),
+            write_latency_ns: self.write_latency_ns.snapshot(),
+            scrub_tick_ns: self.scrub_tick_ns.snapshot(),
+            escalation_ns: self.h2_gather_ns.snapshot(),
+            queue_depth: self.queue_depth_hist.snapshot(),
+        }
+    }
+}
+
+/// One coherent picture of the whole service at a sampling instant: the
+/// registry's lock-free metrics, plus the recovery-ladder and degraded
+/// counters pulled (briefly, under the shard mutexes) from the engine.
+#[derive(Clone, Debug)]
+pub struct TelemetrySnapshot {
+    /// Monotone snapshot sequence number (per sampler/scraper).
+    pub seq: u64,
+    /// Milliseconds since the UNIX epoch at capture time.
+    pub unix_ms: u64,
+    /// Quarantined shards, ascending.
+    pub quarantined: Vec<usize>,
+    /// Shards still serving.
+    pub shards_up: usize,
+    /// Total shard count.
+    pub shards: usize,
+    /// Whether the scrub daemon died to a caught panic.
+    pub daemon_dead: bool,
+    /// Per-shard live queue depth.
+    pub queue_depths: Vec<u64>,
+    /// Per-shard spare-pool occupancy (lines remapped).
+    pub spare_occupancy: Vec<u64>,
+    /// Demand reads served.
+    pub reads: u64,
+    /// Demand writes served.
+    pub writes: u64,
+    /// Demand writes rejected.
+    pub failed_writes: u64,
+    /// Demand reads that escalated cross-shard.
+    pub escalated_reads: u64,
+    /// Demand reads left uncorrectable.
+    pub due_reads: u64,
+    /// Scrub ticks completed.
+    pub scrub_ticks: u64,
+    /// Scrub ticks skipped (quarantined shard).
+    pub skipped_ticks: u64,
+    /// Lines faulted by the injectors.
+    pub injected_lines: u64,
+    /// Cross-shard escalations from scrub leftovers.
+    pub escalations: u64,
+    /// Lines handed to escalations.
+    pub escalated_lines: u64,
+    /// Scrub-detected DUE lines.
+    pub unresolved_lines: u64,
+    /// Next shard the daemon will scrub.
+    pub scrub_cursor: u64,
+    /// Most recent tick's start lag, ns.
+    pub last_tick_lag_ns: u64,
+    /// Trace IDs issued (= requests accepted).
+    pub traces_issued: u64,
+    /// Recovery-ladder counters (ECC-1 fixes, SDR trials, RAID-4/H2
+    /// reconstructions, DUEs, group scans) summed over shards+coordinator.
+    pub stats: CacheStats,
+    /// Degraded-mode counters (sparing, stuck physics, skipped H2, …).
+    pub degraded: DegradedStats,
+    /// End-to-end demand-read latency.
+    pub read_latency_ns: Histogram,
+    /// End-to-end demand-write latency.
+    pub write_latency_ns: Histogram,
+    /// Queue-wait phase.
+    pub queue_wait_ns: Histogram,
+    /// Shard-service phase.
+    pub shard_service_ns: Histogram,
+    /// Cross-shard H2 gather+repair phase.
+    pub h2_gather_ns: Histogram,
+    /// Scrub-tick duration.
+    pub scrub_tick_ns: Histogram,
+    /// Scrub-tick lag behind deadline.
+    pub tick_lag_ns: Histogram,
+    /// Sampled per-request traces, oldest first.
+    pub recent_traces: Vec<TraceRecord>,
+}
+
+fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl TelemetrySnapshot {
+    /// Captures the system state: lock-free reads of the registry, plus a
+    /// brief pass under the shard mutexes for [`CacheStats`] and
+    /// [`DegradedStats`] (poison-tolerant — quarantined shards are still
+    /// read).
+    pub fn capture(seq: u64, state: &ShardedCache, reg: &TelemetryRegistry) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            seq,
+            unix_ms: unix_ms_now(),
+            quarantined: state.health().quarantined(),
+            shards_up: state.health().n_up(),
+            shards: state.n_shards(),
+            daemon_dead: reg.daemon_dead.get() != 0,
+            queue_depths: reg.queue_depths(),
+            spare_occupancy: state.spare_occupancy(),
+            reads: reg.reads.get(),
+            writes: reg.writes.get(),
+            failed_writes: reg.failed_writes.get(),
+            escalated_reads: reg.escalated_reads.get(),
+            due_reads: reg.due_reads.get(),
+            scrub_ticks: reg.scrub_ticks.get(),
+            skipped_ticks: reg.skipped_ticks.get(),
+            injected_lines: reg.injected_lines.get(),
+            escalations: reg.escalations.get(),
+            escalated_lines: reg.escalated_lines.get(),
+            unresolved_lines: reg.unresolved_lines.get(),
+            scrub_cursor: reg.scrub_cursor.get(),
+            last_tick_lag_ns: reg.last_tick_lag_ns.get(),
+            traces_issued: reg.traces_issued(),
+            stats: state.stats(),
+            degraded: state.degraded_stats(),
+            read_latency_ns: reg.read_latency_ns.snapshot(),
+            write_latency_ns: reg.write_latency_ns.snapshot(),
+            queue_wait_ns: reg.queue_wait_ns.snapshot(),
+            shard_service_ns: reg.shard_service_ns.snapshot(),
+            h2_gather_ns: reg.h2_gather_ns.snapshot(),
+            scrub_tick_ns: reg.scrub_tick_ns.snapshot(),
+            tick_lag_ns: reg.tick_lag_ns.snapshot(),
+            recent_traces: reg.recent_traces(),
+        }
+    }
+
+    /// Whether every shard is up and the daemon (if it ever ran) is alive.
+    pub fn healthy(&self) -> bool {
+        self.quarantined.is_empty() && !self.daemon_dead
+    }
+
+    /// One JSON object per snapshot — the flight-recorder JSONL line and
+    /// the `/snapshot.json` body.
+    pub fn to_json(&self) -> String {
+        let traces: Vec<String> = self.recent_traces.iter().map(|t| t.to_json()).collect();
+        let mut obj = JsonObject::new();
+        obj.field_u64("seq", self.seq)
+            .field_u64("unix_ms", self.unix_ms)
+            .field_bool("healthy", self.healthy())
+            .field_array_u64("quarantined", self.quarantined.iter().map(|&s| s as u64))
+            .field_u64("shards_up", self.shards_up as u64)
+            .field_u64("shards", self.shards as u64)
+            .field_bool("daemon_dead", self.daemon_dead)
+            .field_array_u64("queue_depths", self.queue_depths.iter().copied())
+            .field_array_u64("spare_occupancy", self.spare_occupancy.iter().copied())
+            .field_u64("reads", self.reads)
+            .field_u64("writes", self.writes)
+            .field_u64("failed_writes", self.failed_writes)
+            .field_u64("escalated_reads", self.escalated_reads)
+            .field_u64("due_reads", self.due_reads)
+            .field_u64("scrub_ticks", self.scrub_ticks)
+            .field_u64("skipped_ticks", self.skipped_ticks)
+            .field_u64("injected_lines", self.injected_lines)
+            .field_u64("escalations", self.escalations)
+            .field_u64("escalated_lines", self.escalated_lines)
+            .field_u64("unresolved_lines", self.unresolved_lines)
+            .field_u64("scrub_cursor", self.scrub_cursor)
+            .field_u64("last_tick_lag_ns", self.last_tick_lag_ns)
+            .field_u64("traces_issued", self.traces_issued)
+            .field_raw("stats", &self.stats.to_json())
+            .field_raw("degraded", &self.degraded.to_json())
+            .field_raw("read_latency_ns", &self.read_latency_ns.to_json())
+            .field_raw("write_latency_ns", &self.write_latency_ns.to_json())
+            .field_raw("queue_wait_ns", &self.queue_wait_ns.to_json())
+            .field_raw("shard_service_ns", &self.shard_service_ns.to_json())
+            .field_raw("h2_gather_ns", &self.h2_gather_ns.to_json())
+            .field_raw("scrub_tick_ns", &self.scrub_tick_ns.to_json())
+            .field_raw("tick_lag_ns", &self.tick_lag_ns.to_json())
+            .field_raw("recent_traces", &format!("[{}]", traces.join(",")));
+        obj.finish()
+    }
+
+    /// Prometheus text exposition (version 0.0.4) of the snapshot.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "sudoku_reads_total",
+            "Demand reads served",
+            self.reads,
+        );
+        counter(
+            &mut out,
+            "sudoku_writes_total",
+            "Demand writes served",
+            self.writes,
+        );
+        counter(
+            &mut out,
+            "sudoku_failed_writes_total",
+            "Demand writes rejected (shard down)",
+            self.failed_writes,
+        );
+        counter(
+            &mut out,
+            "sudoku_escalated_reads_total",
+            "Demand reads escalated cross-shard",
+            self.escalated_reads,
+        );
+        counter(
+            &mut out,
+            "sudoku_due_reads_total",
+            "Demand reads left uncorrectable",
+            self.due_reads,
+        );
+        counter(
+            &mut out,
+            "sudoku_scrub_ticks_total",
+            "Scrub ticks completed",
+            self.scrub_ticks,
+        );
+        counter(
+            &mut out,
+            "sudoku_scrub_skipped_ticks_total",
+            "Scrub ticks skipped (quarantined shard)",
+            self.skipped_ticks,
+        );
+        counter(
+            &mut out,
+            "sudoku_injected_lines_total",
+            "Lines faulted by the injectors",
+            self.injected_lines,
+        );
+        counter(
+            &mut out,
+            "sudoku_scrub_escalations_total",
+            "Cross-shard escalations from scrub leftovers",
+            self.escalations,
+        );
+        counter(
+            &mut out,
+            "sudoku_scrub_unresolved_lines_total",
+            "Scrub-detected DUE lines",
+            self.unresolved_lines,
+        );
+        counter(
+            &mut out,
+            "sudoku_traces_total",
+            "Per-request trace IDs issued",
+            self.traces_issued,
+        );
+        // Recovery ladder (CacheStats).
+        counter(
+            &mut out,
+            "sudoku_ecc1_repairs_total",
+            "ECC-1 single-bit fixes",
+            self.stats.ecc1_repairs,
+        );
+        counter(
+            &mut out,
+            "sudoku_meta_repairs_total",
+            "ECC-metadata regenerations",
+            self.stats.meta_repairs,
+        );
+        counter(
+            &mut out,
+            "sudoku_multibit_detections_total",
+            "Lines flagged multibit by CRC",
+            self.stats.multibit_detections,
+        );
+        counter(
+            &mut out,
+            "sudoku_raid4_repairs_total",
+            "RAID-4 reconstructions",
+            self.stats.raid4_repairs,
+        );
+        counter(
+            &mut out,
+            "sudoku_sdr_repairs_total",
+            "SDR resurrections",
+            self.stats.sdr_repairs,
+        );
+        counter(
+            &mut out,
+            "sudoku_sdr_trials_total",
+            "SDR flip-and-check trials",
+            self.stats.sdr_trials,
+        );
+        counter(
+            &mut out,
+            "sudoku_hash2_repairs_total",
+            "Repairs only the Hash-2 dimension delivered",
+            self.stats.hash2_repairs,
+        );
+        counter(
+            &mut out,
+            "sudoku_due_lines_total",
+            "Lines left uncorrectable",
+            self.stats.due_lines,
+        );
+        counter(
+            &mut out,
+            "sudoku_group_scans_total",
+            "Whole-group recovery reads",
+            self.stats.group_scans,
+        );
+        // Degraded mode.
+        counter(
+            &mut out,
+            "sudoku_skipped_h2_escalations_total",
+            "H2 escalations refused (shard down)",
+            self.degraded.skipped_h2_escalations,
+        );
+        counter(
+            &mut out,
+            "sudoku_shard_down_rejects_total",
+            "Requests rejected fast on quarantined shards",
+            self.degraded.shard_down_rejects,
+        );
+        counter(
+            &mut out,
+            "sudoku_stuck_reasserts_total",
+            "Bits re-corrupted by stuck cells",
+            self.degraded.stuck_reasserts,
+        );
+        counter(
+            &mut out,
+            "sudoku_spare_strikes_total",
+            "Sparing strikes recorded",
+            self.degraded.strikes,
+        );
+        gauge(
+            &mut out,
+            "sudoku_shards",
+            "Configured shard count",
+            self.shards as u64,
+        );
+        gauge(
+            &mut out,
+            "sudoku_shards_up",
+            "Shards currently serving",
+            self.shards_up as u64,
+        );
+        gauge(
+            &mut out,
+            "sudoku_daemon_up",
+            "1 while the scrub daemon is alive",
+            u64::from(!self.daemon_dead),
+        );
+        gauge(
+            &mut out,
+            "sudoku_scrub_cursor",
+            "Next shard the daemon scrubs",
+            self.scrub_cursor,
+        );
+        gauge(
+            &mut out,
+            "sudoku_scrub_tick_lag_ns",
+            "Most recent tick's start lag behind deadline",
+            self.last_tick_lag_ns,
+        );
+        gauge(
+            &mut out,
+            "sudoku_spared_lines",
+            "Lines remapped to spare pools",
+            self.degraded.spared_lines,
+        );
+        // Per-shard labelled gauges.
+        out.push_str("# HELP sudoku_shard_up Liveness per shard\n# TYPE sudoku_shard_up gauge\n");
+        for shard in 0..self.shards {
+            let up = u64::from(!self.quarantined.contains(&shard));
+            out.push_str(&format!("sudoku_shard_up{{shard=\"{shard}\"}} {up}\n"));
+        }
+        out.push_str(
+            "# HELP sudoku_queue_depth Live request-queue depth per shard\n# TYPE sudoku_queue_depth gauge\n",
+        );
+        for (shard, depth) in self.queue_depths.iter().enumerate() {
+            out.push_str(&format!(
+                "sudoku_queue_depth{{shard=\"{shard}\"}} {depth}\n"
+            ));
+        }
+        out.push_str(
+            "# HELP sudoku_spare_occupancy Spare-pool occupancy per shard\n# TYPE sudoku_spare_occupancy gauge\n",
+        );
+        for (shard, n) in self.spare_occupancy.iter().enumerate() {
+            out.push_str(&format!(
+                "sudoku_spare_occupancy{{shard=\"{shard}\"}} {n}\n"
+            ));
+        }
+        // Histograms.
+        prometheus_hist(
+            &mut out,
+            "sudoku_read_latency_ns",
+            "Demand-read latency",
+            &self.read_latency_ns,
+        );
+        prometheus_hist(
+            &mut out,
+            "sudoku_write_latency_ns",
+            "Demand-write latency",
+            &self.write_latency_ns,
+        );
+        prometheus_hist(
+            &mut out,
+            "sudoku_queue_wait_ns",
+            "Queue-wait phase",
+            &self.queue_wait_ns,
+        );
+        prometheus_hist(
+            &mut out,
+            "sudoku_shard_service_ns",
+            "Shard-service phase",
+            &self.shard_service_ns,
+        );
+        prometheus_hist(
+            &mut out,
+            "sudoku_h2_gather_ns",
+            "Cross-shard H2 gather+repair phase",
+            &self.h2_gather_ns,
+        );
+        prometheus_hist(
+            &mut out,
+            "sudoku_scrub_tick_ns",
+            "Scrub-tick duration",
+            &self.scrub_tick_ns,
+        );
+        prometheus_hist(
+            &mut out,
+            "sudoku_tick_lag_ns",
+            "Scrub-tick lag",
+            &self.tick_lag_ns,
+        );
+        out
+    }
+}
+
+/// Renders one histogram in Prometheus exposition shape: cumulative `le`
+/// buckets (sparse — only buckets that change the cumulative count, plus
+/// `+Inf`), then `_sum` and `_count`.
+fn prometheus_hist(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (bound, count) in h.all_buckets() {
+        if count == 0 {
+            continue;
+        }
+        cumulative += count;
+        if bound == u64::MAX {
+            continue; // folded into +Inf below
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
+/// Bounded ring of the most recent [`TelemetrySnapshot`]s — the in-memory
+/// half of the flight recorder. A crash or chaos event leaves the last
+/// `cap × sample_every` seconds of system state here (and, when a JSONL
+/// path is configured, on disk).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Mutex<VecDeque<TelemetrySnapshot>>,
+    cap: usize,
+    pushed: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// An empty recorder keeping the most recent `cap` snapshots.
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            ring: Mutex::new(VecDeque::with_capacity(cap.max(1))),
+            cap: cap.max(1),
+            pushed: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a snapshot, evicting the oldest at capacity.
+    pub fn push(&self, snap: TelemetrySnapshot) {
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut ring) = self.ring.lock() {
+            if ring.len() == self.cap {
+                ring.pop_front();
+            }
+            ring.push_back(snap);
+        }
+    }
+
+    /// The most recent snapshot, if any.
+    pub fn latest(&self) -> Option<TelemetrySnapshot> {
+        self.ring.lock().ok().and_then(|r| r.back().cloned())
+    }
+
+    /// Every retained snapshot, oldest first.
+    pub fn snapshots(&self) -> Vec<TelemetrySnapshot> {
+        self.ring
+            .lock()
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Snapshots retained right now.
+    pub fn len(&self) -> usize {
+        self.ring.lock().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshots ever pushed (retained or evicted).
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::ShardedCache;
+    use sudoku_core::{Scheme, SudokuConfig};
+
+    fn snap(seq: u64) -> TelemetrySnapshot {
+        let state = ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 2).unwrap();
+        let reg = TelemetryRegistry::new(2);
+        TelemetrySnapshot::capture(seq, &state, &reg)
+    }
+
+    #[test]
+    fn registry_counts_and_phases() {
+        let reg = TelemetryRegistry::new(4);
+        reg.reads.inc();
+        reg.reads.inc();
+        reg.depth(2).inc();
+        assert_eq!(reg.queue_depths(), vec![0, 0, 1, 0]);
+        reg.note_request(TraceRecord {
+            trace: 0,
+            shard: 1,
+            write: false,
+            queue_wait_ns: 500,
+            service_ns: 1500,
+            h2_ns: 0,
+        });
+        reg.note_request(TraceRecord {
+            trace: 1,
+            shard: 0,
+            write: true,
+            queue_wait_ns: 100,
+            service_ns: 900,
+            h2_ns: 400,
+        });
+        assert_eq!(reg.read_latency_ns.snapshot().count(), 1);
+        assert_eq!(reg.write_latency_ns.snapshot().count(), 1);
+        assert_eq!(reg.queue_wait_ns.snapshot().count(), 2);
+        assert_eq!(reg.h2_gather_ns.snapshot().count(), 1);
+        // trace 0 is a sample multiple; trace 1 is not.
+        assert_eq!(reg.recent_traces().len(), 1);
+        let hists = reg.service_hists();
+        assert_eq!(hists.read_latency_ns.count(), 1);
+        assert_eq!(hists.read_latency_ns.max(), 2000);
+    }
+
+    #[test]
+    fn snapshot_json_and_prometheus_render() {
+        let state = ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 2).unwrap();
+        let reg = TelemetryRegistry::new(2);
+        reg.reads.add(3);
+        reg.note_request(TraceRecord {
+            trace: 0,
+            shard: 0,
+            write: false,
+            queue_wait_ns: 100,
+            service_ns: 200,
+            h2_ns: 0,
+        });
+        let snap = TelemetrySnapshot::capture(7, &state, &reg);
+        assert!(snap.healthy());
+        let json = snap.to_json();
+        assert!(json.contains("\"seq\":7"), "{json}");
+        assert!(json.contains("\"reads\":3"), "{json}");
+        assert!(json.contains("\"recent_traces\":[{"), "{json}");
+        assert!(json.contains("\"queue_wait_ns\""), "{json}");
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("sudoku_reads_total 3"), "{prom}");
+        assert!(prom.contains("sudoku_shard_up{shard=\"0\"} 1"), "{prom}");
+        assert!(
+            prom.contains("sudoku_read_latency_ns_bucket{le=\"+Inf\"} 1"),
+            "{prom}"
+        );
+        assert!(prom.contains("sudoku_read_latency_ns_count 1"), "{prom}");
+        assert!(
+            prom.contains("# TYPE sudoku_ecc1_repairs_total counter"),
+            "{prom}"
+        );
+    }
+
+    #[test]
+    fn quarantine_shows_in_snapshot_health() {
+        let state = ShardedCache::new(SudokuConfig::small(Scheme::Z, 256, 16), 2).unwrap();
+        let reg = TelemetryRegistry::new(2);
+        state.health().quarantine(1);
+        let snap = TelemetrySnapshot::capture(0, &state, &reg);
+        assert!(!snap.healthy());
+        assert_eq!(snap.quarantined, vec![1]);
+        assert_eq!(snap.shards_up, 1);
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("sudoku_shard_up{shard=\"1\"} 0"), "{prom}");
+    }
+
+    #[test]
+    fn flight_recorder_is_bounded_fifo() {
+        let recorder = FlightRecorder::new(3);
+        assert!(recorder.is_empty());
+        for seq in 0..5 {
+            recorder.push(snap(seq));
+        }
+        assert_eq!(recorder.len(), 3);
+        assert_eq!(recorder.pushed(), 5);
+        let seqs: Vec<u64> = recorder.snapshots().iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(recorder.latest().unwrap().seq, 4);
+    }
+}

@@ -1,0 +1,221 @@
+//! End-to-end soak of the live telemetry plane: a real service with the
+//! sampler, flight recorder, JSONL time series, and scrape endpoint all
+//! on, demand traffic flowing, and a chaos panic — asserting that what
+//! the endpoints report matches what the service actually did, and that
+//! a worker panic becomes visible through `/healthz` within one sampler
+//! interval.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+use sudoku_codes::LineData;
+use sudoku_svc::{Service, ServiceConfig, TelemetryConfig};
+
+const SAMPLE_EVERY: Duration = Duration::from_millis(20);
+
+fn telemetry_service(lines: u64, seed: u64, jsonl: Option<&std::path::Path>) -> Service {
+    let mut config = ServiceConfig::small(lines, 4, 1e-4, seed);
+    config.telemetry = Some(TelemetryConfig {
+        sample_every: SAMPLE_EVERY,
+        flight_recorder_cap: 64,
+        jsonl_path: jsonl.map(Into::into),
+        port: Some(0), // ephemeral: tests never collide
+    });
+    Service::start(config).expect("service with telemetry starts")
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to exporter");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn data_with(bit: usize) -> LineData {
+    let mut d = LineData::zero();
+    d.set_bit(bit % 512, true);
+    d
+}
+
+#[test]
+fn endpoints_serve_live_traffic_and_flight_recorder_fills() {
+    let dir = std::env::temp_dir().join(format!("sudoku-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl = dir.join("flight.jsonl");
+    let service = telemetry_service(1024, 11, Some(&jsonl));
+    let addr = service.telemetry_addr().expect("exporter is on");
+    let handle = service.handle();
+
+    for line in 0..256u64 {
+        handle.write(line, &data_with(line as usize)).unwrap();
+        assert_eq!(handle.read(line).unwrap(), data_with(line as usize));
+    }
+
+    // /metrics mid-run: Prometheus text with the demand counters visible.
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("sudoku_reads_total 256"),
+        "reads visible mid-run: {metrics}"
+    );
+    assert!(metrics.contains("sudoku_writes_total 256"), "{metrics}");
+    assert!(
+        metrics.contains("# TYPE sudoku_read_latency_ns histogram"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("sudoku_read_latency_ns_count 256"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("sudoku_shard_up{shard=\"3\"} 1"),
+        "{metrics}"
+    );
+
+    // /healthz mid-run: everything up.
+    let (status, health) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+
+    // /snapshot.json: coherent JSON with per-phase histograms and traces.
+    let (status, snap) = http_get(addr, "/snapshot.json");
+    assert_eq!(status, 200);
+    assert!(snap.contains("\"queue_wait_ns\""), "{snap}");
+    assert!(snap.contains("\"recent_traces\""), "{snap}");
+
+    // The sampler fills the flight recorder and the JSONL time series.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let recorder = service.flight_recorder().expect("recorder is on").clone();
+    while recorder.len() < 3 {
+        assert!(Instant::now() < deadline, "sampler never ticked 3 times");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let report = service.shutdown();
+    assert_eq!(report.reads, 256);
+    assert_eq!(report.writes, 256);
+
+    // Shutdown took a final snapshot: the last JSONL line reflects the
+    // fully-drained system.
+    let contents = std::fs::read_to_string(&jsonl).unwrap();
+    let lines: Vec<&str> = contents.lines().collect();
+    assert!(lines.len() >= 3, "JSONL has the sampled history");
+    let last = lines.last().unwrap();
+    assert!(
+        last.contains("\"reads\":256"),
+        "final snapshot is post-drain: {last}"
+    );
+    assert!(
+        last.starts_with('{') && last.ends_with('}'),
+        "JSONL lines are objects"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_panic_reaches_healthz_within_one_sampler_interval() {
+    let service = telemetry_service(1024, 13, None);
+    let addr = service.telemetry_addr().expect("exporter is on");
+    let handle = service.handle();
+    for line in 0..64u64 {
+        handle.write(line, &data_with(line as usize)).unwrap();
+    }
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+
+    let victim = handle.shard_of(0);
+    handle.inject_worker_panic(victim, false).unwrap();
+    let injected = Instant::now();
+    // One sampler interval is the advertised detection bound; /healthz is
+    // computed live so it is normally far faster. Give the panic unwinding
+    // machinery scheduling slack but assert the contract.
+    let budget = SAMPLE_EVERY + Duration::from_secs(2);
+    let detected = loop {
+        let (status, body) = http_get(addr, "/healthz");
+        if status == 503 {
+            assert!(
+                body.contains(&format!("\"quarantined\":[{victim}]")),
+                "healthz names the dead shard: {body}"
+            );
+            assert!(body.contains("\"status\":\"degraded\""), "{body}");
+            break injected.elapsed();
+        }
+        assert!(
+            injected.elapsed() < budget,
+            "quarantine not visible in /healthz after {budget:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    assert!(detected < budget, "detected in {detected:?}");
+
+    // /metrics keeps serving with the shard marked down.
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains(&format!("sudoku_shard_up{{shard=\"{victim}\"}} 0")),
+        "{metrics}"
+    );
+
+    let report = service.shutdown();
+    assert_eq!(report.worker_panics, vec![victim]);
+    assert_eq!(report.quarantined, vec![victim]);
+}
+
+#[test]
+fn registry_snapshot_race_is_coherent_under_load() {
+    // N client threads hammer the service while a reader snapshots the
+    // registry continuously: counters must be monotone and histogram
+    // counts must equal their bucket sums in every observation.
+    let service = telemetry_service(2048, 17, None);
+    let registry = service.registry().clone();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let stop = &stop;
+    std::thread::scope(|s| {
+        for w in 0..4u64 {
+            let handle = service.handle();
+            s.spawn(move || {
+                for i in 0..500u64 {
+                    let line = (w * 512 + i) % 2048;
+                    handle.write(line, &data_with(line as usize)).unwrap();
+                    let _ = handle.read(line);
+                }
+            });
+        }
+        let reader = {
+            let registry = registry.clone();
+            s.spawn(move || {
+                let mut last_reads = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let reads = registry.reads.get();
+                    assert!(reads >= last_reads, "reads counter went backwards");
+                    last_reads = reads;
+                    let snap = registry.read_latency_ns.snapshot();
+                    let bucket_sum: u64 = snap.all_buckets().iter().map(|&(_, c)| c).sum();
+                    assert_eq!(snap.count(), bucket_sum, "snapshot must be coherent");
+                    let hists = registry.service_hists();
+                    assert!(hists.read_latency_ns.count() <= registry.reads.get() + 1);
+                }
+            })
+        };
+        // Writers joined by the scope; signal the reader once they drain.
+        // (spawned handles join in drop order, so explicitly wait first)
+        std::thread::sleep(Duration::from_millis(30));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        reader.join().unwrap();
+    });
+    let report = service.shutdown();
+    assert_eq!(report.writes, 2000);
+}
