@@ -46,7 +46,7 @@ use sudoku_codes::LineData;
 use sudoku_core::{Scheme, SudokuConfig};
 use sudoku_fault::StuckBitMap;
 use sudoku_sim::ZipfGen;
-use sudoku_svc::{ReadReply, Service, ServiceConfig, ServiceError, ServiceHandle, TelemetryConfig};
+use sudoku_svc::{Service, ServiceConfig, ServiceError, ServiceHandle, TelemetryConfig};
 
 fn git_rev() -> String {
     std::process::Command::new("git")
@@ -197,46 +197,35 @@ fn chaos_client(
                 }
             }
         } else {
-            let (reply_tx, reply_rx) = std::sync::mpsc::channel::<ReadReply>();
-            match handle.read_to(line, &reply_tx) {
+            // Slot-completed read: clean lines come straight off the seqlock
+            // view; everything else queues a packet whose completion slot
+            // resolves (with an error) even when the shard worker dies.
+            match handle.read(line) {
+                Ok(data) => {
+                    result.reads += 1;
+                    if saw_quarantine {
+                        result.served_degraded += 1;
+                    }
+                    let expect = golden.get(&line).copied().unwrap_or_else(LineData::zero);
+                    // Oracle: only lines on live shards count. A line
+                    // whose shard died may have lost accepted writes —
+                    // that is shed availability, not silent corruption.
+                    if data != expect && !handle.quarantined().contains(&handle.shard_of(line)) {
+                        result.sdc += 1;
+                    }
+                }
                 Err(ServiceError::ShuttingDown) => {
                     result.shed += 1;
                     break;
                 }
+                Err(e) if e.is_due() => {
+                    result.reads += 1;
+                    result.due += 1;
+                }
                 Err(_) => {
                     saw_quarantine = true;
                     result.shed += 1;
-                    continue;
                 }
-                Ok(()) => {}
-            }
-            drop(reply_tx);
-            match reply_rx.recv() {
-                Err(_) => result.shed += 1, // stranded on a dying worker
-                Ok(reply) => match reply.result {
-                    Ok(data) => {
-                        result.reads += 1;
-                        if saw_quarantine {
-                            result.served_degraded += 1;
-                        }
-                        let expect = golden.get(&line).copied().unwrap_or_else(LineData::zero);
-                        // Oracle: only lines on live shards count. A line
-                        // whose shard died may have lost accepted writes —
-                        // that is shed availability, not silent corruption.
-                        if data != expect && !handle.quarantined().contains(&handle.shard_of(line))
-                        {
-                            result.sdc += 1;
-                        }
-                    }
-                    Err(e) if e.is_due() => {
-                        result.reads += 1;
-                        result.due += 1;
-                    }
-                    Err(_) => {
-                        saw_quarantine = true;
-                        result.shed += 1;
-                    }
-                },
             }
         }
     }

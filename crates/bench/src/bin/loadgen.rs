@@ -25,9 +25,15 @@
 //! The process exits non-zero if any read returned silently corrupted
 //! data (SDC) — the one outcome the SuDoku ladder must never allow — so
 //! CI can gate on it directly.
+//!
+//! `--check-baseline` additionally reads the committed `BENCH_svc.json`
+//! *before* the run and fails (exit 1) if achieved req/sec regresses more
+//! than 20% below the baseline's — the CI throughput gate for the demand
+//! path. The baseline's pre-PR figure is carried forward into the freshly
+//! written JSON as `req_per_sec_pre_pr`.
 
 use std::time::Duration;
-use sudoku_bench::{flag, header};
+use sudoku_bench::{flag, header, json_f64_field};
 use sudoku_core::{Scheme, SudokuConfig};
 use sudoku_fault::StuckBitMap;
 use sudoku_svc::{
@@ -111,6 +117,20 @@ impl Opts {
 fn main() {
     let opts = Opts::parse();
     header("Service load generator (sharded cache + scrub daemon)");
+    // Read the committed baseline up front: `--json` overwrites the file.
+    let baseline = std::fs::read_to_string("BENCH_svc.json").ok();
+    let baseline_rps = baseline
+        .as_deref()
+        .and_then(|t| json_f64_field(t, "req_per_sec"));
+    let pre_pr_rps = baseline
+        .as_deref()
+        .and_then(|t| json_f64_field(t, "req_per_sec_pre_pr"))
+        .or(baseline_rps);
+    if flag("--check-baseline") && baseline_rps.is_none() {
+        eprintln!(
+            "warning: --check-baseline set but BENCH_svc.json has no req_per_sec; gate skipped"
+        );
+    }
     println!(
         "shards = {}, clients = {}, requests/client = {}, lines = {}, ber = {:.2e}, \
          zipf theta = {}, seed = {}",
@@ -183,6 +203,10 @@ fn main() {
             .field_u64("clients", opts.clients as u64)
             .field_u64("requests", report.requests)
             .field_f64("req_per_sec", report.req_per_sec)
+            .field_f64(
+                "req_per_sec_pre_pr",
+                pre_pr_rps.unwrap_or(report.req_per_sec),
+            )
             .field_u64("p50_read_ns", lat.quantile(0.50))
             .field_u64("p99_read_ns", lat.quantile(0.99))
             .field_u64("p999_read_ns", lat.quantile(0.999))
@@ -202,5 +226,23 @@ fn main() {
     if report.sdc > 0 {
         eprintln!("FAIL: {} silently corrupted reads", report.sdc);
         std::process::exit(1);
+    }
+    if flag("--check-baseline") {
+        if let Some(base) = baseline_rps {
+            let floor = base * 0.8;
+            if report.req_per_sec < floor {
+                eprintln!(
+                    "FAIL: {:.0} req/sec is a >20% regression from the committed \
+                     baseline {base:.0} (floor {floor:.0})",
+                    report.req_per_sec
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "baseline gate: {:.0} req/sec vs committed {base:.0} ({:+.1}%) — ok",
+                report.req_per_sec,
+                (report.req_per_sec / base - 1.0) * 100.0
+            );
+        }
     }
 }

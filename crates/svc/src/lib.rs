@@ -51,14 +51,16 @@ mod exporter;
 pub mod loadgen;
 mod service;
 mod sharded;
+mod slot;
 pub mod telemetry;
+mod view;
 
 pub use degraded::{DegradedConfig, DegradedStats, ShardHealth, SpareTable};
 pub use error::{ServiceError, StartError};
 pub use exporter::Exporter;
 pub use loadgen::{AddrMode, LoadReport, LoadgenConfig};
 pub use service::{ReadReply, Service, ServiceConfig, ServiceHandle, ServiceReport};
-pub use sharded::{merge_reports, ShardedCache};
+pub use sharded::{merge_reports, ShardSession, ShardedCache};
 pub use telemetry::{
     FlightRecorder, TelemetryConfig, TelemetryRegistry, TelemetrySnapshot, TraceRecord,
 };

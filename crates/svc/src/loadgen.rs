@@ -10,7 +10,7 @@
 //! address slicing is deliberately orthogonal to the service's Hash-1
 //! sharding, so every load worker exercises every shard.
 
-use crate::service::{ReadReply, Service, ServiceHandle, ServiceReport};
+use crate::service::{Service, ServiceHandle, ServiceReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -228,33 +228,25 @@ fn load_worker(
                 Err(_) => result.shed += 1,
             }
         } else {
-            // Per-request reply channel: our sender is dropped before the
-            // recv, so a request that dies with its worker disconnects the
-            // channel (counted as shed) instead of hanging the client.
-            let (reply_tx, reply_rx) = std::sync::mpsc::channel::<ReadReply>();
-            if handle.read_to(line, &reply_tx).is_err() {
-                result.shed += 1;
-                continue;
-            }
-            drop(reply_tx);
-            match reply_rx.recv() {
-                // The worker died with our request in flight.
+            // Slot-completed read: clean lines are served lock-free off the
+            // seqlock view without ever touching the shard queue; dirty or
+            // suspect lines fall through to a queued packet whose completion
+            // slot resolves even if the shard's worker dies mid-request.
+            match handle.read(line) {
+                Ok(data) => {
+                    result.reads += 1;
+                    let expect = golden.get(&line).copied().unwrap_or_else(LineData::zero);
+                    if data != expect {
+                        result.sdc += 1;
+                    }
+                }
+                Err(e) if e.is_due() => {
+                    result.reads += 1;
+                    result.due += 1;
+                }
+                // Availability error: rejected at the door or stranded by a
+                // dying worker.
                 Err(_) => result.shed += 1,
-                Ok(reply) => match reply.result {
-                    Ok(data) => {
-                        result.reads += 1;
-                        let expect = golden.get(&line).copied().unwrap_or_else(LineData::zero);
-                        if data != expect {
-                            result.sdc += 1;
-                        }
-                    }
-                    Err(e) if e.is_due() => {
-                        result.reads += 1;
-                        result.due += 1;
-                    }
-                    // Availability reply (shard went down after accepting).
-                    Err(_) => result.shed += 1,
-                },
             }
         }
     }

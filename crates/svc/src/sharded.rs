@@ -42,6 +42,7 @@
 
 use crate::degraded::{DegradedConfig, DegradedStats, ShardHealth, SpareTable};
 use crate::error::ServiceError;
+use crate::view::{LineView, ViewRead};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -52,6 +53,12 @@ use sudoku_core::{
     SudokuCache, SudokuConfig, UncorrectableError,
 };
 use sudoku_fault::{FaultInjector, StuckBitMap};
+
+/// Lines per shard-mutex hold in the daemon's bulk passes (fault
+/// injection, scrub scan). A tick can touch hundreds of lines; taking the
+/// lock in chunks keeps the demand path's worst-case wait at one chunk
+/// instead of one whole tick.
+const DAEMON_LOCK_CHUNK: usize = 32;
 
 /// Cross-shard recovery state owned by the coordinator: its own counter
 /// pool, recorder, and scratch buffers, so Hash-2 accounting is attributed
@@ -79,6 +86,9 @@ struct ScrubState {
     faulty: BTreeSet<u64>,
     recovered: BTreeMap<u64, ProtectedLine>,
     report: ScrubReport,
+    /// Every line this pass may have mutated — republished into the
+    /// lock-free [`LineView`] before the shard locks drop.
+    touched: BTreeSet<u64>,
 }
 
 /// One shard's cache plus its in-flight recovery state, borrowed out of
@@ -207,6 +217,9 @@ pub struct ShardedCache {
     stuck: StuckBitMap,
     rejects: AtomicU64,
     skipped_h2: AtomicU64,
+    /// Seqlock-stamped mirror of every stored line for lock-free clean
+    /// reads; `None` when the geometry is too large to mirror.
+    view: Option<LineView>,
 }
 
 impl ShardedCache {
@@ -257,6 +270,7 @@ impl ShardedCache {
                 })
             })
             .collect();
+        let view = LineView::new(config.geometry.lines(), n_shards);
         Ok(ShardedCache {
             plan,
             config,
@@ -271,6 +285,7 @@ impl ShardedCache {
             stuck,
             rejects: AtomicU64::new(0),
             skipped_h2: AtomicU64::new(0),
+            view,
         })
     }
 
@@ -373,6 +388,148 @@ impl ShardedCache {
         changed
     }
 
+    /// Republishes `line`'s stored state into the lock-free view. Callers
+    /// must hold the owning shard's mutex (the `cache` guard proves it).
+    fn publish_line(&self, cache: &SudokuCache<SparseStore>, line: u64) {
+        if let Some(view) = &self.view {
+            view.publish(line, &cache.stored_line(line));
+        }
+    }
+
+    /// Republishes `line`'s whole Hash-1 group (the lines a shard-local
+    /// group recovery may have rewritten). Same lock requirement as
+    /// [`ShardedCache::publish_line`].
+    fn publish_h1_group(&self, cache: &SudokuCache<SparseStore>, line: u64) {
+        if let Some(view) = &self.view {
+            let hashes = self.plan.hashes();
+            let group = hashes.group_of(HashDim::H1, line);
+            for member in hashes.members(HashDim::H1, group) {
+                view.publish(member, &cache.stored_line(member));
+            }
+        }
+    }
+
+    /// Permanently removes `line` from the lock-free view (it was remapped
+    /// to a spare slot; the array copy is no longer authoritative).
+    fn invalidate_view(&self, line: u64) {
+        if let Some(view) = &self.view {
+            view.invalidate(line);
+        }
+    }
+
+    /// Adds every Hash-1 sibling of the given lines to the republish set
+    /// (group recovery may rewrite any of them). No-op without a view.
+    fn extend_touched_h1(&self, touched: &mut BTreeSet<u64>, lines: impl Iterator<Item = u64>) {
+        if self.view.is_none() {
+            return;
+        }
+        let hashes = self.plan.hashes();
+        for line in lines {
+            let group = hashes.group_of(HashDim::H1, line);
+            touched.extend(hashes.members(HashDim::H1, group));
+        }
+    }
+
+    /// Adds `shard`'s stuck lines to the republish set: the post-scrub
+    /// reassert rewrites them outside any recovery bookkeeping.
+    fn extend_touched_stuck(&self, touched: &mut BTreeSet<u64>, shard: usize) {
+        if self.view.is_none() || self.stuck.is_empty() {
+            return;
+        }
+        for line in self.stuck.lines() {
+            if self.plan.shard_of_line(line) == shard {
+                touched.insert(line);
+            }
+        }
+    }
+
+    /// Republishes every touched line while the shard guard is held.
+    fn publish_touched(&self, cache: &SudokuCache<SparseStore>, touched: &BTreeSet<u64>) {
+        if let Some(view) = &self.view {
+            for &line in touched {
+                view.publish(line, &cache.stored_line(line));
+            }
+        }
+    }
+
+    /// Adds every Hash-2 sibling of the currently-faulty lines to its
+    /// owning shard's republish set (the coordinator's Hash-2 pass may
+    /// commit repairs into any of them). Only meaningful with every shard
+    /// up — exactly when the Hash-2 pass itself runs.
+    fn distribute_h2_touched(&self, work: &mut [Option<Working<'_>>]) {
+        let hashes = self.plan.hashes();
+        let groups: BTreeSet<u64> = work
+            .iter()
+            .flatten()
+            .flat_map(|w| w.st.faulty.iter())
+            .map(|&l| hashes.group_of(HashDim::H2, l))
+            .collect();
+        let mut members: Vec<u64> = Vec::new();
+        for group in groups {
+            members.extend(hashes.members(HashDim::H2, group));
+        }
+        for line in members {
+            if let Some(w) = work[self.plan.shard_of_line(line)].as_mut() {
+                w.st.touched.insert(line);
+            }
+        }
+    }
+
+    /// Marks a write for `line` as accepted-but-not-applied: lock-free
+    /// reads of the line miss until [`ShardedCache::retire_write`]
+    /// balances this call, so a queued fire-and-forget write stays
+    /// read-your-write consistent (the queue's FIFO order serves the read
+    /// after the write). No-op without a view.
+    pub(crate) fn begin_write(&self, line: u64) {
+        if let Some(view) = &self.view {
+            view.begin_write(line);
+        }
+    }
+
+    /// Balances one [`ShardedCache::begin_write`] once the write has been
+    /// applied and republished — or consumed by a teardown path that will
+    /// never apply it. No-op without a view.
+    pub(crate) fn retire_write(&self, line: u64) {
+        if let Some(view) = &self.view {
+            view.retire_write(line);
+        }
+    }
+
+    /// Attempts a lock-free clean read of `line` via the seqlock view:
+    /// `Some(data)` when the line is verifiably clean (CRC checked inline,
+    /// or golden zero), `None` when the caller must take the locked path.
+    /// The second element counts seqlock retries (for telemetry).
+    pub fn try_read_clean(&self, line: u64) -> (Option<LineData>, u32) {
+        let Some(view) = &self.view else {
+            return (None, 0);
+        };
+        let shard = self.plan.shard_of_line(line);
+        if !self.health.is_up(shard) {
+            // Quarantine wins: the locked path owns the error reporting.
+            return (None, 0);
+        }
+        match view.try_read(line, shard) {
+            (ViewRead::Clean(data), retries) => (Some(data), retries),
+            (ViewRead::Zero, retries) => (Some(LineData::zero()), retries),
+            (ViewRead::Miss, retries) => (None, retries),
+        }
+    }
+
+    /// Opens a per-shard demand session: the shard mutex held across a
+    /// whole work packet, amortizing one lock acquire over many ops.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ShardDown`] when the shard is quarantined (or its
+    /// mutex is poisoned — it gets quarantined on the spot).
+    pub fn session(&self, shard: usize) -> Result<ShardSession<'_>, ServiceError> {
+        Ok(ShardSession {
+            cache: self.lock_shard(shard)?,
+            owner: self,
+            shard,
+        })
+    }
+
     /// Writes `data` to `line` on its owning shard (or its spare-pool slot,
     /// when the line has been spared).
     ///
@@ -381,12 +538,7 @@ impl ShardedCache {
     /// [`ServiceError::ShardDown`] when the owning shard is quarantined.
     pub fn write(&self, line: u64, data: &LineData) -> Result<(), ServiceError> {
         let shard = self.plan.shard_of_line(line);
-        let mut cache = self.lock_shard(shard)?;
-        if self.lock_extra(shard).spares.write(line, data) {
-            return Ok(());
-        }
-        cache.write(line, data);
-        self.reassert_line(&mut cache, shard, line);
+        self.session(shard)?.write(line, data);
         Ok(())
     }
 
@@ -430,23 +582,17 @@ impl ShardedCache {
     /// [`ServiceError::ShardDown`] when the owning shard is quarantined.
     pub fn read_local(&self, line: u64) -> Result<LineData, ServiceError> {
         let shard = self.plan.shard_of_line(line);
-        let mut cache = self.lock_shard(shard)?;
-        if let Some(spared) = self.lock_extra(shard).spares.lookup(line) {
-            return match spared {
-                Some(data) => Ok(data),
-                None => Err(ServiceError::Uncorrectable(UncorrectableError { line })),
-            };
-        }
-        let result = cache.read(line).map_err(ServiceError::from);
-        self.reassert_line(&mut cache, shard, line);
-        result
+        self.session(shard)?.read(line)
     }
 
     /// Flips one stored bit of `line` — a transient fault. Works on
     /// quarantined shards too (faults are physics, not requests).
     pub fn inject_fault(&self, line: u64, bit: usize) {
-        self.lock_shard_telemetry(self.plan.shard_of_line(line))
-            .inject_fault(line, bit);
+        let mut cache = self.lock_shard_telemetry(self.plan.shard_of_line(line));
+        cache.inject_fault(line, bit);
+        // Mirror the corruption into the view: the lock-free path must see
+        // the faulty bits (and miss on the CRC), never stale clean data.
+        self.publish_line(&cache, line);
     }
 
     /// Applies a resolved fault plan (line, fault positions) as produced by
@@ -457,6 +603,7 @@ impl ShardedCache {
             for &pos in positions {
                 shard.inject_fault(*line, pos);
             }
+            self.publish_line(&shard, *line);
         }
     }
 
@@ -466,16 +613,24 @@ impl ShardedCache {
     /// following scrub tick. A quarantined shard is skipped (empty result).
     pub fn inject_shard(&self, shard: usize, injector: &mut FaultInjector) -> Vec<u64> {
         let plan = injector.resolved_plan(self.plan.owned_line_count(shard));
-        let Ok(mut cache) = self.lock_shard(shard) else {
-            return Vec::new();
-        };
         let mut lines = Vec::with_capacity(plan.len());
-        for (idx, positions) in plan {
-            let line = self.plan.owned_line_at(shard, idx);
-            for pos in positions {
-                cache.inject_fault(line, pos);
+        // Chunked lock holds: a tick can fault hundreds of lines, and
+        // holding the shard mutex across all of them convoys the demand
+        // path for the whole tick. Per-line atomicity is all the physics
+        // needs — demand ops interleaving between chunks just see some
+        // faults earlier than others.
+        for chunk in plan.chunks(DAEMON_LOCK_CHUNK) {
+            let Ok(mut cache) = self.lock_shard(shard) else {
+                return lines;
+            };
+            for (idx, positions) in chunk {
+                let line = self.plan.owned_line_at(shard, *idx);
+                for &pos in positions {
+                    cache.inject_fault(line, pos);
+                }
+                self.publish_line(&cache, line);
+                lines.push(line);
             }
-            lines.push(line);
         }
         lines
     }
@@ -493,6 +648,7 @@ impl ShardedCache {
         let mut total = CacheStats::default();
         for shard in 0..self.n_shards() {
             total.merge(self.lock_shard_telemetry(shard).stats());
+            self.fold_view_stats(shard, &mut total);
         }
         total.merge(&self.lock_coord().stats);
         total
@@ -501,8 +657,23 @@ impl ShardedCache {
     /// Per-shard counters (index = shard id), excluding the coordinator.
     pub fn shard_stats(&self) -> Vec<CacheStats> {
         (0..self.n_shards())
-            .map(|s| *self.lock_shard_telemetry(s).stats())
+            .map(|s| {
+                let mut stats = *self.lock_shard_telemetry(s).stats();
+                self.fold_view_stats(s, &mut stats);
+                stats
+            })
             .collect()
+    }
+
+    /// Folds the lock-free view's read accounting for `shard` into
+    /// `stats`: every lock-free hit was one `reads` (plus one `crc_checks`
+    /// for non-zero lines) the reference would have counted under the
+    /// lock, so aggregates stay bit-identical to the reference path.
+    fn fold_view_stats(&self, shard: usize, stats: &mut CacheStats) {
+        if let Some(view) = &self.view {
+            stats.reads += view.reads(shard);
+            stats.crc_checks += view.crc_checks(shard);
+        }
     }
 
     /// The coordinator's own counters (cross-shard Hash-2 work).
@@ -581,9 +752,15 @@ impl ShardedCache {
         let all_up = guards.iter().all(Option::is_some);
         let mut work = Self::borrow_working(&mut guards);
         let mut down_report = ScrubReport::default();
+        let mirror = self.view.is_some();
         for &line in hints {
             match work[self.plan.shard_of_line(line)].as_mut() {
-                Some(w) => w.st.hints.push(line),
+                Some(w) => {
+                    w.st.hints.push(line);
+                    if mirror {
+                        w.st.touched.insert(line);
+                    }
+                }
                 None => down_report.unresolved.push(line),
             }
         }
@@ -598,6 +775,19 @@ impl ShardedCache {
                 });
             }
         });
+        // Everything recovery can rewrite from here: Hash-1 siblings of
+        // the post-scan faulty lines, plus (when the cross-shard pass will
+        // run) their Hash-2 groups. The faulty sets only shrink during the
+        // fixpoint, so capturing now over-approximates safely.
+        if mirror {
+            for w in work.iter_mut().flatten() {
+                let faulty: Vec<u64> = w.st.faulty.iter().copied().collect();
+                self.extend_touched_h1(&mut w.st.touched, faulty.into_iter());
+            }
+            if all_up && self.config.scheme.second_hash_enabled() {
+                self.distribute_h2_touched(&mut work);
+            }
+        }
         let coord_report = self.fixpoint(&mut work, all_up, true);
         for w in work.iter_mut().flatten() {
             w.st.report.unresolved = w.st.faulty.iter().copied().collect();
@@ -609,6 +799,8 @@ impl ShardedCache {
         for (shard, w) in work.iter_mut().enumerate() {
             if let Some(w) = w {
                 self.reassert_shard(w.cache, shard);
+                self.extend_touched_stuck(&mut w.st.touched, shard);
+                self.publish_touched(w.cache, &w.st.touched);
             }
         }
         self.finish_down_lines(&mut down_report);
@@ -635,15 +827,33 @@ impl ShardedCache {
     /// here; a line is only a DUE once escalation also fails. A
     /// quarantined shard returns an empty report and no leftovers.
     pub fn scrub_shard_local(&self, shard: usize, hints: &[u64]) -> (ScrubReport, Vec<u64>) {
+        let mut report = ScrubReport::default();
+        let owned: Vec<u64> = hints
+            .iter()
+            .copied()
+            .filter(|&l| self.plan.shard_of_line(l) == shard && !self.is_spared(shard, l))
+            .collect();
+        let mut touched: BTreeSet<u64> = owned.iter().copied().collect();
+        // The bulk scan runs in chunked lock holds (like fault injection):
+        // single-bit repairs are per-line atomic, and a demand write that
+        // slips between chunks just heals its line before the scan gets
+        // there — the recovery fixpoint below re-verifies every survivor.
+        let mut faulty = BTreeSet::new();
+        for chunk in owned.chunks(DAEMON_LOCK_CHUNK) {
+            let Ok(mut cache) = self.lock_shard(shard) else {
+                return (ScrubReport::default(), Vec::new());
+            };
+            faulty.extend(cache.scrub_scan(chunk.iter().copied(), true, &mut report));
+            // Repairs of scanned lines must reach the view before the next
+            // chunk's lock gap, or lock-free reads keep missing on them.
+            self.publish_touched(&cache, &chunk.iter().copied().collect());
+        }
         let Ok(mut cache) = self.lock_shard(shard) else {
             return (ScrubReport::default(), Vec::new());
         };
-        let mut report = ScrubReport::default();
-        let owned = hints
-            .iter()
-            .copied()
-            .filter(|&l| self.plan.shard_of_line(l) == shard && !self.is_spared(shard, l));
-        let mut faulty = cache.scrub_scan(owned, true, &mut report);
+        // Group recovery may rewrite any Hash-1 sibling of a faulty line;
+        // capture the groups now (the faulty set only shrinks from here).
+        self.extend_touched_h1(&mut touched, faulty.iter().copied());
         let mut recovered = BTreeMap::new();
         loop {
             if faulty.is_empty() {
@@ -660,6 +870,8 @@ impl ShardedCache {
         // strikes (with the recovered data!) instead of looping forever.
         self.note_undone_reconstructions(shard, &recovered);
         self.reassert_shard(&mut cache, shard);
+        self.extend_touched_stuck(&mut touched, shard);
+        self.publish_touched(&cache, &touched);
         let leftover: Vec<u64> = faulty.into_iter().collect();
         report.unresolved = leftover.clone();
         (report, leftover)
@@ -688,6 +900,7 @@ impl ShardedCache {
         let all_up = guards.iter().all(Option::is_some);
         let mut work = Self::borrow_working(&mut guards);
         let mut down_report = ScrubReport::default();
+        let mirror = self.view.is_some();
         for &line in lines {
             let shard = self.plan.shard_of_line(line);
             match work[shard].as_mut() {
@@ -695,6 +908,10 @@ impl ShardedCache {
                 // reads hit the pool, so there is nothing to escalate.
                 Some(w) if !self.is_spared(shard, line) => {
                     w.st.faulty.insert(line);
+                    if mirror {
+                        // The re-verify may repair the seed in place.
+                        w.st.touched.insert(line);
+                    }
                 }
                 Some(_) => {}
                 None => down_report.unresolved.push(line),
@@ -707,6 +924,15 @@ impl ShardedCache {
             let mut faulty = std::mem::take(&mut w.st.faulty);
             w.cache.retain_multibit(&mut faulty, &empty);
             w.st.faulty = faulty;
+        }
+        if mirror {
+            for w in work.iter_mut().flatten() {
+                let faulty: Vec<u64> = w.st.faulty.iter().copied().collect();
+                self.extend_touched_h1(&mut w.st.touched, faulty.into_iter());
+            }
+            if all_up && self.config.scheme.second_hash_enabled() {
+                self.distribute_h2_touched(&mut work);
+            }
         }
         let had_faulty = work.iter().flatten().any(|w| !w.st.faulty.is_empty());
         let coord_report = self.fixpoint(&mut work, all_up, true);
@@ -744,9 +970,14 @@ impl ShardedCache {
                 if !w.st.report.unresolved.is_empty() {
                     let mut extra = self.lock_extra(shard);
                     for &line in &w.st.report.unresolved {
-                        extra.spares.strike(line, None);
+                        if extra.spares.strike(line, None) {
+                            // Remapped: the array copy is dead to readers.
+                            self.invalidate_view(line);
+                        }
                     }
                 }
+                self.extend_touched_stuck(&mut w.st.touched, shard);
+                self.publish_touched(w.cache, &w.st.touched);
             }
         }
         self.finish_down_lines(&mut down_report);
@@ -777,7 +1008,9 @@ impl ShardedCache {
                 extra.undone_reconstructions += 1;
                 // When the threshold is reached the line is spared *with*
                 // the reconstructed data — reads stop needing escalation.
-                extra.spares.strike(line, Some(value.data));
+                if extra.spares.strike(line, Some(value.data)) {
+                    self.invalidate_view(line);
+                }
             }
         }
     }
@@ -922,6 +1155,70 @@ impl ShardedCache {
                 fast,
             );
         }
+    }
+}
+
+/// A demand session holding one shard's cache mutex across a whole work
+/// packet: `N` reads/writes pay for one lock acquire. Created by
+/// [`ShardedCache::session`]; dropping it releases the shard.
+///
+/// The session holds **only** the shard cache guard — spare-table and
+/// stuck-cell bookkeeping take their own (transient, strictly-after)
+/// locks per op, and cross-shard escalation requires dropping the session
+/// first (it acquires every shard in ascending order).
+pub struct ShardSession<'a> {
+    cache: MutexGuard<'a, SudokuCache<SparseStore>>,
+    owner: &'a ShardedCache,
+    shard: usize,
+}
+
+impl ShardSession<'_> {
+    /// Writes `data` to `line` (which must be owned by this shard),
+    /// landing in the spare pool when the line has been remapped.
+    pub fn write(&mut self, line: u64, data: &LineData) {
+        let owner = self.owner;
+        if owner.lock_extra(self.shard).spares.write(line, data) {
+            return;
+        }
+        // A clean old value means the write's consistency pre-check could
+        // not have triggered group recovery: only `line` itself changed.
+        // Otherwise the whole Hash-1 group may have been rewritten under
+        // it. The write itself reports which case ran — no separate
+        // stored-line CRC probe needed.
+        let clean_old = self.cache.write(line, data);
+        owner.reassert_line(&mut self.cache, self.shard, line);
+        if clean_old {
+            owner.publish_line(&self.cache, line);
+        } else {
+            owner.publish_h1_group(&self.cache, line);
+        }
+    }
+
+    /// Reads `line` through the shard-local (Hash-1) ladder, exactly like
+    /// [`ShardedCache::read_local`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Uncorrectable`] when the local ladder fails (the
+    /// caller escalates — after dropping this session).
+    pub fn read(&mut self, line: u64) -> Result<LineData, ServiceError> {
+        let owner = self.owner;
+        if let Some(spared) = owner.lock_extra(self.shard).spares.lookup(line) {
+            return match spared {
+                Some(data) => Ok(data),
+                None => Err(ServiceError::Uncorrectable(UncorrectableError { line })),
+            };
+        }
+        // A clean stored line (the common case) is read without mutation,
+        // so the view is already in sync and nothing needs republishing.
+        let old = self.cache.stored_line(line);
+        let clean_old = old.is_zero() || LineCodec::shared().crc_ok(&old);
+        let result = self.cache.read(line).map_err(ServiceError::from);
+        owner.reassert_line(&mut self.cache, self.shard, line);
+        if !clean_old {
+            owner.publish_h1_group(&self.cache, line);
+        }
+        result
     }
 }
 

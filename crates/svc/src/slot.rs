@@ -1,0 +1,161 @@
+//! Preallocated **completion slots**: the reply half of the batched demand
+//! path. Instead of allocating a fresh `mpsc` channel per request, a
+//! client parks one reusable slot per thread; the worker writes the result
+//! and flips a single atomic flag, and the client spins briefly before
+//! falling back to a condvar park.
+//!
+//! Lifecycle: `reset` → enqueue a [`SlotSender`] with the request → the
+//! worker either [`SlotSender::complete`]s it with a result or drops it
+//! (abandonment — only on teardown paths), and [`CompletionSlot::wait`]
+//! returns `Some(result)` or `None` respectively. A slot is strictly
+//! single-producer single-consumer per flight; reuse across flights is the
+//! whole point.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+const EMPTY: u32 = 0;
+const FULL: u32 = 1;
+const ABANDONED: u32 = 2;
+
+/// Spin iterations on the state flag before parking on the condvar.
+const SPIN: u32 = 200;
+
+/// One reusable request-completion cell.
+#[derive(Debug)]
+pub(crate) struct CompletionSlot<T> {
+    state: AtomicU32,
+    value: Mutex<Option<T>>,
+    wake: Condvar,
+}
+
+impl<T> CompletionSlot<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(CompletionSlot {
+            state: AtomicU32::new(EMPTY),
+            value: Mutex::new(None),
+            wake: Condvar::new(),
+        })
+    }
+
+    /// Arms the slot for a new flight and hands out the producer side.
+    pub(crate) fn arm(self: &Arc<Self>) -> SlotSender<T> {
+        self.state.store(EMPTY, Ordering::Relaxed);
+        *self.value.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        SlotSender {
+            slot: Arc::clone(self),
+            done: false,
+        }
+    }
+
+    fn fill(&self, state: u32, value: Option<T>) {
+        let mut guard = self.value.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = value;
+        // Release-publish the flag while holding the lock so a parked
+        // waiter cannot miss the notify between its check and its wait.
+        self.state.store(state, Ordering::Release);
+        self.wake.notify_one();
+    }
+
+    /// Blocks until the producer completes or abandons the flight:
+    /// `Some(result)` on completion, `None` on abandonment. Spins briefly
+    /// (the worker usually answers in microseconds) before parking.
+    pub(crate) fn wait(&self) -> Option<T> {
+        for _ in 0..SPIN {
+            if self.state.load(Ordering::Acquire) != EMPTY {
+                return self.take();
+            }
+            std::hint::spin_loop();
+        }
+        let mut guard = self.value.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.state.load(Ordering::Acquire) != EMPTY {
+                return guard.take();
+            }
+            let (g, _) = self
+                .wake
+                .wait_timeout(guard, std::time::Duration::from_micros(100))
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+    }
+
+    fn take(&self) -> Option<T> {
+        self.value.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
+/// The producer side of one slot flight. Dropping it without calling
+/// [`SlotSender::complete`] abandons the flight (the waiter gets `None`).
+#[derive(Debug)]
+pub(crate) struct SlotSender<T> {
+    slot: Arc<CompletionSlot<T>>,
+    done: bool,
+}
+
+impl<T> SlotSender<T> {
+    /// Delivers the result and wakes the waiter.
+    pub(crate) fn complete(mut self, value: T) {
+        self.done = true;
+        self.slot.fill(FULL, Some(value));
+    }
+}
+
+impl<T> Drop for SlotSender<T> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.slot.fill(ABANDONED, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_then_wait_roundtrips() {
+        let slot: Arc<CompletionSlot<u64>> = CompletionSlot::new();
+        let tx = slot.arm();
+        tx.complete(42);
+        assert_eq!(slot.wait(), Some(42));
+    }
+
+    #[test]
+    fn abandoned_flight_yields_none() {
+        let slot: Arc<CompletionSlot<u64>> = CompletionSlot::new();
+        let tx = slot.arm();
+        drop(tx);
+        assert_eq!(slot.wait(), None);
+    }
+
+    #[test]
+    fn slot_is_reusable_across_flights() {
+        let slot: Arc<CompletionSlot<u64>> = CompletionSlot::new();
+        for i in 0..100 {
+            let tx = slot.arm();
+            tx.complete(i);
+            assert_eq!(slot.wait(), Some(i));
+        }
+        // Abandon, then complete again: the reset clears the tombstone.
+        drop(slot.arm());
+        assert_eq!(slot.wait(), None);
+        let tx = slot.arm();
+        tx.complete(7);
+        assert_eq!(slot.wait(), Some(7));
+    }
+
+    #[test]
+    fn cross_thread_completion_after_park() {
+        let slot: Arc<CompletionSlot<u64>> = CompletionSlot::new();
+        let tx = slot.arm();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                // Outlast the waiter's spin phase so it parks.
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                tx.complete(99);
+            });
+            assert_eq!(slot.wait(), Some(99));
+        });
+    }
+}

@@ -130,6 +130,12 @@ pub struct TelemetryRegistry {
     pub escalated_reads: Counter,
     /// Demand reads that stayed uncorrectable (DUE).
     pub due_reads: Counter,
+    /// Demand reads served lock-free off the seqlock line view (no shard
+    /// mutex, CRC verified inline).
+    pub clean_read_lockfree_hits: Counter,
+    /// Seqlock retries taken by lock-free reads (torn snapshot or writer
+    /// in flight); the retry *rate* is this over the hit count.
+    pub seqlock_retries: Counter,
     // Scrub-daemon progress.
     /// Scrub ticks completed (one tick = one shard).
     pub scrub_ticks: Counter,
@@ -180,6 +186,8 @@ impl TelemetryRegistry {
             failed_writes: Counter::new(),
             escalated_reads: Counter::new(),
             due_reads: Counter::new(),
+            clean_read_lockfree_hits: Counter::new(),
+            seqlock_retries: Counter::new(),
             scrub_ticks: Counter::new(),
             skipped_ticks: Counter::new(),
             injected_lines: Counter::new(),
@@ -241,7 +249,11 @@ impl TelemetryRegistry {
             self.read_latency_ns.record(total);
         }
         if record.trace.is_multiple_of(TRACE_SAMPLE) {
-            if let Ok(mut ring) = self.traces.lock() {
+            // `try_lock`, never `lock`: the ring is a diagnostic sample, and
+            // a sampled trace must not make a lock-free read wait behind a
+            // scraper (or another sampler) holding the ring. Contended
+            // pushes are simply dropped.
+            if let Ok(mut ring) = self.traces.try_lock() {
                 if ring.len() == TRACE_RING {
                     ring.pop_front();
                 }
@@ -304,6 +316,10 @@ pub struct TelemetrySnapshot {
     pub escalated_reads: u64,
     /// Demand reads left uncorrectable.
     pub due_reads: u64,
+    /// Demand reads served lock-free off the seqlock line view.
+    pub clean_read_lockfree_hits: u64,
+    /// Seqlock retries taken by lock-free reads.
+    pub seqlock_retries: u64,
     /// Scrub ticks completed.
     pub scrub_ticks: u64,
     /// Scrub ticks skipped (quarantined shard).
@@ -372,6 +388,8 @@ impl TelemetrySnapshot {
             failed_writes: reg.failed_writes.get(),
             escalated_reads: reg.escalated_reads.get(),
             due_reads: reg.due_reads.get(),
+            clean_read_lockfree_hits: reg.clean_read_lockfree_hits.get(),
+            seqlock_retries: reg.seqlock_retries.get(),
             scrub_ticks: reg.scrub_ticks.get(),
             skipped_ticks: reg.skipped_ticks.get(),
             injected_lines: reg.injected_lines.get(),
@@ -418,6 +436,8 @@ impl TelemetrySnapshot {
             .field_u64("failed_writes", self.failed_writes)
             .field_u64("escalated_reads", self.escalated_reads)
             .field_u64("due_reads", self.due_reads)
+            .field_u64("clean_read_lockfree_hits", self.clean_read_lockfree_hits)
+            .field_u64("seqlock_retries", self.seqlock_retries)
             .field_u64("scrub_ticks", self.scrub_ticks)
             .field_u64("skipped_ticks", self.skipped_ticks)
             .field_u64("injected_lines", self.injected_lines)
@@ -482,6 +502,18 @@ impl TelemetrySnapshot {
             "sudoku_due_reads_total",
             "Demand reads left uncorrectable",
             self.due_reads,
+        );
+        counter(
+            &mut out,
+            "sudoku_clean_read_lockfree_hits_total",
+            "Demand reads served lock-free off the seqlock line view",
+            self.clean_read_lockfree_hits,
+        );
+        counter(
+            &mut out,
+            "sudoku_seqlock_retries_total",
+            "Seqlock retries taken by lock-free reads",
+            self.seqlock_retries,
         );
         counter(
             &mut out,
@@ -634,6 +666,18 @@ impl TelemetrySnapshot {
             "sudoku_spared_lines",
             "Lines remapped to spare pools",
             self.degraded.spared_lines,
+        );
+        gauge(
+            &mut out,
+            "sudoku_read_latency_ns_p99",
+            "Demand-read latency p99 (histogram upper bound)",
+            self.read_latency_ns.quantile(0.99),
+        );
+        gauge(
+            &mut out,
+            "sudoku_read_latency_ns_p999",
+            "Demand-read latency p999 (histogram upper bound)",
+            self.read_latency_ns.quantile(0.999),
         );
         // Per-shard labelled gauges.
         out.push_str("# HELP sudoku_shard_up Liveness per shard\n# TYPE sudoku_shard_up gauge\n");

@@ -153,7 +153,9 @@ fn shutdown_under_backpressure_unblocks_all_producers() {
 }
 
 /// Satellite: a read in flight on a shard that dies must resolve to a
-/// `ServiceError`, never hang or panic (the `rx.recv().expect` path).
+/// `ServiceError`, never hang or panic. The victim's lines are faulted
+/// first so the lock-free clean path cannot serve them — every read goes
+/// through the shard queue, behind (or after) the worker-killing panic.
 #[test]
 fn read_stranded_by_worker_death_gets_error_not_hang() {
     let mut config = ServiceConfig::small(256, 2, 0.0, 24);
@@ -162,15 +164,16 @@ fn read_stranded_by_worker_death_gets_error_not_hang() {
     let service = Service::start(config).unwrap();
     let handle = service.handle();
     let victim = handle.shard_of(0);
-    // Queue: panic first, then reads behind it on the same shard. The
-    // panic kills the worker; the queued reads must all error out.
-    handle.inject_worker_panic(victim, false).unwrap();
-    let mut stranded = Vec::new();
-    for line in 0..256u64 {
-        if handle.shard_of(line) == victim {
-            stranded.push(line);
-        }
+    let stranded: Vec<u64> = (0..256u64)
+        .filter(|&line| handle.shard_of(line) == victim)
+        .collect();
+    // One (ECC-correctable) flipped bit per line: harmless to the ladder,
+    // but the inline CRC check fails, so the seqlock view misses and the
+    // reads below must queue on the shard the panic is about to kill.
+    for &line in &stranded {
+        service.state().inject_fault(line, 3);
     }
+    handle.inject_worker_panic(victim, false).unwrap();
     let mut got_errors = 0;
     for &line in &stranded {
         match handle.read(line) {
