@@ -26,13 +26,23 @@
 //!   time-to-detection must stay within one sampler interval
 //!   (`--ttd-budget-ms`, default = `--sample-ms`; exit 5 otherwise) and is
 //!   recorded as `ttd_ms` in `BENCH_chaos.json`.
+//! * **Prompt alerting** — before the worker panics, the harness stalls
+//!   the scrub daemon for `--stall-ms` (alive but not scrubbing) and
+//!   polls `GET /alerts.json` for the watchdog's `daemon_stuck`,
+//!   `deadline_miss`, and `tick_lag_breach` alerts; after the daemon
+//!   panic it polls for `daemon_dead`. Per-class time-to-detection is
+//!   recorded as `ttd_alert_ms` in `BENCH_chaos.json`, and at least
+//!   three of the four classes must fire (exit 6 otherwise).
 //!
 //! `--telemetry-port <p>` pins the scrape endpoint (default: an ephemeral
 //! port, printed at startup); `--flight-recorder <path>` streams the
-//! sampler's snapshots to `<path>` as JSONL for artifact upload.
+//! sampler's snapshots to `<path>` as JSONL for artifact upload;
+//! `--alerts <path>` streams the audit plane's structured alerts to
+//! `<path>` as JSONL.
 //!
 //! `--json` writes `BENCH_chaos.json` with the full degraded-mode counter
-//! set for CI artifact upload.
+//! set, alert TTDs, and achieved-scrub-interval quantiles for CI artifact
+//! upload.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,23 +51,24 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
-use sudoku_bench::{flag, header};
+use sudoku_bench::{flag, git_rev, header};
 use sudoku_codes::LineData;
 use sudoku_core::{Scheme, SudokuConfig};
 use sudoku_fault::StuckBitMap;
 use sudoku_sim::ZipfGen;
-use sudoku_svc::{Service, ServiceConfig, ServiceError, ServiceHandle, TelemetryConfig};
+use sudoku_svc::{
+    AuditConfig, Service, ServiceConfig, ServiceError, ServiceHandle, TelemetryConfig,
+};
 
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
-}
+/// Alert classes whose time-to-detection the soak measures, in the order
+/// they are expected to fire: the stall raises the first three, the
+/// daemon panic the last.
+const TTD_CLASSES: [&str; 4] = [
+    "daemon_stuck",
+    "deadline_miss",
+    "tick_lag_breach",
+    "daemon_dead",
+];
 
 struct Opts {
     shards: usize,
@@ -77,6 +88,8 @@ struct Opts {
     flight_recorder: Option<String>,
     sample_ms: u64,
     ttd_budget_ms: u64,
+    stall_ms: u64,
+    alerts: Option<String>,
 }
 
 impl Opts {
@@ -110,6 +123,8 @@ impl Opts {
             flight_recorder: get("--flight-recorder").map(String::from),
             sample_ms: u("--sample-ms", 50),
             ttd_budget_ms: u("--ttd-budget-ms", u("--sample-ms", 50)),
+            stall_ms: u("--stall-ms", 100),
+            alerts: get("--alerts").map(String::from),
         }
     }
 }
@@ -146,6 +161,27 @@ fn time_to_detection(addr: SocketAddr, deadline: Duration) -> Option<Duration> {
         std::thread::sleep(Duration::from_millis(1));
     }
     None
+}
+
+/// Polls `GET /alerts.json` until every named alert class has appeared in
+/// the stream (or the deadline passes), recording each class's first-seen
+/// latency. Undetected classes stay `None`.
+fn time_to_alerts(addr: SocketAddr, classes: &[&str], deadline: Duration) -> Vec<Option<Duration>> {
+    let start = Instant::now();
+    let mut seen: Vec<Option<Duration>> = vec![None; classes.len()];
+    while start.elapsed() < deadline && seen.iter().any(Option::is_none) {
+        if let Some((status, body)) = http_get(addr, "/alerts.json") {
+            if status == 200 {
+                for (slot, class) in seen.iter_mut().zip(classes) {
+                    if slot.is_none() && body.contains(&format!("\"class\":\"{class}\"")) {
+                        *slot = Some(start.elapsed());
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    seen
 }
 
 #[derive(Debug, Default)]
@@ -272,6 +308,10 @@ fn main() {
             jsonl_path: opts.flight_recorder.as_ref().map(Into::into),
             port: Some(opts.telemetry_port),
         }),
+        audit: AuditConfig {
+            alerts_jsonl: opts.alerts.as_ref().map(Into::into),
+            ..AuditConfig::default()
+        },
     };
     let service = Service::start(config).expect("valid service config");
     let telemetry_addr = service.telemetry_addr().expect("telemetry endpoint is on");
@@ -283,6 +323,7 @@ fn main() {
     let mut client_panics = 0u64;
     let mut totals = ClientResult::default();
     let mut ttd: Option<Duration> = None;
+    let mut ttd_alerts: Vec<Option<Duration>> = vec![None; TTD_CLASSES.len()];
     let injected_panics = opts.panic_shards.min(opts.shards.saturating_sub(1));
     let report = std::thread::scope(|s| {
         let joins: Vec<_> = (0..workers)
@@ -298,9 +339,39 @@ fn main() {
             .collect();
 
         // Chaos controller: let the soak warm up under saturation, then
-        // kill workers (alternating plain and lock-holding panics), kill
-        // the daemon, and finally shut down mid-flight.
+        // stall the daemon (alive but not scrubbing) while watching the
+        // alert stream, kill workers (alternating plain and lock-holding
+        // panics), kill the daemon, and finally shut down mid-flight.
         std::thread::sleep(Duration::from_millis(opts.panic_after_ms));
+        let mut poll_spent = Duration::ZERO;
+        if opts.stall_ms > 0 {
+            service.inject_daemon_stall(Duration::from_millis(opts.stall_ms));
+            println!("injected scrub daemon stall: {} ms", opts.stall_ms);
+            // The stall-driven classes: `daemon_stuck` once the tick
+            // counter freezes past the stall budget, `deadline_miss` once
+            // packet staleness crosses the 20 ms guarantee, and
+            // `tick_lag_breach` when the delayed tick finally starts and
+            // reports its lag.
+            let deadline = Duration::from_millis(opts.stall_ms) + Duration::from_secs(2);
+            let poll_start = Instant::now();
+            let stall_ttds = time_to_alerts(telemetry_addr, &TTD_CLASSES[..3], deadline);
+            ttd_alerts[..3].copy_from_slice(&stall_ttds);
+            poll_spent += poll_start.elapsed();
+            for (class, t) in TTD_CLASSES[..3].iter().zip(&stall_ttds) {
+                match t {
+                    Some(d) => {
+                        println!(
+                            "alert {class}: raised {:.1} ms after stall",
+                            d.as_secs_f64() * 1e3
+                        )
+                    }
+                    None => println!(
+                        "alert {class}: not raised within {:.0} ms",
+                        deadline.as_secs_f64() * 1e3
+                    ),
+                }
+            }
+        }
         for shard in 0..injected_panics {
             let hold_lock = shard % 2 == 1;
             let _ = chaos_handle.inject_worker_panic(shard, hold_lock);
@@ -309,12 +380,11 @@ fn main() {
         // Time-to-detection: injection → /healthz going 503 with the
         // quarantined shard listed. Measured before the daemon panic so
         // the 503 is attributable to the worker quarantine alone.
-        let mut poll_spent = Duration::ZERO;
         if injected_panics > 0 {
             let deadline = Duration::from_millis(opts.ttd_budget_ms) + Duration::from_secs(2);
             let poll_start = Instant::now();
             ttd = time_to_detection(telemetry_addr, deadline);
-            poll_spent = poll_start.elapsed();
+            poll_spent += poll_start.elapsed();
             match ttd {
                 Some(d) => println!(
                     "time-to-detection: {:.1} ms (budget {} ms)",
@@ -330,11 +400,27 @@ fn main() {
         }
         service.inject_daemon_panic();
         println!("injected scrub daemon panic");
+        {
+            // The daemon honors the panic flag at its next tick; the
+            // watchdog then notices the dead thread within one scan.
+            let poll_start = Instant::now();
+            let dead = time_to_alerts(telemetry_addr, &TTD_CLASSES[3..], Duration::from_secs(2));
+            ttd_alerts[3] = dead[0];
+            poll_spent += poll_start.elapsed();
+            match dead[0] {
+                Some(d) => println!(
+                    "alert daemon_dead: raised {:.1} ms after panic",
+                    d.as_secs_f64() * 1e3
+                ),
+                None => println!("alert daemon_dead: not raised within 2000 ms"),
+            }
+        }
         std::thread::sleep(
             Duration::from_millis(opts.shutdown_after_ms.saturating_sub(opts.panic_after_ms))
                 .saturating_sub(poll_spent),
         );
         println!("mid-run shutdown (producers may be blocked on full queues)...");
+        let audit = service.audit().snapshot();
         let report = service.shutdown();
         for join in joins {
             match join.join().expect("client thread never unwinds") {
@@ -349,8 +435,9 @@ fn main() {
                 Err(_) => client_panics += 1,
             }
         }
-        report
+        (report, audit)
     });
+    let (report, audit) = report;
 
     println!(
         "clients: {} reads, {} writes, {} shed, {} due, {} sdc, {} served-degraded, {} panics",
@@ -377,6 +464,18 @@ fn main() {
         "scrub: {} ticks ({} skipped), {} escalations, {} unresolved",
         report.scrub_ticks, report.skipped_ticks, report.escalations, report.unresolved_lines
     );
+    let interval = &audit.achieved_scrub_interval_ns;
+    println!(
+        "audit: {} alerts ({} critical), {} deadline misses, achieved scrub interval \
+         p50 = {:.1} ms / p99 = {:.1} ms / max = {:.1} ms over {} packets",
+        audit.alerts_total,
+        audit.alerts_critical,
+        audit.scrub_deadline_misses,
+        interval.quantile(0.50) as f64 / 1e6,
+        interval.quantile(0.99) as f64 / 1e6,
+        interval.max() as f64 / 1e6,
+        interval.count()
+    );
 
     if flag("--json") {
         let mut obj = sudoku_obs::json::JsonObject::new();
@@ -401,7 +500,31 @@ fn main() {
             Some(d) => obj.field_f64("ttd_ms", d.as_secs_f64() * 1e3),
             None => obj.field_raw("ttd_ms", "null"),
         };
-        obj.field_u64("ttd_budget_ms", opts.ttd_budget_ms)
+        let mut ttd_obj = sudoku_obs::json::JsonObject::new();
+        for (class, t) in TTD_CLASSES.iter().zip(&ttd_alerts) {
+            match t {
+                Some(d) => ttd_obj.field_f64(class, d.as_secs_f64() * 1e3),
+                None => ttd_obj.field_raw(class, "null"),
+            };
+        }
+        obj.field_raw("ttd_alert_ms", &ttd_obj.finish())
+            .field_u64("stall_ms", opts.stall_ms)
+            .field_u64("alerts_total", audit.alerts_total)
+            .field_u64("alerts_critical", audit.alerts_critical)
+            .field_u64("scrub_deadline_misses", audit.scrub_deadline_misses)
+            .field_u64(
+                "scrub_interval_p50_ns",
+                audit.achieved_scrub_interval_ns.quantile(0.50),
+            )
+            .field_u64(
+                "scrub_interval_p99_ns",
+                audit.achieved_scrub_interval_ns.quantile(0.99),
+            )
+            .field_u64(
+                "scrub_interval_max_ns",
+                audit.achieved_scrub_interval_ns.max(),
+            )
+            .field_u64("ttd_budget_ms", opts.ttd_budget_ms)
             .field_u64("sample_ms", opts.sample_ms)
             .field_u64("seed", opts.seed)
             .field_str("git_rev", &git_rev());
@@ -444,6 +567,17 @@ fn main() {
                 std::process::exit(5);
             }
             Some(_) => {}
+        }
+    }
+    if opts.stall_ms > 0 {
+        let detected = ttd_alerts.iter().filter(|t| t.is_some()).count();
+        if detected < 3 {
+            eprintln!(
+                "FAIL: only {detected} of {} alert classes fired \
+                 (need >= 3 of {TTD_CLASSES:?})",
+                TTD_CLASSES.len()
+            );
+            std::process::exit(6);
         }
     }
     println!("PASS: survived the soak with no SDC and no client panic");

@@ -30,26 +30,20 @@
 //! *before* the run and fails (exit 1) if achieved req/sec regresses more
 //! than 20% below the baseline's — the CI throughput gate for the demand
 //! path. The baseline's pre-PR figure is carried forward into the freshly
-//! written JSON as `req_per_sec_pre_pr`.
+//! written JSON as `req_per_sec_pre_pr`. A baseline stamped by a
+//! different git revision than HEAD only warns: the gate still runs, but
+//! the figures are flagged as possibly incomparable.
+//!
+//! `--alerts <path>` streams the audit plane's structured alerts to
+//! `<path>` as JSONL (the same records `/alerts.json` serves).
 
 use std::time::Duration;
-use sudoku_bench::{flag, header, json_f64_field};
+use sudoku_bench::{flag, git_rev, header, json_f64_field, warn_baseline_rev};
 use sudoku_core::{Scheme, SudokuConfig};
 use sudoku_fault::StuckBitMap;
 use sudoku_svc::{
-    AddrMode, DegradedConfig, LoadgenConfig, Service, ServiceConfig, TelemetryConfig,
+    AddrMode, AuditConfig, DegradedConfig, LoadgenConfig, Service, ServiceConfig, TelemetryConfig,
 };
-
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
-}
 
 struct Opts {
     shards: usize,
@@ -66,6 +60,7 @@ struct Opts {
     telemetry_port: Option<u16>,
     flight_recorder: Option<String>,
     sample_ms: u64,
+    alerts: Option<String>,
 }
 
 impl Opts {
@@ -96,6 +91,7 @@ impl Opts {
             telemetry_port: get("--telemetry-port").and_then(|v| v.parse().ok()),
             flight_recorder: get("--flight-recorder").map(String::from),
             sample_ms: u("--sample-ms", 50),
+            alerts: get("--alerts").map(String::from),
         }
     }
 
@@ -147,6 +143,10 @@ fn main() {
         stuck: StuckBitMap::new(),
         degraded: DegradedConfig::default(),
         telemetry: opts.telemetry(),
+        audit: AuditConfig {
+            alerts_jsonl: opts.alerts.as_ref().map(Into::into),
+            ..AuditConfig::default()
+        },
     };
     let load_config = LoadgenConfig {
         workers: opts.clients,
@@ -195,6 +195,10 @@ fn main() {
         "integrity: sdc = {}, due = {} (demand) + {} (scrub)",
         report.sdc, report.due, report.service.unresolved_lines
     );
+    println!(
+        "audit: {} alerts ({} critical), {} scrub-deadline misses",
+        report.service.alerts, report.service.critical_alerts, report.service.scrub_deadline_misses
+    );
 
     if flag("--json") {
         let mut obj = sudoku_obs::json::JsonObject::new();
@@ -217,6 +221,12 @@ fn main() {
             .field_u64("injected_lines", report.service.injected_lines)
             .field_u64("escalations", report.service.escalations)
             .field_u64("unresolved_lines", report.service.unresolved_lines)
+            .field_u64("alerts", report.service.alerts)
+            .field_u64("critical_alerts", report.service.critical_alerts)
+            .field_u64(
+                "scrub_deadline_misses",
+                report.service.scrub_deadline_misses,
+            )
             .field_u64("seed", opts.seed)
             .field_str("git_rev", &git_rev());
         std::fs::write("BENCH_svc.json", obj.finish() + "\n").expect("write BENCH_svc.json");
@@ -228,6 +238,9 @@ fn main() {
         std::process::exit(1);
     }
     if flag("--check-baseline") {
+        if let Some(text) = baseline.as_deref() {
+            warn_baseline_rev(text, "BENCH_svc.json baseline");
+        }
         if let Some(base) = baseline_rps {
             let floor = base * 0.8;
             if report.req_per_sec < floor {

@@ -139,6 +139,54 @@ pub fn write_bench_reports(name: &str, reports: &[(String, ThroughputReport)]) {
     println!("wrote {path}");
 }
 
+/// The current short git revision, resolved **at run time** (never baked
+/// in at compile time — a stale build must not stamp a stale rev into a
+/// fresh `BENCH_*.json`). `"unknown"` outside a git checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Extracts the first `"key": "value"` string from a JSON text — the
+/// string companion of [`json_f64_field`], for fields like `git_rev`.
+/// Escapes inside the value are not interpreted (none of the fields this
+/// reads contain any).
+pub fn json_str_field(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Warns (stderr) when a committed baseline was produced by a different
+/// git revision than the one running now — its figures may not be
+/// comparable. Returns whether the revisions matched.
+pub fn warn_baseline_rev(baseline_json: &str, baseline_name: &str) -> bool {
+    let baseline_rev = json_str_field(baseline_json, "git_rev");
+    let current = git_rev();
+    match baseline_rev {
+        Some(rev) if rev == current => true,
+        Some(rev) => {
+            eprintln!(
+                "warning: {baseline_name} was written at git rev {rev} but HEAD is \
+                 {current}; baseline figures may not be comparable"
+            );
+            false
+        }
+        None => {
+            eprintln!("warning: {baseline_name} carries no git_rev stamp");
+            false
+        }
+    }
+}
+
 /// Extracts the first `"key": <number>` value from a JSON text. The
 /// workspace's serde is a no-op shim, so baseline files are re-read with
 /// this narrow scanner instead of a full parser.
@@ -185,6 +233,22 @@ mod tests {
         assert_eq!(labeled_path("out.jsonl", "mttf_x"), "out.mttf_x.jsonl");
         assert_eq!(labeled_path("a/b.c/out", "z"), "a/b.c/out.z");
         assert_eq!(labeled_path("events", "y"), "events.y");
+    }
+
+    #[test]
+    fn json_str_field_scans_strings() {
+        let text = "{\"name\":\"svc_loadgen\",\"req_per_sec\":12.5,\"git_rev\":\"0ba23e8\"}";
+        assert_eq!(json_str_field(text, "git_rev"), Some("0ba23e8".into()));
+        assert_eq!(json_str_field(text, "name"), Some("svc_loadgen".into()));
+        assert_eq!(json_str_field(text, "req_per_sec"), None);
+        assert_eq!(json_str_field(text, "missing"), None);
+    }
+
+    #[test]
+    fn git_rev_is_runtime_resolved() {
+        // In this checkout it is a short hex rev; anywhere else "unknown".
+        let rev = git_rev();
+        assert!(!rev.is_empty());
     }
 
     #[test]

@@ -165,6 +165,7 @@ pub fn observe_plan(plan: &[LineFaults], recorder: &mut sudoku_obs::Recorder) {
     for lf in plan {
         recorder.emit(sudoku_obs::RecoveryEvent {
             interval: 0, // stamped by the recorder
+            trace: 0,    // stamped by the recorder
             line: lf.line,
             group: None,
             hash_dim: None,

@@ -118,6 +118,12 @@ pub struct RecoveryEvent {
     /// Scrub interval (campaign trial) the event belongs to; stamped by the
     /// owning [`crate::Recorder`].
     pub interval: u64,
+    /// Causal trace ID of the demand request this repair ran under, stamped
+    /// by the owning [`crate::Recorder`] (0 = background work: scrub
+    /// sweeps, campaigns, and anything not attributable to one request).
+    /// A service's `/traces.json` sample and a shard's event ring share
+    /// this ID, so a sampled DUE can be reconstructed end to end.
+    pub trace: u64,
     /// The affected cache line.
     pub line: u64,
     /// RAID-Group id the mechanism operated on (`None` for per-line
@@ -146,9 +152,16 @@ impl RecoveryEvent {
             None => "null".to_string(),
         };
         format!(
-            "{{\"interval\":{},\"line\":{},\"group\":{},\"hash_dim\":{},\
+            "{{\"interval\":{},\"trace\":{},\"line\":{},\"group\":{},\"hash_dim\":{},\
              \"mechanism\":\"{}\",\"outcome\":\"{}\",\"trials\":{}}}",
-            self.interval, self.line, group, dim, self.mechanism, self.outcome, self.trials
+            self.interval,
+            self.trace,
+            self.line,
+            group,
+            dim,
+            self.mechanism,
+            self.outcome,
+            self.trials
         )
     }
 
@@ -184,6 +197,8 @@ impl RecoveryEvent {
         };
         Some(RecoveryEvent {
             interval: field("interval")?.parse().ok()?,
+            // Absent in pre-trace logs: default to "background work".
+            trace: field("trace").and_then(|v| v.parse().ok()).unwrap_or(0),
             line: field("line")?.parse().ok()?,
             group,
             hash_dim,
@@ -201,6 +216,7 @@ mod tests {
     fn sample() -> RecoveryEvent {
         RecoveryEvent {
             interval: 7,
+            trace: 42,
             line: 12345,
             group: Some(24),
             hash_dim: Some(Dim::H2),
@@ -229,6 +245,15 @@ mod tests {
         let text = ev.to_jsonl();
         assert!(text.contains("\"group\":null"));
         assert_eq!(RecoveryEvent::from_jsonl(&text), Some(ev));
+    }
+
+    #[test]
+    fn missing_trace_defaults_to_background() {
+        // Pre-trace logs (PR ≤ 6) have no "trace" key; they must still parse.
+        let legacy = sample().to_jsonl().replace("\"trace\":42,", "");
+        let ev = RecoveryEvent::from_jsonl(&legacy).expect("legacy line parses");
+        assert_eq!(ev.trace, 0);
+        assert_eq!(ev.line, 12345);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alert;
 mod event;
 pub mod forensics;
 mod hist;
@@ -38,6 +39,7 @@ mod live;
 mod sink;
 mod span;
 
+pub use alert::{Alert, AlertClass, AlertLog, Severity};
 pub use event::{Dim, Mechanism, Outcome, RecoveryEvent};
 pub use hist::{Histogram, RecoveryHistograms, ServiceHistograms};
 pub use live::{AtomicHist, Counter, Gauge};

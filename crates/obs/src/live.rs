@@ -178,6 +178,32 @@ impl AtomicHist {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Number of buckets (`max_exp + 2`: `0..=1`, each power of two up to
+    /// `2^max_exp`, plus overflow). Indexes returned by
+    /// [`AtomicHist::bucket_of`] are always `< n_buckets()`.
+    pub fn n_buckets(&self) -> usize {
+        self.max_exp as usize + 2
+    }
+
+    /// The bucket index a sample of value `v` lands in — the same mapping
+    /// [`AtomicHist::record`] uses. Exposed so callers can maintain
+    /// per-bucket side tables (e.g. exemplar trace IDs keyed by latency
+    /// bucket) that stay aligned with this histogram's layout.
+    #[inline]
+    pub fn bucket_of(&self, v: u64) -> usize {
+        bucket_index(v, self.max_exp)
+    }
+
+    /// Upper bound of bucket `i` (`u64::MAX` for the overflow bucket) —
+    /// the `le` value a Prometheus rendering of this bucket would carry.
+    pub fn bucket_bound(&self, i: usize) -> u64 {
+        if i as u32 > self.max_exp {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
     /// Folds the stripes into an ordinary [`Histogram`] without blocking
     /// writers. The snapshot's `count` is derived from its bucket counts
     /// (never from a separately-raced total), so

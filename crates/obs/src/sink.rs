@@ -195,6 +195,7 @@ pub struct Recorder {
     sink: SinkKind,
     enabled: bool,
     interval: u64,
+    trace: u64,
     /// Histograms populated by the recovery paths.
     pub hists: RecoveryHistograms,
     /// Phase spans populated by campaigns (and the in-cache recover span).
@@ -207,6 +208,7 @@ impl Recorder {
             sink,
             enabled,
             interval: 0,
+            trace: 0,
             hists: RecoveryHistograms::default(),
             phases: PhaseTimes::default(),
         }
@@ -256,6 +258,20 @@ impl Recorder {
         self.interval
     }
 
+    /// Stamps subsequent events with the causal trace ID of the demand
+    /// request currently driving this recorder's cache (0 = background
+    /// work). The service sets this before a traced read/write and clears
+    /// it afterwards, so scrub-time repairs are never mis-attributed.
+    #[inline]
+    pub fn set_trace(&mut self, trace: u64) {
+        self.trace = trace;
+    }
+
+    /// The current trace stamp.
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+
     /// Emits one event, stamping it with the current interval. Call only
     /// when [`Recorder::enabled`] — emitting on a disabled recorder is a
     /// silent no-op, but the caller has then already paid to build the
@@ -266,6 +282,7 @@ impl Recorder {
             return;
         }
         event.interval = self.interval;
+        event.trace = self.trace;
         match &mut self.sink {
             SinkKind::Null => {}
             SinkKind::Memory(m) => m.record(&event),
@@ -352,6 +369,7 @@ mod tests {
     fn ev(line: u64) -> RecoveryEvent {
         RecoveryEvent {
             interval: 0,
+            trace: 0,
             line,
             group: None,
             hash_dim: None,
@@ -391,6 +409,17 @@ mod tests {
         r.emit(ev(1));
         assert_eq!(r.events_len(), 0);
         assert!(r.drain_events().is_empty());
+    }
+
+    #[test]
+    fn trace_stamping_set_and_cleared() {
+        let mut r = Recorder::unbounded();
+        r.set_trace(99);
+        r.emit(ev(1));
+        r.set_trace(0);
+        r.emit(ev(2));
+        let traces: Vec<u64> = r.events().map(|e| e.trace).collect();
+        assert_eq!(traces, vec![99, 0]);
     }
 
     #[test]

@@ -45,16 +45,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod audit;
 pub mod degraded;
 mod error;
 mod exporter;
 pub mod loadgen;
+pub mod promtext;
 mod service;
 mod sharded;
 mod slot;
 pub mod telemetry;
 mod view;
+pub mod watchdog;
 
+pub use audit::{
+    AuditConfig, AuditPlane, AuditSnapshot, F64Gauge, ReliabilityEstimator, ScrubDeadlineTracker,
+};
 pub use degraded::{DegradedConfig, DegradedStats, ShardHealth, SpareTable};
 pub use error::{ServiceError, StartError};
 pub use exporter::Exporter;
@@ -62,5 +68,7 @@ pub use loadgen::{AddrMode, LoadReport, LoadgenConfig};
 pub use service::{ReadReply, Service, ServiceConfig, ServiceHandle, ServiceReport};
 pub use sharded::{merge_reports, ShardSession, ShardedCache};
 pub use telemetry::{
-    FlightRecorder, TelemetryConfig, TelemetryRegistry, TelemetrySnapshot, TraceRecord,
+    Exemplar, FlightRecorder, TelemetryConfig, TelemetryRegistry, TelemetrySnapshot, TraceOutcome,
+    TracePath, TraceRecord,
 };
+pub use watchdog::{ScanObs, Watchdog};

@@ -79,14 +79,17 @@
 //! [`TelemetrySnapshot`]: crate::TelemetrySnapshot
 //! [`CompletionSlot`]: crate::slot::CompletionSlot
 
+use crate::audit::{AuditConfig, AuditPlane};
 use crate::degraded::{DegradedConfig, DegradedStats};
 use crate::error::{ServiceError, StartError};
 use crate::exporter::Exporter;
 use crate::sharded::{ShardSession, ShardedCache};
 use crate::slot::{CompletionSlot, SlotSender};
 use crate::telemetry::{
-    FlightRecorder, TelemetryConfig, TelemetryRegistry, TelemetrySnapshot, TraceRecord,
+    FlightRecorder, TelemetryConfig, TelemetryRegistry, TelemetrySnapshot, TraceOutcome, TracePath,
+    TraceRecord,
 };
+use crate::watchdog::watchdog_loop;
 use std::collections::{BTreeSet, VecDeque};
 use std::io::Write as _;
 use std::net::SocketAddr;
@@ -137,6 +140,11 @@ pub struct ServiceConfig {
     /// Live telemetry plane (sampler, flight recorder, scrape endpoint);
     /// `None` runs the lock-free registry only, with zero extra threads.
     pub telemetry: Option<TelemetryConfig>,
+    /// Reliability audit plane: scrub-deadline tracking, error-budget
+    /// burn estimation, and the anomaly watchdog. Always on (the plane is
+    /// lock-free and the watchdog is one light thread); this configures
+    /// its thresholds.
+    pub audit: AuditConfig,
 }
 
 impl ServiceConfig {
@@ -153,6 +161,7 @@ impl ServiceConfig {
             stuck: StuckBitMap::new(),
             degraded: DegradedConfig::default(),
             telemetry: None,
+            audit: AuditConfig::default(),
         }
     }
 }
@@ -418,6 +427,13 @@ pub struct ServiceReport {
     pub quarantined: Vec<usize>,
     /// Degraded-mode counters: sparing, stuck-cell physics, fail-fasts.
     pub degraded: DegradedStats,
+    /// Alerts the watchdog raised over the run.
+    pub alerts: u64,
+    /// Critical-severity alerts among them.
+    pub critical_alerts: u64,
+    /// Line-range packets whose achieved scrub interval exceeded the
+    /// configured deadline.
+    pub scrub_deadline_misses: u64,
 }
 
 impl ServiceReport {
@@ -453,6 +469,9 @@ impl ServiceReport {
             )
             .field_bool("daemon_panicked", self.daemon_panicked)
             .field_array_u64("quarantined", self.quarantined.iter().map(|&s| s as u64))
+            .field_u64("alerts", self.alerts)
+            .field_u64("critical_alerts", self.critical_alerts)
+            .field_u64("scrub_deadline_misses", self.scrub_deadline_misses)
             .field_raw("degraded", &self.degraded.to_json())
             .field_raw("stats", &self.stats.to_json())
             .field_raw("service_hists", &self.hists.to_json());
@@ -513,6 +532,8 @@ impl ServiceHandle {
             trace,
             shard: shard as u32,
             write: false,
+            path: TracePath::Lockfree,
+            outcome: TraceOutcome::Ok,
             queue_wait_ns: 0,
             service_ns: service_start.elapsed().as_nanos() as u64,
             h2_ns: 0,
@@ -545,6 +566,7 @@ impl ServiceHandle {
                 &self.state,
                 shard,
                 line,
+                trace,
                 &mut session,
                 &mut h2_ns,
                 &self.registry,
@@ -561,6 +583,8 @@ impl ServiceHandle {
                     trace,
                     shard: shard as u32,
                     write: false,
+                    path: TracePath::Inline,
+                    outcome: read_outcome(&result),
                     queue_wait_ns: 0,
                     service_ns: service_start.elapsed().as_nanos() as u64,
                     h2_ns,
@@ -589,7 +613,7 @@ impl ServiceHandle {
         let service_start = Instant::now();
         let mut session = None;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            serve_write(&self.state, shard, line, data, &mut session)
+            serve_write(&self.state, shard, line, trace, data, &mut session)
         }));
         drop(session);
         match outcome {
@@ -602,6 +626,12 @@ impl ServiceHandle {
                     trace,
                     shard: shard as u32,
                     write: true,
+                    path: TracePath::Inline,
+                    outcome: if result.is_ok() {
+                        TraceOutcome::Ok
+                    } else {
+                        TraceOutcome::Error
+                    },
                     queue_wait_ns: 0,
                     service_ns: service_start.elapsed().as_nanos() as u64,
                     h2_ns: 0,
@@ -848,6 +878,10 @@ pub struct Service {
     sampler: Option<JoinHandle<()>>,
     sampler_stop: Arc<AtomicBool>,
     exporter: Option<Exporter>,
+    plane: Arc<AuditPlane>,
+    watchdog: Option<JoinHandle<()>>,
+    watchdog_stop: Arc<AtomicBool>,
+    daemon_stall_us: Arc<AtomicU64>,
 }
 
 impl Service {
@@ -887,16 +921,44 @@ impl Service {
         }
         let stop = Arc::new(AtomicBool::new(false));
         let daemon_panic = Arc::new(AtomicBool::new(false));
+        let daemon_stall_us = Arc::new(AtomicU64::new(0));
+        // The audit plane exists regardless of telemetry config: deadline
+        // accounting and alerting are part of the reliability story, not
+        // an optional extra.
+        let plane = Arc::new(AuditPlane::new(state.plan(), config.audit.clone())?);
         let daemon = config.scrub_every.map(|tick| {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
             let panic_flag = Arc::clone(&daemon_panic);
             let registry = Arc::clone(&registry);
+            let plane = Arc::clone(&plane);
+            let stall = Arc::clone(&daemon_stall_us);
             let master = FaultInjector::new(config.ber, config.seed);
             std::thread::spawn(move || {
-                daemon_loop(&state, tick, &master, &stop, &panic_flag, &registry)
+                daemon_loop(
+                    &state,
+                    tick,
+                    &master,
+                    &stop,
+                    &panic_flag,
+                    &registry,
+                    &plane,
+                    &stall,
+                )
             })
         });
+        let watchdog_stop = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let state = Arc::clone(&state);
+            let plane = Arc::clone(&plane);
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&watchdog_stop);
+            let scrub_every = config.scrub_every;
+            let queue_bound = config.queue_depth.max(1) as u64;
+            Some(std::thread::spawn(move || {
+                watchdog_loop(&state, &plane, &registry, scrub_every, queue_bound, &stop)
+            }))
+        };
         // The optional plane: sampler + flight recorder + scrape endpoint.
         let sampler_stop = Arc::new(AtomicBool::new(false));
         let (recorder, sampler, exporter) = match &config.telemetry {
@@ -914,16 +976,18 @@ impl Service {
                         Arc::clone(&state),
                         Arc::clone(&registry),
                         Arc::clone(&recorder),
+                        Arc::clone(&plane),
                     )?),
                 };
                 let sampler = {
                     let state = Arc::clone(&state);
                     let registry = Arc::clone(&registry);
                     let recorder = Arc::clone(&recorder);
+                    let plane = Arc::clone(&plane);
                     let stop = Arc::clone(&sampler_stop);
                     let every = tcfg.sample_every.max(Duration::from_millis(1));
                     std::thread::spawn(move || {
-                        sampler_loop(&state, &registry, &recorder, jsonl, every, &stop)
+                        sampler_loop(&state, &registry, &recorder, &plane, jsonl, every, &stop)
                     })
                 };
                 (Some(recorder), Some(sampler), exporter)
@@ -941,6 +1005,10 @@ impl Service {
             sampler,
             sampler_stop,
             exporter,
+            plane,
+            watchdog,
+            watchdog_stop,
+            daemon_stall_us,
         })
     }
 
@@ -981,6 +1049,21 @@ impl Service {
     /// says [`ServiceReport::daemon_panicked`]).
     pub fn inject_daemon_panic(&self) {
         self.daemon_panic.store(true, Ordering::Relaxed);
+    }
+
+    /// Chaos hook: the scrub daemon sleeps through `stall` at the start
+    /// of its next tick — alive but not scrubbing, the failure mode the
+    /// watchdog's `daemon_stuck` / deadline-staleness alerts exist for.
+    /// The stall honors shutdown (it sleeps in small slices).
+    pub fn inject_daemon_stall(&self, stall: Duration) {
+        self.daemon_stall_us
+            .store(stall.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// The reliability audit plane: deadline tracker, alert log, and live
+    /// error-budget estimates.
+    pub fn audit(&self) -> &Arc<AuditPlane> {
+        &self.plane
     }
 
     /// Graceful drain and shutdown: stops the scrub daemon, closes
@@ -1038,6 +1121,12 @@ impl Service {
         if let Some(sampler) = self.sampler {
             let _ = sampler.join();
         }
+        // The watchdog goes down with the sampler (it only observes; the
+        // final alert-log flush happens on its way out).
+        self.watchdog_stop.store(true, Ordering::Relaxed);
+        if let Some(watchdog) = self.watchdog {
+            let _ = watchdog.join();
+        }
         drop(self.exporter);
         // 4. Harvest telemetry and counters from the quiesced engine —
         //    including from quarantined shards (poison-tolerant locks).
@@ -1066,6 +1155,9 @@ impl Service {
             daemon_panicked,
             quarantined: self.state.health().quarantined(),
             degraded: self.state.degraded_stats(),
+            alerts: self.plane.alerts.total(),
+            critical_alerts: self.plane.alerts.criticals(),
+            scrub_deadline_misses: self.plane.tracker.total_misses(),
         }
     }
 }
@@ -1078,6 +1170,7 @@ fn sampler_loop(
     state: &ShardedCache,
     registry: &TelemetryRegistry,
     recorder: &FlightRecorder,
+    plane: &AuditPlane,
     mut jsonl: Option<std::io::BufWriter<std::fs::File>>,
     every: Duration,
     stop: &AtomicBool,
@@ -1089,7 +1182,7 @@ fn sampler_loop(
         while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
             std::thread::sleep(every.min(Duration::from_millis(1)));
         }
-        let snap = TelemetrySnapshot::capture(seq, state, registry);
+        let snap = TelemetrySnapshot::capture_with_audit(seq, state, registry, Some(plane));
         seq += 1;
         if let Some(w) = jsonl.as_mut() {
             let _ = writeln!(w, "{}", snap.to_json());
@@ -1287,6 +1380,7 @@ fn serve_read<'a>(
     state: &'a ShardedCache,
     shard: usize,
     line: u64,
+    trace: u64,
     session: &mut Option<ShardSession<'a>>,
     h2_ns: &mut u64,
     reg: &TelemetryRegistry,
@@ -1295,12 +1389,16 @@ fn serve_read<'a>(
         Some(live) => live,
         None => session.insert(state.session(shard)?),
     };
+    // Any recovery the ladder runs for this read is stamped with the
+    // request's trace ID — /traces.json ties a slow read to the exact
+    // RecoveryEvents it caused.
+    live.set_trace(trace);
     match live.read(line) {
         Err(ServiceError::Uncorrectable(_)) => {
             reg.escalated_reads.inc();
             *session = None;
             let h2_start = Instant::now();
-            let fetched = state.escalate_fetch(line);
+            let fetched = state.escalate_fetch(line, trace);
             *h2_ns = h2_start.elapsed().as_nanos() as u64;
             reg.h2_gather_ns.record(*h2_ns);
             fetched
@@ -1314,6 +1412,7 @@ fn serve_write<'a>(
     state: &'a ShardedCache,
     shard: usize,
     line: u64,
+    trace: u64,
     data: &LineData,
     session: &mut Option<ShardSession<'a>>,
 ) -> Result<(), ServiceError> {
@@ -1321,6 +1420,9 @@ fn serve_write<'a>(
         Some(live) => live,
         None => session.insert(state.session(shard)?),
     };
+    // Consistency-triggered group recovery under the write carries the
+    // write's trace, same as the read path.
+    live.set_trace(trace);
     live.write(line, data);
     Ok(())
 }
@@ -1372,7 +1474,7 @@ fn serve_packet(
                 let queue_wait_ns = service_start.duration_since(enqueued).as_nanos() as u64;
                 let mut h2_ns = 0u64;
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    serve_read(state, shard, line, &mut session, &mut h2_ns, reg)
+                    serve_read(state, shard, line, trace, &mut session, &mut h2_ns, reg)
                 }));
                 match outcome {
                     Ok(result) => {
@@ -1384,6 +1486,8 @@ fn serve_packet(
                             trace,
                             shard: shard as u32,
                             write: false,
+                            path: TracePath::Queued,
+                            outcome: read_outcome(&result),
                             queue_wait_ns,
                             service_ns: service_start.elapsed().as_nanos() as u64,
                             h2_ns,
@@ -1411,7 +1515,7 @@ fn serve_packet(
                 let service_start = Instant::now();
                 let queue_wait_ns = service_start.duration_since(enqueued).as_nanos() as u64;
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    serve_write(state, shard, line, &data, &mut session)
+                    serve_write(state, shard, line, trace, &data, &mut session)
                 }));
                 // Retire *after* the apply-and-republish (or on the way to
                 // the teardown paths below): only then is the view
@@ -1427,6 +1531,12 @@ fn serve_packet(
                             trace,
                             shard: shard as u32,
                             write: true,
+                            path: TracePath::Queued,
+                            outcome: if result.is_ok() {
+                                TraceOutcome::Ok
+                            } else {
+                                TraceOutcome::Error
+                            },
                             queue_wait_ns,
                             service_ns: service_start.elapsed().as_nanos() as u64,
                             h2_ns: 0,
@@ -1448,12 +1558,16 @@ fn serve_packet(
 
 /// One scrub tick over `shard`: inject, shard-local scrub, escalate the
 /// leftovers. Split out so [`daemon_loop`] can wrap it in `catch_unwind`.
+#[allow(clippy::too_many_arguments)]
 fn daemon_tick(
     state: &ShardedCache,
     shard: usize,
     injector: &mut FaultInjector,
     inject: bool,
     reg: &TelemetryRegistry,
+    plane: &AuditPlane,
+    cursor: &mut usize,
+    packets_per_tick: usize,
 ) {
     let started = Instant::now();
     let injected = if inject {
@@ -1462,7 +1576,32 @@ fn daemon_tick(
         Vec::new()
     };
     reg.injected_lines.add(injected.len() as u64);
-    let (_report, leftover) = state.scrub_shard_local(shard, &injected);
+    // The bounded incremental sweep: advance this shard's packet cursor
+    // far enough per tick that every owned line is revisited within the
+    // scrub deadline (the golden-zero fast path makes clean lines nearly
+    // free to rescan). Injection hints alone only cover lines the
+    // simulator *knows* it faulted — the sweep is what makes the 20 ms
+    // guarantee an audited property instead of an assumption.
+    let tracker = &plane.tracker;
+    let n_packets = tracker.n_packets(shard);
+    let packet_lines = tracker.packet_lines();
+    let owned = state.plan().owned_line_count(shard);
+    let mut hints = injected;
+    let mut swept = Vec::with_capacity(packets_per_tick);
+    for _ in 0..packets_per_tick.min(n_packets) {
+        let packet = *cursor % n_packets;
+        *cursor = (*cursor + 1) % n_packets;
+        let start = packet as u64 * packet_lines;
+        let end = (start + packet_lines).min(owned);
+        hints.extend((start..end).map(|idx| state.plan().owned_line_at(shard, idx)));
+        swept.push(packet);
+    }
+    hints.sort_unstable();
+    hints.dedup();
+    let (_report, leftover) = state.scrub_shard_local(shard, &hints);
+    for packet in swept {
+        tracker.note_packet(shard, packet);
+    }
     reg.scrub_tick_ns
         .record(started.elapsed().as_nanos() as u64);
     if !leftover.is_empty() {
@@ -1477,6 +1616,16 @@ fn daemon_tick(
     reg.scrub_ticks.inc();
 }
 
+/// Maps a served read's result to its trace outcome.
+fn read_outcome(result: &Result<LineData, ServiceError>) -> TraceOutcome {
+    match result {
+        Ok(_) => TraceOutcome::Ok,
+        Err(e) if e.is_due() => TraceOutcome::Due,
+        Err(_) => TraceOutcome::Error,
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // private; mirrors the service wiring
 fn daemon_loop(
     state: &ShardedCache,
     tick: Duration,
@@ -1484,12 +1633,28 @@ fn daemon_loop(
     stop: &AtomicBool,
     panic_flag: &AtomicBool,
     reg: &TelemetryRegistry,
+    plane: &AuditPlane,
+    stall_us: &AtomicU64,
 ) -> bool {
     let mut panicked = false;
     // One decorrelated injector per shard: the fault streams are fixed by
     // (seed, shard) alone, independent of tick interleaving.
     let mut injectors: Vec<FaultInjector> = (0..state.n_shards())
         .map(|s| master.fork(s as u64))
+        .collect();
+    // Per-shard sweep cursors and per-tick packet quotas: a shard is
+    // ticked every `tick × n_shards`, so covering all its packets within
+    // the deadline needs `n_packets × period / deadline` packets per tick
+    // — swept at 1.25× that rate so scheduling lag has headroom.
+    let period_ns = (tick.as_nanos() as u64).saturating_mul(state.n_shards() as u64);
+    let deadline_ns = plane.tracker.deadline_ns().max(1);
+    let mut cursors = vec![0usize; state.n_shards()];
+    let quotas: Vec<usize> = (0..state.n_shards())
+        .map(|s| {
+            let n_packets = plane.tracker.n_packets(s) as u64;
+            let per_tick = (n_packets * period_ns * 5).div_ceil(4 * deadline_ns).max(1);
+            per_tick.min(n_packets) as usize
+        })
         .collect();
     let mut next_shard = 0usize;
     'daemon: loop {
@@ -1500,6 +1665,20 @@ fn daemon_loop(
                 break 'daemon;
             }
             std::thread::sleep(tick.min(Duration::from_millis(1)));
+        }
+        // Chaos hook: an injected stall — alive but not scrubbing. It
+        // lands *after* the tick deadline so the whole stall shows up as
+        // tick lag and growing packet staleness, exactly like a real
+        // starvation would.
+        let stall = stall_us.swap(0, Ordering::Relaxed);
+        if stall > 0 {
+            let until = Instant::now() + Duration::from_micros(stall);
+            while Instant::now() < until {
+                if stop.load(Ordering::Relaxed) {
+                    break 'daemon;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
         }
         // How late the tick started: scheduling + the previous tick's
         // overrun. The gauge holds the latest value; the histogram the
@@ -1522,7 +1701,16 @@ fn daemon_loop(
             if panic_flag.swap(false, Ordering::Relaxed) {
                 panic!("injected scrub daemon panic");
             }
-            daemon_tick(state, shard, injector, inject, reg);
+            daemon_tick(
+                state,
+                shard,
+                injector,
+                inject,
+                reg,
+                plane,
+                &mut cursors[shard],
+                quotas[shard],
+            );
         }));
         if result.is_err() {
             // Scrubbing stops (reported), demand traffic continues.

@@ -554,7 +554,7 @@ impl ShardedCache {
         match self.read_local(line) {
             Err(ServiceError::Uncorrectable(_)) => {
                 // The owner gave up after Hash-1; gather the Hash-2 groups.
-                self.escalate_fetch(line)
+                self.escalate_fetch(line, 0)
             }
             other => other,
         }
@@ -563,8 +563,15 @@ impl ShardedCache {
     /// Escalates `line` and returns its post-escalation value, captured
     /// *before* stuck cells reassert — a repaired demand read must return
     /// the repaired data even when the array copy immediately re-corrupts.
-    pub(crate) fn escalate_fetch(&self, line: u64) -> Result<LineData, ServiceError> {
-        self.escalate_inner(&[line], Some(line))
+    ///
+    /// `trace` (0 = untraced) is stamped into every [`RecoveryEvent`] the
+    /// escalation emits — shard-local Hash-1 passes and the coordinator's
+    /// Hash-2 pass alike — so `/traces.json` can tie a slow demand read to
+    /// the exact recovery ladder it triggered.
+    ///
+    /// [`RecoveryEvent`]: sudoku_obs::RecoveryEvent
+    pub(crate) fn escalate_fetch(&self, line: u64, trace: u64) -> Result<LineData, ServiceError> {
+        self.escalate_inner(&[line], Some(line), trace)
             .1
             .expect("fetch result requested")
     }
@@ -888,17 +895,29 @@ impl ShardedCache {
     /// sparing strikes — repeatedly-DUE lines get remapped to the spare
     /// pool and stop consuming escalations.
     pub fn escalate(&self, lines: &[u64]) -> ScrubReport {
-        self.escalate_inner(lines, None).0
+        self.escalate_inner(lines, None, 0).0
     }
 
     fn escalate_inner(
         &self,
         lines: &[u64],
         fetch: Option<u64>,
+        trace: u64,
     ) -> (ScrubReport, Option<Result<LineData, ServiceError>>) {
         let mut guards = self.lock_up_shards();
         let all_up = guards.iter().all(Option::is_some);
         let mut work = Self::borrow_working(&mut guards);
+        // Stamp the demand trace into every recorder this escalation can
+        // emit through: each surviving shard's (Hash-1 passes) and the
+        // coordinator's (Hash-2 pass). All shard locks are held for the
+        // whole escalation, so no concurrent scrub can emit under the
+        // stamp; it is cleared again before the locks drop.
+        if trace != 0 {
+            for w in work.iter_mut().flatten() {
+                w.cache.recorder_mut().set_trace(trace);
+            }
+            self.lock_coord().recorder.set_trace(trace);
+        }
         let mut down_report = ScrubReport::default();
         let mirror = self.view.is_some();
         for &line in lines {
@@ -981,6 +1000,12 @@ impl ShardedCache {
             }
         }
         self.finish_down_lines(&mut down_report);
+        if trace != 0 {
+            for w in work.iter_mut().flatten() {
+                w.cache.recorder_mut().set_trace(0);
+            }
+            self.lock_coord().recorder.set_trace(0);
+        }
         let report = merge_reports(
             work.iter()
                 .flatten()
@@ -1173,6 +1198,18 @@ pub struct ShardSession<'a> {
 }
 
 impl ShardSession<'_> {
+    /// Stamps `trace` (0 = untraced) into the shard recorder so that any
+    /// [`RecoveryEvent`] emitted while serving this session's ops — Hash-1
+    /// repairs under a demand read, consistency-triggered group recovery
+    /// under a write — carries the request's trace ID. The stamp is
+    /// cleared automatically when the session drops, so daemon scrubs on
+    /// the same shard are never mis-attributed to a finished request.
+    ///
+    /// [`RecoveryEvent`]: sudoku_obs::RecoveryEvent
+    pub fn set_trace(&mut self, trace: u64) {
+        self.cache.recorder_mut().set_trace(trace);
+    }
+
     /// Writes `data` to `line` (which must be owned by this shard),
     /// landing in the spare pool when the line has been remapped.
     pub fn write(&mut self, line: u64, data: &LineData) {
@@ -1219,6 +1256,14 @@ impl ShardSession<'_> {
             owner.publish_h1_group(&self.cache, line);
         }
         result
+    }
+}
+
+impl Drop for ShardSession<'_> {
+    fn drop(&mut self) {
+        // One relaxed store; keeps scrub events emitted after the session
+        // from inheriting a stale demand trace.
+        self.cache.recorder_mut().set_trace(0);
     }
 }
 

@@ -20,6 +20,7 @@
 //!
 //! [`ServiceReport`]: crate::ServiceReport
 
+use crate::audit::{AuditPlane, AuditSnapshot};
 use crate::degraded::DegradedStats;
 use crate::sharded::ShardedCache;
 use std::collections::VecDeque;
@@ -64,10 +65,61 @@ impl Default for TelemetryConfig {
     }
 }
 
+/// Which demand path served a request — the causal "where did this
+/// request's time go" dimension of a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePath {
+    /// Served off the seqlock line view, no shard mutex.
+    Lockfree,
+    /// Served inline by the requester holding the shard claim.
+    Inline,
+    /// Rode the bounded shard queue to a drainer.
+    Queued,
+}
+
+impl TracePath {
+    /// Lowercase wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePath::Lockfree => "lockfree",
+            TracePath::Inline => "inline",
+            TracePath::Queued => "queued",
+        }
+    }
+}
+
+/// How a traced request ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Served normally.
+    Ok,
+    /// Served but detectably uncorrectable — always retained in the trace
+    /// ring regardless of sampling, because every DUE deserves a trace.
+    Due,
+    /// Failed (shard down / shutting down).
+    Error,
+}
+
+impl TraceOutcome {
+    /// Lowercase wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceOutcome::Ok => "ok",
+            TraceOutcome::Due => "due",
+            TraceOutcome::Error => "error",
+        }
+    }
+}
+
 /// One completed request's per-phase timing, identified by its trace ID.
-/// The registry keeps a sampled ring of these (1 in [`TRACE_SAMPLE`]) so
-/// `/snapshot.json` can show concrete end-to-end traces without a
-/// per-request lock on the hot path.
+/// One histogram-bucket exemplar: `(bucket_index, upper_bound_ns,
+/// trace_id)` — the most recent sampled trace to land in that latency
+/// bucket.
+pub type Exemplar = (usize, u64, u64);
+
+/// The registry keeps a sampled ring of these (1 in [`TRACE_SAMPLE`],
+/// plus **every** DUE) so `/snapshot.json` and `/traces.json` can show
+/// concrete end-to-end traces without a per-request lock on the hot path.
 #[derive(Clone, Copy, Debug)]
 pub struct TraceRecord {
     /// The per-request trace ID the handle allocated at enqueue time.
@@ -76,6 +128,10 @@ pub struct TraceRecord {
     pub shard: u32,
     /// Whether the request was a write.
     pub write: bool,
+    /// Which demand path served it.
+    pub path: TracePath,
+    /// How it ended.
+    pub outcome: TraceOutcome,
     /// Time spent queued before a worker dequeued it, ns.
     pub queue_wait_ns: u64,
     /// Shard-local service time (dequeue → reply), ns.
@@ -92,11 +148,14 @@ impl TraceRecord {
         self.queue_wait_ns + self.service_ns
     }
 
-    fn to_json(self) -> String {
+    /// One JSON object per trace (`/snapshot.json`, `/traces.json`).
+    pub fn to_json(self) -> String {
         let mut obj = JsonObject::new();
         obj.field_u64("trace", self.trace)
             .field_u64("shard", self.shard as u64)
             .field_bool("write", self.write)
+            .field_str("path", self.path.name())
+            .field_str("outcome", self.outcome.name())
             .field_u64("queue_wait_ns", self.queue_wait_ns)
             .field_u64("service_ns", self.service_ns)
             .field_u64("h2_ns", self.h2_ns)
@@ -175,6 +234,13 @@ pub struct TelemetryRegistry {
     depths: Vec<Gauge>,
     next_trace: AtomicU64,
     traces: Mutex<VecDeque<TraceRecord>>,
+    /// Histogram exemplars: per bucket of `read_latency_ns` (and
+    /// `write_latency_ns`), the most recent trace ID that landed there,
+    /// stored as `trace + 1` (0 = no exemplar yet). This is what links a
+    /// p999 bucket on a dashboard to a concrete causal trace in
+    /// `/traces.json`.
+    read_exemplars: Vec<AtomicU64>,
+    write_exemplars: Vec<AtomicU64>,
 }
 
 impl TelemetryRegistry {
@@ -208,6 +274,12 @@ impl TelemetryRegistry {
             depths: (0..n_shards).map(|_| Gauge::new()).collect(),
             next_trace: AtomicU64::new(0),
             traces: Mutex::new(VecDeque::with_capacity(TRACE_RING)),
+            read_exemplars: (0..AtomicHist::pow2(40).n_buckets())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            write_exemplars: (0..AtomicHist::pow2(40).n_buckets())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 
@@ -245,10 +317,16 @@ impl TelemetryRegistry {
         let total = record.total_ns();
         if record.write {
             self.write_latency_ns.record(total);
+            let bucket = self.write_latency_ns.bucket_of(total);
+            self.write_exemplars[bucket].store(record.trace + 1, Ordering::Relaxed);
         } else {
             self.read_latency_ns.record(total);
+            let bucket = self.read_latency_ns.bucket_of(total);
+            self.read_exemplars[bucket].store(record.trace + 1, Ordering::Relaxed);
         }
-        if record.trace.is_multiple_of(TRACE_SAMPLE) {
+        // DUEs are always retained — a detected-uncorrectable read is the
+        // event the whole audit plane exists for, and there are few.
+        if record.trace.is_multiple_of(TRACE_SAMPLE) || record.outcome == TraceOutcome::Due {
             // `try_lock`, never `lock`: the ring is a diagnostic sample, and
             // a sampled trace must not make a lock-free read wait behind a
             // scraper (or another sampler) holding the ring. Contended
@@ -260,6 +338,26 @@ impl TelemetryRegistry {
                 ring.push_back(record);
             }
         }
+    }
+
+    /// The latency-histogram exemplars: `(bucket_index, upper_bound_ns,
+    /// trace_id)` for every bucket that has one, reads and writes
+    /// separately.
+    pub fn exemplars(&self) -> (Vec<Exemplar>, Vec<Exemplar>) {
+        let collect = |slots: &[AtomicU64], hist: &AtomicHist| {
+            slots
+                .iter()
+                .enumerate()
+                .filter_map(|(bucket, slot)| {
+                    let stamped = slot.load(Ordering::Relaxed);
+                    (stamped > 0).then(|| (bucket, hist.bucket_bound(bucket), stamped - 1))
+                })
+                .collect::<Vec<_>>()
+        };
+        (
+            collect(&self.read_exemplars, &self.read_latency_ns),
+            collect(&self.write_exemplars, &self.write_latency_ns),
+        )
     }
 
     /// The sampled recent traces, oldest first.
@@ -359,6 +457,9 @@ pub struct TelemetrySnapshot {
     pub tick_lag_ns: Histogram,
     /// Sampled per-request traces, oldest first.
     pub recent_traces: Vec<TraceRecord>,
+    /// The audit plane's view (scrub deadlines, burn rates, alerts) when
+    /// the capture was given one.
+    pub audit: Option<AuditSnapshot>,
 }
 
 fn unix_ms_now() -> u64 {
@@ -374,6 +475,17 @@ impl TelemetrySnapshot {
     /// [`DegradedStats`] (poison-tolerant — quarantined shards are still
     /// read).
     pub fn capture(seq: u64, state: &ShardedCache, reg: &TelemetryRegistry) -> TelemetrySnapshot {
+        Self::capture_with_audit(seq, state, reg, None)
+    }
+
+    /// [`TelemetrySnapshot::capture`], additionally folding in the audit
+    /// plane's deadline/burn/alert view when one is running.
+    pub fn capture_with_audit(
+        seq: u64,
+        state: &ShardedCache,
+        reg: &TelemetryRegistry,
+        audit: Option<&AuditPlane>,
+    ) -> TelemetrySnapshot {
         TelemetrySnapshot {
             seq,
             unix_ms: unix_ms_now(),
@@ -409,6 +521,7 @@ impl TelemetrySnapshot {
             scrub_tick_ns: reg.scrub_tick_ns.snapshot(),
             tick_lag_ns: reg.tick_lag_ns.snapshot(),
             recent_traces: reg.recent_traces(),
+            audit: audit.map(AuditPlane::snapshot),
         }
     }
 
@@ -457,6 +570,9 @@ impl TelemetrySnapshot {
             .field_raw("scrub_tick_ns", &self.scrub_tick_ns.to_json())
             .field_raw("tick_lag_ns", &self.tick_lag_ns.to_json())
             .field_raw("recent_traces", &format!("[{}]", traces.join(",")));
+        if let Some(audit) = &self.audit {
+            obj.field_raw("audit", &audit.to_json());
+        }
         obj.finish()
     }
 
@@ -744,6 +860,93 @@ impl TelemetrySnapshot {
             "Scrub-tick lag",
             &self.tick_lag_ns,
         );
+        if let Some(audit) = &self.audit {
+            let fgauge = |out: &mut String, name: &str, help: &str, v: f64| {
+                let v = if v.is_finite() { v } else { 0.0 };
+                out.push_str(&format!(
+                    "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+                ));
+            };
+            counter(
+                &mut out,
+                "sudoku_scrub_deadline_misses_total",
+                "Packet sweeps whose achieved interval exceeded the hard deadline",
+                audit.scrub_deadline_misses,
+            );
+            gauge(
+                &mut out,
+                "sudoku_scrub_deadline_ns",
+                "Configured hard scrub deadline",
+                audit.scrub_deadline_ns,
+            );
+            out.push_str(
+                "# HELP sudoku_scrub_deadline_misses Deadline misses per shard\n\
+                 # TYPE sudoku_scrub_deadline_misses counter\n",
+            );
+            for (shard, misses) in audit.per_shard_misses.iter().enumerate() {
+                out.push_str(&format!(
+                    "sudoku_scrub_deadline_misses{{shard=\"{shard}\"}} {misses}\n"
+                ));
+            }
+            out.push_str(
+                "# HELP sudoku_scrub_staleness_ns Worst live packet staleness per shard\n\
+                 # TYPE sudoku_scrub_staleness_ns gauge\n",
+            );
+            for (shard, ns) in audit.per_shard_worst_staleness_ns.iter().enumerate() {
+                out.push_str(&format!(
+                    "sudoku_scrub_staleness_ns{{shard=\"{shard}\"}} {ns}\n"
+                ));
+            }
+            prometheus_hist(
+                &mut out,
+                "sudoku_achieved_scrub_interval_ns",
+                "Achieved per-packet scrub interval",
+                &audit.achieved_scrub_interval_ns,
+            );
+            fgauge(
+                &mut out,
+                "sudoku_observed_ber",
+                "Observed per-interval raw bit-error rate (slow window)",
+                audit.observed_ber,
+            );
+            fgauge(
+                &mut out,
+                "sudoku_projected_due_fit",
+                "Projected DUE FIT at the observed BER",
+                audit.projected_fit,
+            );
+            fgauge(
+                &mut out,
+                "sudoku_error_budget_burn_fast",
+                "Fast-window error-budget burn rate",
+                audit.burn_fast,
+            );
+            fgauge(
+                &mut out,
+                "sudoku_error_budget_burn_slow",
+                "Slow-window error-budget burn rate",
+                audit.burn_slow,
+            );
+            counter(
+                &mut out,
+                "sudoku_alerts_critical_total",
+                "Critical alerts raised",
+                audit.alerts_critical,
+            );
+            counter(
+                &mut out,
+                "sudoku_alerts_dropped_total",
+                "Alerts evicted from the ring before scrape",
+                audit.alerts_dropped,
+            );
+            out.push_str(
+                "# HELP sudoku_alerts_total Alerts raised, by class\n\
+                 # TYPE sudoku_alerts_total counter\n",
+            );
+            for (class, n) in &audit.alerts_by_class {
+                out.push_str(&format!("sudoku_alerts_total{{class=\"{class}\"}} {n}\n"));
+            }
+        }
         out
     }
 }
@@ -853,6 +1056,8 @@ mod tests {
             trace: 0,
             shard: 1,
             write: false,
+            path: TracePath::Queued,
+            outcome: TraceOutcome::Ok,
             queue_wait_ns: 500,
             service_ns: 1500,
             h2_ns: 0,
@@ -861,6 +1066,8 @@ mod tests {
             trace: 1,
             shard: 0,
             write: true,
+            path: TracePath::Inline,
+            outcome: TraceOutcome::Ok,
             queue_wait_ns: 100,
             service_ns: 900,
             h2_ns: 400,
@@ -885,6 +1092,8 @@ mod tests {
             trace: 0,
             shard: 0,
             write: false,
+            path: TracePath::Lockfree,
+            outcome: TraceOutcome::Ok,
             queue_wait_ns: 100,
             service_ns: 200,
             h2_ns: 0,
